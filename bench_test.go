@@ -1,0 +1,550 @@
+// Package repro's top-level benchmarks regenerate every table and figure
+// of the paper (see DESIGN.md's per-experiment index) and the ablations
+// of its design choices. Each benchmark reports, besides Go-level ns/op,
+// the paper's metric for the experiment via ReportMetric — model
+// flops/cycle for the figures, structural counts for the generator
+// tables. Run:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hotspot"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/quant"
+	"repro/internal/vm"
+	"repro/internal/xmlspec"
+)
+
+// --- Table 1b / Table 3: the specification and the eDSL generator -----------
+
+func BenchmarkTable1bParseSpec(b *testing.B) {
+	raw, err := xmlspec.GenerateXML(xmlspec.Latest())
+	if err != nil {
+		b.Fatal(err)
+	}
+	doc := string(raw)
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	var total int
+	for i := 0; i < b.N; i++ {
+		f, err := xmlspec.ParseString(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rs, _ := xmlspec.Resolve(f)
+		st := xmlspec.ComputeStats(f.Version, rs, 0)
+		total = st.Table1bTotal()
+	}
+	b.ReportMetric(float64(total), "intrinsics")
+}
+
+func BenchmarkTable3GenerateAllVersions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, vi := range xmlspec.Versions() {
+			f := xmlspec.Generate(vi)
+			if _, errs := xmlspec.Resolve(f); len(errs) != 0 {
+				b.Fatalf("version %s: %d resolve errors", vi.Version, len(errs))
+			}
+		}
+	}
+	b.ReportMetric(float64(len(xmlspec.Versions())), "versions")
+}
+
+func BenchmarkGenerateBindings(b *testing.B) {
+	f := xmlspec.Generate(xmlspec.Latest())
+	rs, _ := xmlspec.Resolve(f)
+	ix, _ := xmlspec.NewIndex(rs)
+	var names []string
+	for _, e := range xmlspec.CuratedEntries() {
+		names = append(names, e.Name)
+	}
+	b.ResetTimer()
+	var emitted int
+	for i := 0; i < b.N; i++ {
+		src, report, err := gen.Generate(ix, names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		emitted = len(report)
+		_ = src
+	}
+	b.ReportMetric(float64(emitted), "bindings")
+}
+
+// --- staging and compilation costs (the LMS overhead of Section 3.5) --------
+
+func BenchmarkStageSaxpy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		kernels.StagedSaxpy(isa.Haswell.Features)
+	}
+}
+
+func BenchmarkStageMMM(b *testing.B) {
+	var nodes int
+	for i := 0; i < b.N; i++ {
+		k := kernels.StagedMMM(isa.Haswell.Features)
+		nodes = k.F.G.NumNodes()
+	}
+	b.ReportMetric(float64(nodes), "graph-nodes")
+}
+
+func BenchmarkCompileSaxpyPipeline(b *testing.B) {
+	rt := core.DefaultRuntime()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Compile(kernels.StagedSaxpy(rt.Arch.Features)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Figure 6a: SAXPY --------------------------------------------------------
+
+func BenchmarkFig6aSaxpyLMS(b *testing.B) {
+	rt := core.DefaultRuntime()
+	kn, err := rt.Compile(kernels.StagedSaxpy(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	a := vm.PinF32(make([]float32, n))
+	y := vm.PinF32(make([]float32, n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(y, 0),
+		vm.F32Value(2.5), vm.IntValue(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kn.CallValues(args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Machine.Counts.Reset()
+	_, _ = kn.CallValues(args...)
+	rep := machine.NewEstimator(rt.Arch).Estimate(kn.Func(), rt.Machine.Counts, 8*n)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.SaxpyFlops(n), rep), "model-flops/cycle")
+}
+
+func BenchmarkFig6aSaxpyJava(b *testing.B) {
+	jvm := hotspot.NewVM(isa.Haswell)
+	m, err := jvm.Load(kernels.JavaSaxpy(isa.Haswell.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 4096
+	a := vm.PinF32(make([]float32, n))
+	y := vm.PinF32(make([]float32, n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(y, 0),
+		vm.F32Value(2.5), vm.IntValue(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InvokeAt(hotspot.TierC2, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	jvm.Machine.Counts.Reset()
+	_, _ = m.InvokeAt(hotspot.TierC2, args...)
+	rep := m.Estimate(hotspot.TierC2, jvm.Machine.Counts, 8*n)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.SaxpyFlops(n), rep), "model-flops/cycle")
+}
+
+// --- Figure 6b: MMM ----------------------------------------------------------
+
+func benchMMMStaged(b *testing.B, n int) {
+	rt := core.DefaultRuntime()
+	kn, err := rt.Compile(kernels.StagedMMM(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := vm.PinF32(make([]float32, n*n))
+	bb := vm.PinF32(make([]float32, n*n))
+	c := vm.PinF32(make([]float32, n*n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(bb, 0),
+		vm.PtrValue(c, 0), vm.IntValue(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kn.CallValues(args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Machine.Counts.Reset()
+	_, _ = kn.CallValues(args...)
+	rep := machine.NewEstimator(rt.Arch).Estimate(kn.Func(), rt.Machine.Counts, 12*n*n)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.MMMFlops(n), rep), "model-flops/cycle")
+}
+
+func BenchmarkFig6bMMMLMS64(b *testing.B) { benchMMMStaged(b, 64) }
+
+func benchMMMJava(b *testing.B, build func(isa.FeatureSet) *ir.Func, n int) {
+	jvm := hotspot.NewVM(isa.Haswell)
+	m, err := jvm.Load(build(isa.Haswell.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	a := vm.PinF32(make([]float32, n*n))
+	bb := vm.PinF32(make([]float32, n*n))
+	c := vm.PinF32(make([]float32, n*n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(bb, 0),
+		vm.PtrValue(c, 0), vm.IntValue(n)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InvokeAt(hotspot.TierC2, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	jvm.Machine.Counts.Reset()
+	_, _ = m.InvokeAt(hotspot.TierC2, args...)
+	rep := m.Estimate(hotspot.TierC2, jvm.Machine.Counts, 12*n*n)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.MMMFlops(n), rep), "model-flops/cycle")
+}
+
+func BenchmarkFig6bMMMJavaTriple64(b *testing.B)  { benchMMMJava(b, kernels.JavaMMMTriple, 64) }
+func BenchmarkFig6bMMMJavaBlocked64(b *testing.B) { benchMMMJava(b, kernels.JavaMMMBlocked, 64) }
+
+// --- Figure 7: variable precision ---------------------------------------------
+
+func benchDotStaged(b *testing.B, bits int) {
+	rt := core.DefaultRuntime()
+	k, err := kernels.StagedDot(bits, rt.Arch.Features)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kn, err := rt.Compile(k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := quant.Pad(1<<12, 128)
+	rng := vm.NewXorshift(5)
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(rng.Uniform()*2 - 1)
+	}
+	var args []vm.Value
+	var footprint int
+	switch bits {
+	case 32:
+		buf := vm.PinF32(xs)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0), vm.IntValue(n)}
+		footprint = 8 * n
+	case 16:
+		h := quant.EncodeF16(xs)
+		buf := vm.PinU16(h.Data)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0), vm.IntValue(n)}
+		footprint = 4 * n
+	case 8:
+		q := quant.QuantizeQ8(xs, rng)
+		buf := vm.PinI8(q.Data)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+			vm.F32Value(1 / (q.Scale * q.Scale)), vm.IntValue(n)}
+		footprint = 2 * n
+	case 4:
+		q := quant.QuantizeQ4(xs, rng)
+		buf := vm.PinU8(q.Data)
+		lut := vm.PinI8(kernels.DecodeLUT4())
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+			vm.PtrValue(lut, 0), vm.F32Value(1 / (q.Scale * q.Scale)), vm.IntValue(n)}
+		footprint = n
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kn.CallValues(args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rt.Machine.Counts.Reset()
+	_, _ = kn.CallValues(args...)
+	rep := machine.NewEstimator(rt.Arch).Estimate(kn.Func(), rt.Machine.Counts, footprint)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.DotOps(n), rep), "model-ops/cycle")
+}
+
+func BenchmarkFig7Dot32LMS(b *testing.B) { benchDotStaged(b, 32) }
+func BenchmarkFig7Dot16LMS(b *testing.B) { benchDotStaged(b, 16) }
+func BenchmarkFig7Dot8LMS(b *testing.B)  { benchDotStaged(b, 8) }
+func BenchmarkFig7Dot4LMS(b *testing.B)  { benchDotStaged(b, 4) }
+
+func benchDotJava(b *testing.B, bits int) {
+	jvm := hotspot.NewVM(isa.Haswell)
+	f, err := kernels.JavaDot(bits, isa.Haswell.Features)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := jvm.Load(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := quant.Pad(1<<12, 128)
+	rng := vm.NewXorshift(6)
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(rng.Uniform()*2 - 1)
+	}
+	var args []vm.Value
+	switch bits {
+	case 32:
+		buf := vm.PinF32(xs)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0), vm.IntValue(n)}
+	case 16:
+		s := quant.Scale(xs, 16)
+		q := make([]int16, n)
+		for i, x := range xs {
+			q[i] = int16(x * s)
+		}
+		buf := vm.PinI16(q)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+			vm.F32Value(1 / (s * s)), vm.IntValue(n)}
+	case 8:
+		q := quant.QuantizeQ8(xs, rng)
+		buf := vm.PinI8(q.Data)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+			vm.F32Value(1 / (q.Scale * q.Scale)), vm.IntValue(n)}
+	case 4:
+		q := quant.QuantizeQ4(xs, rng)
+		buf := vm.PinU8(q.Data)
+		args = []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+			vm.F32Value(1 / (q.Scale * q.Scale)), vm.IntValue(n)}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.InvokeAt(hotspot.TierC2, args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	jvm.Machine.Counts.Reset()
+	_, _ = m.InvokeAt(hotspot.TierC2, args...)
+	rep := m.Estimate(hotspot.TierC2, jvm.Machine.Counts, 8*n)
+	b.ReportMetric(machine.FlopsPerCycle(kernels.DotOps(n), rep), "model-ops/cycle")
+}
+
+func BenchmarkFig7Dot32Java(b *testing.B) { benchDotJava(b, 32) }
+func BenchmarkFig7Dot16Java(b *testing.B) { benchDotJava(b, 16) }
+func BenchmarkFig7Dot8Java(b *testing.B)  { benchDotJava(b, 8) }
+func BenchmarkFig7Dot4Java(b *testing.B)  { benchDotJava(b, 4) }
+
+// --- Ablations (DESIGN.md's design-choice benches) -----------------------------
+
+// BenchmarkAblationGraphCSE: staging the MMM kernel relies on CSE to
+// deduplicate the index arithmetic of the transpose network; the metric
+// reports nodes per staged kernel (lower = CSE effective).
+func BenchmarkAblationGraphCSE(b *testing.B) {
+	var nodes, scheduled int
+	for i := 0; i < b.N; i++ {
+		k := kernels.StagedMMM(isa.Haswell.Features)
+		s := ir.Schedule(k.F)
+		nodes = k.F.G.NumNodes()
+		scheduled = s.Kept
+	}
+	b.ReportMetric(float64(nodes), "graph-nodes")
+	b.ReportMetric(float64(scheduled), "scheduled-nodes")
+}
+
+// BenchmarkAblationScheduleEffects: scheduling cost and dead-code yield
+// on the largest staged kernel.
+func BenchmarkAblationScheduleEffects(b *testing.B) {
+	k := kernels.StagedMMM(isa.Haswell.Features)
+	b.ResetTimer()
+	var kept, total int
+	for i := 0; i < b.N; i++ {
+		s := ir.Schedule(k.F)
+		kept, total = s.Kept, s.Total
+	}
+	b.ReportMetric(float64(kept)/float64(total), "live-fraction")
+}
+
+// BenchmarkAblationSLPReductions: the same SLP pass on the vectorizable
+// SAXPY and on the reduction dot — the asymmetry behind Figure 7.
+func BenchmarkAblationSLPReductions(b *testing.B) {
+	saxpy := kernels.JavaSaxpy(isa.Haswell.Features)
+	dotF, err := kernels.JavaDot(32, isa.Haswell.Features)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var vecSaxpy, vecDot bool
+	for i := 0; i < b.N; i++ {
+		_, r1 := hotspot.AutoVectorize(saxpy, isa.Haswell.Features)
+		_, r2 := hotspot.AutoVectorize(dotF, isa.Haswell.Features)
+		vecSaxpy, vecDot = r1.Vectorized(), r2.Vectorized()
+	}
+	if !vecSaxpy || vecDot {
+		b.Fatalf("SLP asymmetry broken: saxpy=%v dot=%v", vecSaxpy, vecDot)
+	}
+}
+
+// BenchmarkAblationJNIOverhead: sensitivity of the Figure 6a crossover
+// to the JNI crossing cost; reports the modeled crossover size.
+func BenchmarkAblationJNIOverhead(b *testing.B) {
+	s := bench.NewSuite()
+	s.MaxRunLinear = 1 << 10
+	s.Reps = 1
+	sizes := bench.Pow2Sizes(6, 16)
+	b.ResetTimer()
+	var crossover int
+	for i := 0; i < b.N; i++ {
+		series, err := s.Fig6a(sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		java, lms := series[0], series[1]
+		crossover = 0
+		for _, p := range lms.Points {
+			if q, ok := java.At(p.N); ok && p.Perf > q.Perf {
+				crossover = p.N
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(crossover), "crossover-n")
+}
+
+// BenchmarkAblationDot4Decode: the pshufb-LUT nibble decode versus the
+// and/cmpeq/or/sign ALU decode in the 4-bit kernel.
+func BenchmarkAblationDot4Decode(b *testing.B) {
+	rt := core.DefaultRuntime()
+	lutK, err := kernels.StagedDot(4, rt.Arch.Features)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lut, err := rt.Compile(lutK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	alu, err := rt.Compile(kernels.StagedDot4ALU(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := quant.Pad(1<<12, 128)
+	rng := vm.NewXorshift(9)
+	xs := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(rng.Uniform()*2 - 1)
+	}
+	q := quant.QuantizeQ4(xs, rng)
+	buf := vm.PinU8(q.Data)
+	lutBuf := vm.PinI8(kernels.DecodeLUT4())
+	inv := vm.F32Value(1 / (q.Scale * q.Scale))
+
+	est := machine.NewEstimator(rt.Arch)
+	measure := func(kn *core.Kernel, args []vm.Value) float64 {
+		rt.Machine.Counts.Reset()
+		if _, err := kn.CallValues(args...); err != nil {
+			b.Fatal(err)
+		}
+		rep := est.Estimate(kn.Func(), rt.Machine.Counts, n)
+		return machine.FlopsPerCycle(kernels.DotOps(n), rep)
+	}
+	lutArgs := []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0),
+		vm.PtrValue(lutBuf, 0), inv, vm.IntValue(n)}
+	aluArgs := []vm.Value{vm.PtrValue(buf, 0), vm.PtrValue(buf, 0), inv, vm.IntValue(n)}
+	b.ResetTimer()
+	var lutPerf, aluPerf float64
+	for i := 0; i < b.N; i++ {
+		lutPerf = measure(lut, lutArgs)
+		aluPerf = measure(alu, aluArgs)
+	}
+	b.ReportMetric(lutPerf, "lut-ops/cycle")
+	b.ReportMetric(aluPerf, "alu-ops/cycle")
+	if lutPerf <= aluPerf {
+		b.Fatalf("LUT decode (%f) should beat ALU decode (%f)", lutPerf, aluPerf)
+	}
+}
+
+// BenchmarkAblationMMMBlocking: Figure 5's in-register 8×8 blocking vs
+// a straightforward rank-1-update vector MMM — what the transpose
+// network buys (DESIGN.md's blocking ablation).
+func BenchmarkAblationMMMBlocking(b *testing.B) {
+	rt := core.DefaultRuntime()
+	blocked, err := rt.Compile(kernels.StagedMMM(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := rt.Compile(kernels.StagedMMMNaive(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 64
+	a := vm.PinF32(make([]float32, n*n))
+	bb := vm.PinF32(make([]float32, n*n))
+	c := vm.PinF32(make([]float32, n*n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(bb, 0),
+		vm.PtrValue(c, 0), vm.IntValue(n)}
+	est := machine.NewEstimator(rt.Arch)
+	measure := func(kn *core.Kernel) float64 {
+		rt.Machine.Counts.Reset()
+		if _, err := kn.CallValues(args...); err != nil {
+			b.Fatal(err)
+		}
+		rep := est.Estimate(kn.Func(), rt.Machine.Counts, 12*n*n)
+		return machine.FlopsPerCycle(kernels.MMMFlops(n), rep)
+	}
+	b.ResetTimer()
+	var blockedPerf, naivePerf float64
+	for i := 0; i < b.N; i++ {
+		blockedPerf = measure(blocked)
+		naivePerf = measure(naive)
+	}
+	b.ReportMetric(blockedPerf, "blocked-flops/cycle")
+	b.ReportMetric(naivePerf, "naive-flops/cycle")
+}
+
+// BenchmarkAblationSaxpyWidths: the architecture-generic SAXPY staged
+// for each modeled microarchitecture — what each ISA generation buys.
+func BenchmarkAblationSaxpyWidths(b *testing.B) {
+	const n = 4096
+	for _, arch := range []*isa.Microarch{isa.Nehalem, isa.SandyBridge, isa.Haswell} {
+		arch := arch
+		b.Run(arch.Name, func(b *testing.B) {
+			rt, err := core.NewRuntime(arch, cgen.HostEnvironment)
+			if err != nil {
+				b.Fatal(err)
+			}
+			kn, err := rt.Compile(kernels.StagedSaxpyMulti(arch.Features))
+			if err != nil {
+				b.Fatal(err)
+			}
+			a := vm.PinF32(make([]float32, n))
+			y := vm.PinF32(make([]float32, n))
+			args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(y, 0),
+				vm.F32Value(1.5), vm.IntValue(n)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := kn.CallValues(args...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			rt.Machine.Counts.Reset()
+			_, _ = kn.CallValues(args...)
+			rep := machine.NewEstimator(arch).Estimate(kn.Func(), rt.Machine.Counts, 8*n)
+			b.ReportMetric(machine.FlopsPerCycle(kernels.SaxpyFlops(n), rep), "model-flops/cycle")
+		})
+	}
+}
+
+// BenchmarkCgenEmit: C unparsing speed over the biggest kernel.
+func BenchmarkCgenEmit(b *testing.B) {
+	k := kernels.StagedMMM(isa.Haswell.Features)
+	rt := core.DefaultRuntime()
+	b.ResetTimer()
+	var bytes int
+	for i := 0; i < b.N; i++ {
+		kn, err := rt.Compile(k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes = len(kn.Source())
+	}
+	b.ReportMetric(float64(bytes), "C-bytes")
+}

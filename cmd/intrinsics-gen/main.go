@@ -1,0 +1,93 @@
+// Command intrinsics-gen regenerates the staged intrinsic bindings
+// (internal/dsl/intrin_gen.go) from the XML specification — the analog
+// of the paper's automatic eDSL generator (Section 3.2, Figure 1) — and
+// prints the per-ISA statistics of Table 1b.
+//
+// Usage:
+//
+//	intrinsics-gen [-version 3.3.16] [-o internal/dsl/intrin_gen.go] [-dry]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/gen"
+	"repro/internal/xmlspec"
+)
+
+func main() {
+	version := flag.String("version", "3.3.16", "specification version to generate from (Table 3)")
+	out := flag.String("o", "internal/dsl/intrin_gen.go", "output path for the generated bindings")
+	dry := flag.Bool("dry", false, "report statistics only; write nothing")
+	emitSpec := flag.String("emit-spec", "", "also write the synthesized data-<version>.xml to this path")
+	flag.Parse()
+
+	if err := run(*version, *out, *dry, *emitSpec); err != nil {
+		fmt.Fprintln(os.Stderr, "intrinsics-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(version, out string, dry bool, emitSpec string) error {
+	vi, err := xmlspec.LookupVersion(version)
+	if err != nil {
+		return err
+	}
+	// Synthesize the spec file, then round-trip it through the XML
+	// parser so generation exercises the full parse path.
+	raw, err := xmlspec.GenerateXML(vi)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("specification data-%s.xml (%s): %d bytes\n", vi.Version, vi.Date, len(raw))
+	if emitSpec != "" {
+		if err := os.WriteFile(emitSpec, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", emitSpec)
+	}
+
+	f, err := xmlspec.ParseString(string(raw))
+	if err != nil {
+		return err
+	}
+	rs, errs := xmlspec.Resolve(f)
+	st := xmlspec.ComputeStats(vi.Version, rs, len(errs))
+	fmt.Println()
+	fmt.Println(st.Table1b())
+
+	ix, dups := xmlspec.NewIndex(rs)
+	if len(dups) > 0 {
+		return fmt.Errorf("duplicate intrinsics in spec: %v", dups[0])
+	}
+
+	// Bind the curated (hand-verified) intrinsic set.
+	var names []string
+	for _, e := range xmlspec.CuratedEntries() {
+		names = append(names, e.Name)
+	}
+	src, report, err := gen.Generate(ix, names)
+	if err != nil {
+		return err
+	}
+	bound, skipped := 0, 0
+	for _, r := range report {
+		if r.Skipped {
+			skipped++
+			fmt.Printf("  skipped %-28s %s\n", r.CName, r.Reason)
+		} else {
+			bound++
+		}
+	}
+	fmt.Printf("\nbindings: %d generated, %d skipped, %d bytes of Go\n", bound, skipped, len(src))
+	if dry {
+		return nil
+	}
+	if err := os.WriteFile(out, src, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
+}

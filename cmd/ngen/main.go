@@ -1,0 +1,330 @@
+// Command ngen runs the reproduction's experiments and prints the
+// paper's tables and figures as text series. Experiment ids match
+// DESIGN.md's per-experiment index.
+//
+// Usage:
+//
+//	ngen platform            # Appendix A.4's TestPlatform
+//	ngen table1b             # intrinsic counts per ISA
+//	ngen table3              # spec versions and generator robustness
+//	ngen fig6a [-quick]      # SAXPY, Java vs LMS
+//	ngen fig6b [-quick]      # MMM, triple/blocked Java vs LMS
+//	ngen fig7  [-quick]      # variable-precision dot products
+//	ngen speedups [-quick]   # headline "up to N×" factors
+//	ngen warmup              # tiered-compilation trace (interpreter → C1 → C2)
+//	ngen all   [-quick]      # everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/cachesim"
+	"repro/internal/hotspot"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/vm"
+	"repro/internal/xmlspec"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] {platform|warmup|cache|slp|table1b|table3|fig6a|fig6b|fig7|speedups|all}")
+		flag.PrintDefaults()
+	}
+	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(cmd, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "ngen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, quick bool) error {
+	s := bench.NewSuite()
+	if quick {
+		s.MaxRunLinear = 1 << 11
+		s.MaxRunCubic = 32
+		s.Reps = 1
+	}
+	switch cmd {
+	case "platform":
+		fmt.Println(s.RT.SystemReport())
+		return nil
+	case "table1b":
+		return table1b()
+	case "table3":
+		return table3()
+	case "fig6a":
+		return fig6a(s, quick)
+	case "fig6b":
+		return fig6b(s, quick)
+	case "fig7":
+		return fig7(s, quick)
+	case "speedups":
+		return speedups(s, quick)
+	case "warmup":
+		return warmup()
+	case "cache":
+		return cacheValidate(s)
+	case "slp":
+		return slpReports()
+	case "all":
+		for _, f := range []func() error{
+			func() error { fmt.Println(s.RT.SystemReport()); return nil },
+			table1b, table3,
+			func() error { return fig6a(s, quick) },
+			func() error { return fig6b(s, quick) },
+			func() error { return fig7(s, quick) },
+			func() error { return speedups(s, quick) },
+			warmup,
+			func() error { return cacheValidate(s) },
+			slpReports,
+		} {
+			if err := f(); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}
+
+func table1b() error {
+	f := xmlspec.Generate(xmlspec.Latest())
+	rs, errs := xmlspec.Resolve(f)
+	st := xmlspec.ComputeStats(f.Version, rs, len(errs))
+	fmt.Println("Table 1b — x86 SIMD intrinsics per ISA (spec data-" + f.Version + ".xml)")
+	fmt.Println(st.Table1b())
+	fmt.Println("Categories (Table 1a taxonomy):")
+	fmt.Println(st.CategoryTable())
+	return nil
+}
+
+func table3() error {
+	fmt.Println("Table 3 — Intel Intrinsics Guide XML specifications")
+	fmt.Printf("%-12s %-12s %8s %8s %8s\n", "Spec", "Date", "Total", "AVX-512", "Skipped")
+	for _, vi := range xmlspec.Versions() {
+		f := xmlspec.Generate(vi)
+		rs, errs := xmlspec.Resolve(f)
+		st := xmlspec.ComputeStats(vi.Version, rs, len(errs))
+		avx512 := 0
+		for fam, n := range st.PerFamily {
+			if fam.String() == "AVX-512" {
+				avx512 = n
+			}
+		}
+		fmt.Printf("data-%-7s %-12s %8d %8d %8d\n",
+			vi.Version+".xml", vi.Date, st.Total, avx512, st.Skipped)
+	}
+	fmt.Println("(every version regenerates eDSL bindings without resolver errors)")
+	return nil
+}
+
+func sizes6a(quick bool) []int {
+	if quick {
+		return bench.Pow2Sizes(6, 16)
+	}
+	return bench.Pow2Sizes(6, 22)
+}
+
+func sizes6b(quick bool) []int {
+	if quick {
+		return []int{8, 64, 128, 256, 512}
+	}
+	return bench.MMMSizes()
+}
+
+func sizes7(quick bool) []int {
+	if quick {
+		return bench.Pow2Sizes(7, 18)
+	}
+	return bench.Pow2Sizes(7, 26)
+}
+
+func fig6a(s *bench.Suite, quick bool) error {
+	ss, err := s.Fig6a(sizes6a(quick))
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Format("Figure 6a — SAXPY", "flops/cycle", ss))
+	return nil
+}
+
+func fig6b(s *bench.Suite, quick bool) error {
+	ss, err := s.Fig6b(sizes6b(quick))
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Format("Figure 6b — Matrix-Matrix-Multiplication", "flops/cycle", ss))
+	return nil
+}
+
+func fig7(s *bench.Suite, quick bool) error {
+	ss, err := s.Fig7(sizes7(quick))
+	if err != nil {
+		return err
+	}
+	fmt.Print(bench.Format("Figure 7 — Variable Precision dot product", "ops/cycle", ss))
+	return nil
+}
+
+// warmup traces a method through the tiered JVM: interpreter → C1 → C2,
+// the "full-tiered compilation" the paper observes with
+// -XX:UnlockDiagnosticVMOptions (Section 3.4) and excludes from its
+// measurements. The compile threshold is the paper's
+// -XX:CompileThreshold=100.
+func warmup() error {
+	jvm := hotspot.NewVM(isa.Haswell)
+	jvm.CompileThreshold = 100
+	m, err := jvm.Load(kernels.JavaSaxpy(isa.Haswell.Features))
+	if err != nil {
+		return err
+	}
+	const n = 1024
+	a := vm.PinF32(make([]float32, n))
+	b := vm.PinF32(make([]float32, n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(b, 0),
+		vm.F32Value(1.5), vm.IntValue(n)}
+
+	fmt.Println("JIT warm-up — JSaxpy through the tiered VM (threshold 100)")
+	fmt.Printf("%-12s %-12s %14s\n", "invocation", "tier", "flops/cycle")
+	prev := hotspot.Tier(-1)
+	for i := 0; i < 130; i++ {
+		tier := m.Tier()
+		jvm.Machine.Counts.Reset()
+		if _, err := m.Invoke(args...); err != nil {
+			return err
+		}
+		if tier != prev || i == 129 {
+			rep := m.Estimate(tier, jvm.Machine.Counts, 8*n)
+			fmt.Printf("%-12d %-12s %14.3f\n", i+1, tier,
+				machine.FlopsPerCycle(kernels.SaxpyFlops(n), rep))
+			prev = tier
+		}
+	}
+	fmt.Println("(the benchmarks measure C2 steady state, as the paper does)")
+	return nil
+}
+
+// cacheValidate cross-checks the analytical memory model against the
+// set-associative cache simulator on a warm-cache SAXPY run — the
+// model-validation appendix of EXPERIMENTS.md.
+func cacheValidate(s *bench.Suite) error {
+	kn, err := s.RT.Compile(kernels.StagedSaxpy(s.RT.Arch.Features))
+	if err != nil {
+		return err
+	}
+	hier := cachesim.NewHaswellHierarchy()
+	s.RT.Machine.Cache = hier
+	defer func() { s.RT.Machine.Cache = nil }()
+
+	fmt.Println("Cache-model validation — SAXPY, warm cache, simulated hierarchy")
+	fmt.Printf("%-10s %-10s %-12s %-12s %s\n", "n", "footprint", "model-level", "sim-level", "per-level bytes")
+	for _, n := range []int{1 << 10, 1 << 13, 1 << 15, 1 << 17, 1 << 19, 1 << 21} {
+		a := vm.PinF32(make([]float32, n))
+		b := vm.PinF32(make([]float32, n))
+		args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(b, 0),
+			vm.F32Value(1.5), vm.IntValue(n)}
+		hier.Reset()
+		if _, err := kn.CallValues(args...); err != nil {
+			return err
+		}
+		hier.ResetCounters()
+		if _, err := kn.CallValues(args...); err != nil {
+			return err
+		}
+		bytes := hier.BytesFrom()
+		fmt.Printf("%-10d %-10s %-12s %-12s L1:%dK L2:%dK L3:%dK Mem:%dK\n",
+			n, fmtKB(8*n), s.RT.Arch.CacheLevel(8*n), hier.DominantLevel(0.25),
+			bytes["L1"]>>10, bytes["L2"]>>10, bytes["L3"]>>10, bytes["Mem"]>>10)
+	}
+	return nil
+}
+
+// slpReports prints what the simulated C2's auto-vectorizer did to every
+// Java baseline — the reproduction's analog of the paper's assembly
+// diagnostics (-XX:UnlockDiagnosticVMOptions -XX:CompileCommand=print,
+// Section 3.4).
+func slpReports() error {
+	jvm := hotspot.NewVM(isa.Haswell)
+	fs := isa.Haswell.Features
+	methods := []struct {
+		name string
+		f    func() (*hotspot.Method, error)
+	}{
+		{"JSaxpy", func() (*hotspot.Method, error) { return jvm.Load(kernels.JavaSaxpy(fs)) }},
+		{"JMMM (triple loop)", func() (*hotspot.Method, error) { return jvm.Load(kernels.JavaMMMTriple(fs)) }},
+		{"JMMM (blocked)", func() (*hotspot.Method, error) { return jvm.Load(kernels.JavaMMMBlocked(fs)) }},
+	}
+	for _, bits := range []int{32, 16, 8, 4} {
+		bits := bits
+		methods = append(methods, struct {
+			name string
+			f    func() (*hotspot.Method, error)
+		}{fmt.Sprintf("JDot %d-bit", bits), func() (*hotspot.Method, error) {
+			f, err := kernels.JavaDot(bits, fs)
+			if err != nil {
+				return nil, err
+			}
+			return jvm.Load(f)
+		}})
+	}
+	fmt.Println("C2 auto-vectorization diagnostics (SLP)")
+	for _, mm := range methods {
+		m, err := mm.f()
+		if err != nil {
+			return err
+		}
+		status := "scalar"
+		if m.SLP.Vectorized() {
+			status = fmt.Sprintf("vectorized %d/%d loops with SSE (%d-wide)",
+				m.SLP.LoopsVectorized, m.SLP.LoopsSeen, hotspot.SLPWidth)
+		}
+		fmt.Printf("  %-22s %s\n", mm.name+":", status)
+		for _, r := range m.SLP.Rejections {
+			fmt.Printf("  %-22s   rejected: %s\n", "", r)
+		}
+	}
+	return nil
+}
+
+func fmtKB(b int) string {
+	if b >= 1<<20 {
+		return fmt.Sprintf("%dMB", b>>20)
+	}
+	return fmt.Sprintf("%dKB", b>>10)
+}
+
+func speedups(s *bench.Suite, quick bool) error {
+	fmt.Println("Headline speedups (max over sizes, LMS vs Java)")
+	fmt.Printf("%-28s %10s %10s\n", "Experiment", "Paper", "Measured")
+
+	mm, err := s.Fig6b(sizes6b(quick))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s %10s %9.1fx\n", "MMM vs blocked Java", "5x", bench.Speedup(mm[1], mm[2]))
+	fmt.Printf("%-28s %10s %9.1fx\n", "MMM vs triple-loop Java", "7.8x", bench.Speedup(mm[0], mm[2]))
+
+	dots, err := s.Fig7(sizes7(quick))
+	if err != nil {
+		return err
+	}
+	paper := map[int]string{32: "5.4x", 16: "4.8x", 8: "9x", 4: "40x"}
+	for i, bits := range []int{32, 16, 8, 4} {
+		fmt.Printf("dot product %-16s %10s %9.1fx\n",
+			fmt.Sprintf("%d-bit", bits), paper[bits], bench.Speedup(dots[i], dots[i+4]))
+	}
+	return nil
+}

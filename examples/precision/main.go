@@ -1,0 +1,88 @@
+// Precision: the paper's Section 4 "virtual ISA" for variable-precision
+// arithmetic — the dot product at 32/16/8/4 bits over quantized arrays,
+// with accuracy and modeled performance side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/machine"
+	"repro/internal/quant"
+	"repro/internal/vm"
+)
+
+func main() {
+	rt := core.DefaultRuntime()
+	n := quant.Pad(1<<14, 128)
+
+	rng := vm.NewXorshift(2024)
+	a := make([]float32, n)
+	b := make([]float32, n)
+	for i := range a {
+		a[i] = float32(rng.Uniform()*2 - 1)
+		b[i] = float32(rng.Uniform()*2 - 1)
+	}
+	exact := kernels.RefDotF32(a, b)
+	fmt.Printf("dot product of %d elements; exact (float64) = %.6f\n\n", n, exact)
+	fmt.Printf("%-6s %14s %12s %14s %10s\n", "bits", "value", "rel.err", "ops/cycle", "bound")
+
+	est := machine.NewEstimator(rt.Arch)
+	for _, bits := range []int{32, 16, 8, 4} {
+		k, err := kernels.StagedDot(bits, rt.Arch.Features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kn, err := rt.Compile(k)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		rt.Machine.Counts.Reset()
+		var out vm.Value
+		switch bits {
+		case 32:
+			out, err = kn.Call(a, b, n)
+		case 16:
+			ha, hb := quant.EncodeF16(a), quant.EncodeF16(b)
+			out, err = kn.Call(ha.Data, hb.Data, n)
+		case 8:
+			qa, qb := quant.QuantizeQ8(a, rng), quant.QuantizeQ8(b, rng)
+			out, err = kn.Call(qa.Data, qb.Data, 1/(qa.Scale*qb.Scale), n)
+		case 4:
+			qa, qb := quant.QuantizeQ4(a, rng), quant.QuantizeQ4(b, rng)
+			out, err = kn.Call(qa.Data, qb.Data, kernels.DecodeLUT4(),
+				1/(qa.Scale*qb.Scale), n)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := out.AsFloat()
+		rep := est.Estimate(kn.Func(), rt.Machine.Counts, footprint(bits, n))
+		fmt.Printf("%-6d %14.6f %12.2e %14.2f %10s\n",
+			bits, got, math.Abs(got-exact)/(1+math.Abs(exact)),
+			machine.FlopsPerCycle(kernels.DotOps(n), rep), rep.Bound)
+	}
+
+	fmt.Println("\nvirtual intrinsic dot_ps_step(bits):")
+	for _, bits := range []int{32, 16, 8, 4} {
+		fmt.Printf("  dot_ps_step(%2d) = %d elements per staged step\n",
+			bits, kernels.DotPsStep(bits))
+	}
+}
+
+func footprint(bits, n int) int {
+	switch bits {
+	case 32:
+		return 8 * n
+	case 16:
+		return 4 * n
+	case 8:
+		return 2 * n
+	default:
+		return n
+	}
+}

@@ -1,0 +1,38 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end — the runnable
+// deliverables must stay green, not just compile. Skipped under -short.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take a few seconds each")
+	}
+	cases := []struct {
+		dir  string
+		want string // a line the output must contain
+	}{
+		{"./examples/quickstart", "a + 0.5*b ="},
+		{"./examples/mmm", "LMS generated MMM"},
+		{"./examples/precision", "dot_ps_step"},
+		{"./examples/ownisa", "matches the scalar reference"},
+		{"./examples/sgd", "converged"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(strings.TrimPrefix(c.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", c.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", c.dir, err, out)
+			}
+			if !strings.Contains(string(out), c.want) {
+				t.Errorf("%s output missing %q:\n%s", c.dir, c.want, out)
+			}
+		})
+	}
+}

@@ -1,0 +1,225 @@
+// Package bench is the measurement harness that regenerates the paper's
+// evaluation artifacts: Figure 6a (SAXPY), Figure 6b (MMM), Figure 7
+// (variable-precision dot products), and the headline speedup factors.
+// It plays the role ScalaMeter plays in the paper's artifact (Section
+// 3.4's setup: forked VM, warmed code, median of repetitions) — here the
+// "measurement" is the analytical machine model applied to dynamic
+// instruction counts from real kernel executions on the software SIMD
+// machine.
+//
+// Large problem sizes extrapolate: the kernel runs at a reduced size and
+// its counts scale by the work ratio (exact for these uniformly
+// structured kernels at power-of-two sizes), while the working-set
+// footprint — which decides the cache level — uses the full size. The
+// fixed per-invocation JNI cost never scales.
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/hotspot"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/machine"
+	"repro/internal/vm"
+)
+
+// Point is one measured size.
+type Point struct {
+	N     int
+	Perf  float64 // flops (or ops) per cycle
+	Bound string  // dominating bound: compute/memory/latency
+	Level string  // cache level of the working set
+}
+
+// Series is one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// At returns the point for size n.
+func (s Series) At(n int) (Point, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Max returns the series' best performance.
+func (s Series) Max() float64 {
+	best := 0.0
+	for _, p := range s.Points {
+		if p.Perf > best {
+			best = p.Perf
+		}
+	}
+	return best
+}
+
+// Suite owns the two runtimes an experiment compares: NGen (staged
+// kernels over the vm) and the simulated HotSpot.
+type Suite struct {
+	RT  *core.Runtime
+	JVM *hotspot.VM
+	// MaxRunLinear / MaxRunCubic bound the directly-executed sizes for
+	// linear-work and cubic-work kernels; larger sizes extrapolate.
+	MaxRunLinear int
+	MaxRunCubic  int
+	// Reps is the ScalaMeter-style repetition count; the median
+	// estimate is reported.
+	Reps int
+}
+
+// NewSuite builds the default Haswell suite.
+func NewSuite() *Suite {
+	return &Suite{
+		RT:           core.DefaultRuntime(),
+		JVM:          hotspot.NewVM(isa.Haswell),
+		MaxRunLinear: 1 << 14,
+		MaxRunCubic:  64,
+		Reps:         3,
+	}
+}
+
+// scaleCounts multiplies every count by factor, except the fixed
+// per-invocation costs.
+func scaleCounts(c vm.Counter, factor float64) vm.Counter {
+	out := make(vm.Counter, len(c))
+	for k, v := range c {
+		if k == core.JNICall {
+			out[k] = v
+			continue
+		}
+		out[k] = int64(float64(v)*factor + 0.5)
+	}
+	return out
+}
+
+// median of a small slice.
+func median(xs []float64) float64 {
+	sort.Float64s(xs)
+	return xs[len(xs)/2]
+}
+
+// measureStaged runs a staged kernel at runN, scales to n, and returns
+// the modeled performance.
+func (s *Suite) measureStaged(kn *core.Kernel, n, runN int, flops func(int) int64,
+	footprint int, run func(runN int) error) (Point, error) {
+	var perfs []float64
+	var rep machine.Report
+	est := machine.NewEstimator(s.RT.Arch)
+	for r := 0; r < s.Reps; r++ {
+		s.RT.Machine.Counts.Reset()
+		if err := run(runN); err != nil {
+			return Point{}, err
+		}
+		counts := s.RT.Machine.Counts
+		if runN != n {
+			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+		}
+		rep = est.Estimate(kn.Func(), counts, footprint)
+		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
+	}
+	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
+}
+
+// measureJava runs a HotSpot method at C2 steady state (the paper
+// excludes warm-up) at runN, scales to n, and returns the modeled
+// performance.
+func (s *Suite) measureJava(m *hotspot.Method, n, runN int, flops func(int) int64,
+	footprint int, run func(runN int) error) (Point, error) {
+	var perfs []float64
+	var rep machine.Report
+	for r := 0; r < s.Reps; r++ {
+		s.JVM.Machine.Counts.Reset()
+		if err := run(runN); err != nil {
+			return Point{}, err
+		}
+		counts := s.JVM.Machine.Counts
+		if runN != n {
+			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+		}
+		rep = m.Estimate(hotspot.TierC2, counts, footprint)
+		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
+	}
+	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
+}
+
+// loadJava loads a scalar method into the simulated JVM.
+func (s *Suite) loadJava(f *ir.Func) (*hotspot.Method, error) {
+	return s.JVM.Load(f)
+}
+
+// Speedup returns the maximum ratio comp/base across common sizes — the
+// "up to N×" figures the paper quotes.
+func Speedup(base, comp Series) float64 {
+	best := 0.0
+	for _, p := range comp.Points {
+		if b, ok := base.At(p.N); ok && b.Perf > 0 {
+			if r := p.Perf / b.Perf; r > best {
+				best = r
+			}
+		}
+	}
+	return best
+}
+
+// Format renders series as the aligned table cmd/ngen prints: one row
+// per size, one column per series — the textual form of a figure.
+func Format(title, metric string, series []Series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(&b, "%-10s", "size")
+	for _, s := range series {
+		fmt.Fprintf(&b, "  %24s", s.Name)
+	}
+	fmt.Fprintf(&b, "\n")
+	if len(series) == 0 {
+		return b.String()
+	}
+	for _, p := range series[0].Points {
+		fmt.Fprintf(&b, "%-10d", p.N)
+		for _, s := range series {
+			if q, ok := s.At(p.N); ok {
+				fmt.Fprintf(&b, "  %18.3f %s/%s", q.Perf, abbrevBound(q.Bound), q.Level)
+			} else {
+				fmt.Fprintf(&b, "  %24s", "-")
+			}
+		}
+		fmt.Fprintf(&b, "\n")
+	}
+	fmt.Fprintf(&b, "(%s; bound: c=compute m=memory l=latency; level: working-set cache level)\n", metric)
+	return b.String()
+}
+
+func abbrevBound(b string) string {
+	if b == "" {
+		return "?"
+	}
+	return b[:1]
+}
+
+// Pow2Sizes returns 2^lo..2^hi.
+func Pow2Sizes(lo, hi int) []int {
+	var out []int
+	for e := lo; e <= hi; e++ {
+		out = append(out, 1<<e)
+	}
+	return out
+}
+
+// MMMSizes returns the Figure 6b x-axis: 8 then multiples of 64 up to
+// 1024.
+func MMMSizes() []int {
+	out := []int{8}
+	for n := 64; n <= 1024; n += 64 {
+		out = append(out, n)
+	}
+	return out
+}

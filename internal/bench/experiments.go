@@ -1,0 +1,299 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/hotspot"
+	"repro/internal/kernels"
+	"repro/internal/quant"
+	"repro/internal/vm"
+)
+
+// randSlice fills deterministic pseudo-random floats in [-1, 1).
+func randSlice(n int, seed uint64) []float32 {
+	rng := vm.NewXorshift(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.Uniform()*2 - 1)
+	}
+	return out
+}
+
+// capSize clamps a run size.
+func capSize(n, max int) int {
+	if n > max {
+		return max
+	}
+	return n
+}
+
+// Fig6a regenerates Figure 6a: SAXPY performance, Java vs LMS-generated,
+// in flops/cycle over the given sizes (default 2^6..2^22).
+func (s *Suite) Fig6a(sizes []int) ([]Series, error) {
+	if sizes == nil {
+		sizes = Pow2Sizes(6, 22)
+	}
+	staged := Series{Name: "LMS generated SAXPY"}
+	java := Series{Name: "Java SAXPY"}
+
+	kn, err := s.RT.Compile(kernels.StagedSaxpy(s.RT.Arch.Features))
+	if err != nil {
+		return nil, err
+	}
+	jm, err := s.loadJava(kernels.JavaSaxpy(s.RT.Arch.Features))
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range sizes {
+		runN := capSize(n, s.MaxRunLinear)
+		a := vm.PinF32(randSlice(runN, 1))
+		b := vm.PinF32(randSlice(runN, 2))
+		footprint := 8 * n // two float arrays
+
+		p, err := s.measureStaged(kn, n, runN, kernels.SaxpyFlops, footprint,
+			func(rn int) error {
+				_, err := kn.Call(a, b, float32(2.5), rn)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		staged.Points = append(staged.Points, p)
+
+		q, err := s.measureJava(jm, n, runN, kernels.SaxpyFlops, footprint,
+			func(rn int) error {
+				_, err := jm.InvokeAt(hotspot.TierC2, vm.PtrValue(a, 0),
+					vm.PtrValue(b, 0), vm.F32Value(2.5), vm.IntValue(rn))
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		java.Points = append(java.Points, q)
+	}
+	return []Series{java, staged}, nil
+}
+
+// Fig6b regenerates Figure 6b: matrix-matrix multiplication, triple-loop
+// Java vs blocked Java vs LMS-generated AVX, in flops/cycle.
+func (s *Suite) Fig6b(sizes []int) ([]Series, error) {
+	if sizes == nil {
+		sizes = MMMSizes()
+	}
+	staged := Series{Name: "LMS generated MMM"}
+	triple := Series{Name: "Java MMM (triple loop)"}
+	blocked := Series{Name: "Java MMM"}
+
+	kn, err := s.RT.Compile(kernels.StagedMMM(s.RT.Arch.Features))
+	if err != nil {
+		return nil, err
+	}
+	jt, err := s.loadJava(kernels.JavaMMMTriple(s.RT.Arch.Features))
+	if err != nil {
+		return nil, err
+	}
+	jb, err := s.loadJava(kernels.JavaMMMBlocked(s.RT.Arch.Features))
+	if err != nil {
+		return nil, err
+	}
+
+	for _, n := range sizes {
+		runN := capSize(n, s.MaxRunCubic)
+		a := vm.PinF32(randSlice(runN*runN, 3))
+		b := vm.PinF32(randSlice(runN*runN, 4))
+		c := vm.PinF32(make([]float32, runN*runN))
+		footprint := 12 * n * n // three float matrices
+
+		p, err := s.measureStaged(kn, n, runN, kernels.MMMFlops, footprint,
+			func(rn int) error {
+				_, err := kn.Call(a, b, c, rn)
+				return err
+			})
+		if err != nil {
+			return nil, err
+		}
+		staged.Points = append(staged.Points, p)
+
+		for _, jv := range []struct {
+			m   *hotspot.Method
+			ser *Series
+		}{{jt, &triple}, {jb, &blocked}} {
+			q, err := s.measureJava(jv.m, n, runN, kernels.MMMFlops, footprint,
+				func(rn int) error {
+					_, err := jv.m.InvokeAt(hotspot.TierC2, vm.PtrValue(a, 0),
+						vm.PtrValue(b, 0), vm.PtrValue(c, 0), vm.IntValue(rn))
+					return err
+				})
+			if err != nil {
+				return nil, err
+			}
+			jv.ser.Points = append(jv.ser.Points, q)
+		}
+	}
+	return []Series{triple, blocked, staged}, nil
+}
+
+// Fig7 regenerates Figure 7: the variable-precision dot products, Java
+// and LMS at 32/16/8/4 bits, in ops/cycle (op count 2n at every
+// precision, as the paper charges).
+func (s *Suite) Fig7(sizes []int) ([]Series, error) {
+	if sizes == nil {
+		sizes = Pow2Sizes(7, 26)
+	}
+	var out []Series
+	for _, bits := range []int{32, 16, 8, 4} {
+		j, err := s.fig7Java(bits, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, j)
+	}
+	for _, bits := range []int{32, 16, 8, 4} {
+		l, err := s.fig7Staged(bits, sizes)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+// dotFootprint is the two-array working set at each precision.
+func dotFootprint(bits, n int) int {
+	switch bits {
+	case 32:
+		return 8 * n
+	case 16:
+		return 4 * n
+	case 8:
+		return 2 * n
+	default:
+		return n
+	}
+}
+
+// dotData builds the quantized inputs for one precision at a size.
+type dotData struct {
+	args func(rn int) []vm.Value
+}
+
+func makeDotData(bits, runN int, rng *vm.Xorshift) dotData {
+	a := randSlice(runN, 7)
+	b := randSlice(runN, 8)
+	switch bits {
+	case 32:
+		ab, bb := vm.PinF32(a), vm.PinF32(b)
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), vm.IntValue(rn)}
+		}}
+	case 16:
+		ha, hb := quant.EncodeF16(a), quant.EncodeF16(b)
+		ab, bb := vm.PinU16(ha.Data), vm.PinU16(hb.Data)
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), vm.IntValue(rn)}
+		}}
+	case 8:
+		qa, qb := quant.QuantizeQ8(a, rng), quant.QuantizeQ8(b, rng)
+		inv := vm.F32Value(1 / (qa.Scale * qb.Scale))
+		ab, bb := vm.PinI8(qa.Data), vm.PinI8(qb.Data)
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), inv, vm.IntValue(rn)}
+		}}
+	default:
+		qa, qb := quant.QuantizeQ4(a, rng), quant.QuantizeQ4(b, rng)
+		inv := vm.F32Value(1 / (qa.Scale * qb.Scale))
+		ab, bb := vm.PinU8(qa.Data), vm.PinU8(qb.Data)
+		lut := vm.PinI8(kernels.DecodeLUT4())
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0),
+				vm.PtrValue(lut, 0), inv, vm.IntValue(rn)}
+		}}
+	}
+}
+
+// javaDotArgs adapts dot data to the Java kernels' signatures (the
+// 16-bit Java path uses quantized shorts, and the 4-bit path has no
+// LUT parameter).
+func makeJavaDotData(bits, runN int, rng *vm.Xorshift) dotData {
+	a := randSlice(runN, 7)
+	b := randSlice(runN, 8)
+	switch bits {
+	case 32, 8:
+		return makeDotData(bits, runN, rng)
+	case 16:
+		sa, sb := quant.Scale(a, 16), quant.Scale(b, 16)
+		qa := make([]int16, runN)
+		qb := make([]int16, runN)
+		for i := range a {
+			qa[i] = int16(a[i] * sa)
+			qb[i] = int16(b[i] * sb)
+		}
+		inv := vm.F32Value(1 / (sa * sb))
+		ab, bb := vm.PinI16(qa), vm.PinI16(qb)
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), inv, vm.IntValue(rn)}
+		}}
+	default:
+		qa, qb := quant.QuantizeQ4(a, rng), quant.QuantizeQ4(b, rng)
+		inv := vm.F32Value(1 / (qa.Scale * qb.Scale))
+		ab, bb := vm.PinU8(qa.Data), vm.PinU8(qb.Data)
+		return dotData{args: func(rn int) []vm.Value {
+			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), inv, vm.IntValue(rn)}
+		}}
+	}
+}
+
+func (s *Suite) fig7Staged(bits int, sizes []int) (Series, error) {
+	ser := Series{Name: fmt.Sprintf("LMS generated %d-bit", bits)}
+	k, err := kernels.StagedDot(bits, s.RT.Arch.Features)
+	if err != nil {
+		return ser, err
+	}
+	kn, err := s.RT.Compile(k)
+	if err != nil {
+		return ser, err
+	}
+	rng := vm.NewXorshift(1234)
+	for _, n := range sizes {
+		runN := capSize(n, s.MaxRunLinear)
+		data := makeDotData(bits, runN, rng)
+		p, err := s.measureStaged(kn, n, runN, kernels.DotOps, dotFootprint(bits, n),
+			func(rn int) error {
+				_, err := kn.CallValues(data.args(rn)...)
+				return err
+			})
+		if err != nil {
+			return ser, err
+		}
+		ser.Points = append(ser.Points, p)
+	}
+	return ser, nil
+}
+
+func (s *Suite) fig7Java(bits int, sizes []int) (Series, error) {
+	ser := Series{Name: fmt.Sprintf("Java %d-bit", bits)}
+	f, err := kernels.JavaDot(bits, s.RT.Arch.Features)
+	if err != nil {
+		return ser, err
+	}
+	m, err := s.loadJava(f)
+	if err != nil {
+		return ser, err
+	}
+	rng := vm.NewXorshift(4321)
+	for _, n := range sizes {
+		runN := capSize(n, s.MaxRunLinear)
+		data := makeJavaDotData(bits, runN, rng)
+		p, err := s.measureJava(m, n, runN, kernels.DotOps, dotFootprint(bits, n),
+			func(rn int) error {
+				_, err := m.InvokeAt(hotspot.TierC2, data.args(rn)...)
+				return err
+			})
+		if err != nil {
+			return ser, err
+		}
+		ser.Points = append(ser.Points, p)
+	}
+	return ser, nil
+}

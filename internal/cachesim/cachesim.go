@@ -1,0 +1,201 @@
+// Package cachesim is a set-associative LRU cache-hierarchy simulator.
+// The analytical machine model (internal/machine) prices memory traffic
+// from the working-set footprint alone; this simulator executes the
+// actual access stream of a kernel run and counts per-level hits and
+// misses, validating the model's level assignment at sizes small enough
+// to execute directly (see TestModelAgreesWithSimulator in
+// internal/bench).
+//
+// It attaches to a vm.Machine as an optional instrument: every buffer
+// carries a virtual base address, and every load/store routes its
+// address range through the hierarchy.
+package cachesim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Cache is one set-associative write-allocate LRU cache level.
+type Cache struct {
+	Name     string
+	LineSize int
+	Sets     int
+	Ways     int
+	// tags[set][way]; lru[set][way] holds a per-set use clock.
+	tags  [][]uint64
+	valid [][]bool
+	lru   [][]uint64
+	clock uint64
+
+	Hits, Misses int64
+}
+
+// NewCache builds a cache of the given total size.
+func NewCache(name string, totalBytes, ways, lineSize int) *Cache {
+	sets := totalBytes / (ways * lineSize)
+	if sets < 1 {
+		sets = 1
+	}
+	c := &Cache{Name: name, LineSize: lineSize, Sets: sets, Ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.lru = make([][]uint64, sets)
+	for i := range c.tags {
+		c.tags[i] = make([]uint64, ways)
+		c.valid[i] = make([]bool, ways)
+		c.lru[i] = make([]uint64, ways)
+	}
+	return c
+}
+
+// Access touches one line address; reports whether it hit.
+func (c *Cache) Access(lineAddr uint64) bool {
+	set := int(lineAddr) % c.Sets
+	tag := lineAddr / uint64(c.Sets)
+	c.clock++
+	for w := 0; w < c.Ways; w++ {
+		if c.valid[set][w] && c.tags[set][w] == tag {
+			c.lru[set][w] = c.clock
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	// Fill: evict the LRU way.
+	victim := 0
+	for w := 1; w < c.Ways; w++ {
+		if !c.valid[set][w] {
+			victim = w
+			break
+		}
+		if c.lru[set][w] < c.lru[set][victim] {
+			victim = w
+		}
+	}
+	c.valid[set][victim] = true
+	c.tags[set][victim] = tag
+	c.lru[set][victim] = c.clock
+	return false
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.tags {
+		for w := range c.tags[i] {
+			c.valid[i][w] = false
+		}
+	}
+	c.Hits, c.Misses = 0, 0
+}
+
+// MissRate returns misses / accesses.
+func (c *Cache) MissRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(total)
+}
+
+// Hierarchy is an inclusive three-level hierarchy (Haswell-shaped
+// defaults via NewHaswellHierarchy).
+type Hierarchy struct {
+	L1, L2, L3 *Cache
+	// MemAccesses counts lines that missed every level.
+	MemAccesses int64
+}
+
+// NewHaswellHierarchy builds the paper platform's hierarchy: 32KB/8-way
+// L1d, 256KB/8-way L2, 8MB/16-way L3, 64-byte lines.
+func NewHaswellHierarchy() *Hierarchy {
+	return &Hierarchy{
+		L1: NewCache("L1", 32<<10, 8, 64),
+		L2: NewCache("L2", 256<<10, 8, 64),
+		L3: NewCache("L3", 8<<20, 16, 64),
+	}
+}
+
+// Access touches [addr, addr+size) (split into lines) through the
+// hierarchy.
+func (h *Hierarchy) Access(addr uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	line := uint64(h.L1.LineSize)
+	first := addr / line
+	last := (addr + uint64(size) - 1) / line
+	for l := first; l <= last; l++ {
+		if h.L1.Access(l) {
+			continue
+		}
+		if h.L2.Access(l) {
+			continue
+		}
+		if h.L3.Access(l) {
+			continue
+		}
+		h.MemAccesses++
+	}
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1.Reset()
+	h.L2.Reset()
+	h.L3.Reset()
+	h.MemAccesses = 0
+}
+
+// ResetCounters clears statistics but keeps cache contents — warm-cache
+// measurement, matching the paper's methodology ("Each test case is
+// performed on a warm cache").
+func (h *Hierarchy) ResetCounters() {
+	for _, c := range []*Cache{h.L1, h.L2, h.L3} {
+		c.Hits, c.Misses = 0, 0
+	}
+	h.MemAccesses = 0
+}
+
+// BytesFrom returns the bytes served by each level (lines × line size),
+// keyed "L1"/"L2"/"L3"/"Mem".
+func (h *Hierarchy) BytesFrom() map[string]int64 {
+	ls := int64(h.L1.LineSize)
+	return map[string]int64{
+		"L1":  h.L1.Hits * ls,
+		"L2":  h.L2.Hits * ls,
+		"L3":  h.L3.Hits * ls,
+		"Mem": h.MemAccesses * ls,
+	}
+}
+
+// DominantLevel returns the deepest level that served a meaningful share
+// (> threshold) of the traffic — comparable with the analytic model's
+// footprint-based level.
+func (h *Hierarchy) DominantLevel(threshold float64) string {
+	bytes := h.BytesFrom()
+	total := int64(0)
+	for _, b := range bytes {
+		total += b
+	}
+	if total == 0 {
+		return "L1"
+	}
+	for _, level := range []string{"Mem", "L3", "L2"} {
+		if float64(bytes[level])/float64(total) > threshold {
+			return level
+		}
+	}
+	return "L1"
+}
+
+// String summarizes the hierarchy state.
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	for _, c := range []*Cache{h.L1, h.L2, h.L3} {
+		fmt.Fprintf(&b, "%s: %d hits, %d misses (%.1f%% miss)  ",
+			c.Name, c.Hits, c.Misses, 100*c.MissRate())
+	}
+	fmt.Fprintf(&b, "Mem: %d lines", h.MemAccesses)
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package cachesim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallCacheBasics(t *testing.T) {
+	c := NewCache("L1", 1024, 2, 64) // 8 sets × 2 ways
+	if c.Sets != 8 {
+		t.Fatalf("sets = %d, want 8", c.Sets)
+	}
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) {
+		t.Error("warm access missed")
+	}
+	// Two distinct tags mapping to set 0 fit the two ways.
+	c.Access(8)  // set 0, tag 1
+	c.Access(16) // set 0, tag 2 → evicts LRU (line 0)
+	if c.Access(0) {
+		t.Error("evicted line still hit")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	c := NewCache("L1", 2*64, 2, 64) // 1 set × 2 ways
+	c.Access(1)
+	c.Access(2)
+	c.Access(1) // 2 is now LRU
+	c.Access(3) // evicts 2
+	if !c.Access(1) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(2) {
+		t.Error("LRU line survived")
+	}
+}
+
+func TestHierarchyInclusiveFill(t *testing.T) {
+	h := NewHaswellHierarchy()
+	// Streaming 1MB misses L1 and L2, fits L3.
+	for pass := 0; pass < 2; pass++ {
+		for addr := uint64(0); addr < 1<<20; addr += 64 {
+			h.Access(addr, 64)
+		}
+	}
+	if h.MemAccesses != 1<<20/64 {
+		t.Errorf("DRAM lines = %d, want one cold pass (%d)", h.MemAccesses, 1<<20/64)
+	}
+	if h.L3.Hits == 0 {
+		t.Error("second pass should hit L3")
+	}
+	if h.L1.Hits != 0 {
+		t.Error("a 1MB stream cannot hit a 32KB L1 across passes")
+	}
+}
+
+func TestHierarchySmallWorkingSetStaysL1(t *testing.T) {
+	h := NewHaswellHierarchy()
+	for pass := 0; pass < 4; pass++ {
+		for addr := uint64(0); addr < 8<<10; addr += 4 {
+			h.Access(addr, 4)
+		}
+	}
+	if h.DominantLevel(0.05) != "L1" {
+		t.Errorf("8KB working set dominated by %s\n%s", h.DominantLevel(0.05), h)
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	h := NewHaswellHierarchy()
+	h.Access(60, 8) // crosses a 64-byte boundary → two lines
+	if h.L1.Misses != 2 {
+		t.Errorf("straddling access touched %d lines, want 2", h.L1.Misses)
+	}
+}
+
+func TestResetClears(t *testing.T) {
+	h := NewHaswellHierarchy()
+	h.Access(0, 64)
+	h.Reset()
+	if h.L1.Hits+h.L1.Misses != 0 || h.MemAccesses != 0 {
+		t.Error("reset did not clear counters")
+	}
+	if h.L1.Access(0) {
+		t.Error("reset did not clear contents")
+	}
+}
+
+func TestQuickConservation(t *testing.T) {
+	// Property: every L1 miss propagates to exactly one deeper outcome:
+	// L2 accesses == L1 misses, L3 accesses == L2 misses, Mem == L3
+	// misses.
+	err := quick.Check(func(addrs []uint32) bool {
+		h := NewHaswellHierarchy()
+		for _, a := range addrs {
+			h.Access(uint64(a), 4)
+		}
+		return h.L2.Hits+h.L2.Misses == h.L1.Misses &&
+			h.L3.Hits+h.L3.Misses == h.L2.Misses &&
+			h.MemAccesses == h.L3.Misses
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Error(err)
+	}
+}

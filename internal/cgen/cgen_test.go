@@ -1,0 +1,153 @@
+package cgen
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+func stageSaxpy() *dsl.Kernel {
+	k := dsl.NewKernel("saxpy", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	s := k.ParamF32()
+	n := k.ParamInt()
+	n0 := n.Shr(3).Shl(3)
+	vs := k.MM256Set1Ps(s)
+	k.For(k.ConstInt(0), n0, 8, func(i dsl.Int) {
+		va := k.MM256LoaduPs(a, i)
+		vb := k.MM256LoaduPs(b, i)
+		k.MM256StoreuPs(a, i, k.MM256FmaddPs(vb, vs, va))
+	})
+	k.For(n0, n, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).Add(b.At(i).Mul(s)))
+	})
+	return k
+}
+
+func TestEmitPlainC(t *testing.T) {
+	src, err := Emit(stageSaxpy().F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <immintrin.h>",
+		"void saxpy(float* p0, float* p1, float p2, int32_t p3)",
+		"_mm256_set1_ps(p2)",
+		"p0 + ",
+		"_mm256_loadu_ps(x",
+		"_mm256_fmadd_ps(",
+		"_mm256_storeu_ps(",
+		"for (int32_t ",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated C missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitJNIWrapper(t *testing.T) {
+	src, err := Emit(stageSaxpy().F, Options{JNI: true, Package: "ch.ethz.acl.ngen", Class: "NSaxpy"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"#include <jni.h>",
+		"JNIEXPORT void JNICALL Java_ch_ethz_acl_ngen_NSaxpy_saxpy",
+		"JNIEnv* env, jobject obj, jfloatArray arg0, jfloatArray arg1, jfloat arg2, jint arg3",
+		"GetPrimitiveArrayCritical(env, arg0, 0)",
+		"ReleasePrimitiveArrayCritical(env, arg0, p0, 0)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("JNI wrapper missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestEmitLoopAccAndReturn(t *testing.T) {
+	k := dsl.NewKernel("dot", isa.Haswell.Features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	n := k.ParamInt()
+	acc := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+		func(i dsl.Int, acc dsl.F32) dsl.F32 {
+			return acc.Add(a.At(i).Mul(b.At(i)))
+		})
+	k.Return(acc)
+	src, err := Emit(k.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"float dot(", "return ", "float x", "+ "} {
+		if !strings.Contains(src, want) {
+			t.Errorf("loop-acc C missing %q:\n%s", want, src)
+		}
+	}
+	// Accumulator declared before the loop, updated inside.
+	if !strings.Contains(src, "= 0f;") && !strings.Contains(src, "= 0;") {
+		t.Errorf("accumulator initialisation missing:\n%s", src)
+	}
+}
+
+func TestEmitCommentsAndConditionals(t *testing.T) {
+	k := dsl.NewKernel("cond", isa.Haswell.Features)
+	a := k.ParamInt()
+	k.Comment("clamp to zero")
+	r := k.IfInt(a.Lt(k.ConstInt(0)),
+		func() dsl.Int { return k.ConstInt(0) },
+		func() dsl.Int { return a })
+	k.Return(r)
+	src, err := Emit(k.F, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"/* clamp to zero */", "if (", "} else {"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("missing %q:\n%s", want, src)
+		}
+	}
+}
+
+func TestToolchainDetection(t *testing.T) {
+	ts := Detect(HostEnvironment)
+	if len(ts) != 2 {
+		t.Fatalf("detected %d toolchains, want 2", len(ts))
+	}
+	if ts[0].Name != "icc" {
+		t.Errorf("preference order wrong: %v (icc preferred per the paper)", ts[0])
+	}
+	tc, err := Pick(HostEnvironment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Version != "17.0.0" {
+		t.Errorf("picked %v", tc)
+	}
+	if _, err := Pick(Environment{}); err == nil {
+		t.Error("empty environment must fail detection")
+	}
+}
+
+func TestFlagsPerToolchain(t *testing.T) {
+	fs := isa.Haswell.Features
+	gcc := Toolchain{Name: "gcc", Path: "/usr/bin/gcc", Version: "4.9.2"}
+	flags := strings.Join(gcc.Flags(fs), " ")
+	for _, want := range []string{"-O3", "-mavx2", "-mfma", "-mf16c", "-shared", "-fPIC"} {
+		if !strings.Contains(flags, want) {
+			t.Errorf("gcc flags missing %s: %s", want, flags)
+		}
+	}
+	if strings.Contains(flags, "-mavx512f") {
+		t.Errorf("gcc flags include AVX-512 on Haswell: %s", flags)
+	}
+	icc := Toolchain{Name: "icc"}
+	if !strings.Contains(strings.Join(icc.Flags(fs), " "), "-xHost") {
+		t.Error("icc flags missing -xHost")
+	}
+	sky := Toolchain{Name: "clang"}
+	if !strings.Contains(strings.Join(sky.Flags(isa.SkylakeX.Features), " "), "-mavx512f") {
+		t.Error("clang on SkylakeX missing -mavx512f")
+	}
+}

@@ -1,0 +1,107 @@
+package cgen
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Toolchain models one detected native compiler. The paper's runtime
+// searches the system for icc, gcc and llvm/clang and "opportunistically
+// picks the optimal compiler available" (Section 3.3); this reproduction
+// simulates the search over a declared environment so the selection and
+// flag-derivation logic runs and is testable without the real binaries.
+type Toolchain struct {
+	Name    string // "icc", "gcc", "clang"
+	Path    string
+	Version string
+}
+
+// rank orders toolchains by the paper's preference: icc > gcc > clang.
+func (t Toolchain) rank() int {
+	switch t.Name {
+	case "icc":
+		return 0
+	case "gcc":
+		return 1
+	case "clang":
+		return 2
+	default:
+		return 9
+	}
+}
+
+// Environment is the simulated system the detection runs against.
+type Environment struct {
+	// Available maps compiler name → (path, version).
+	Available map[string][2]string
+}
+
+// HostEnvironment is the default simulated machine, mirroring the
+// paper's testbed (gcc 4.9.2 and icc 17.0.0 installed; Debian jessie).
+var HostEnvironment = Environment{Available: map[string][2]string{
+	"gcc": {"/usr/bin/gcc", "4.9.2"},
+	"icc": {"/opt/intel/bin/icc", "17.0.0"},
+}}
+
+// Detect searches the environment for usable toolchains, best first.
+func Detect(env Environment) []Toolchain {
+	var out []Toolchain
+	for name, pv := range env.Available {
+		out = append(out, Toolchain{Name: name, Path: pv[0], Version: pv[1]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].rank() != out[j].rank() {
+			return out[i].rank() < out[j].rank()
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Pick returns the preferred toolchain or an error when none exists.
+func Pick(env Environment) (Toolchain, error) {
+	ts := Detect(env)
+	if len(ts) == 0 {
+		return Toolchain{}, fmt.Errorf("cgen: no C compiler found (looked for icc, gcc, clang)")
+	}
+	return ts[0], nil
+}
+
+// Flags derives the optimization and ISA flags for a toolchain on a
+// machine with the given features — "the best mix of compiler flags for
+// each compiler" (Section 3.3).
+func (t Toolchain) Flags(fs isa.FeatureSet) []string {
+	var flags []string
+	switch t.Name {
+	case "icc":
+		flags = append(flags, "-O3", "-xHost", "-fno-alias")
+		if fs.Has(isa.AVX512) {
+			flags = append(flags, "-qopt-zmm-usage=high")
+		}
+	case "gcc", "clang":
+		flags = append(flags, "-O3", "-ffast-math")
+		for _, f := range []struct {
+			fam  isa.Family
+			flag string
+		}{
+			{isa.SSE42, "-msse4.2"}, {isa.AVX, "-mavx"}, {isa.AVX2, "-mavx2"},
+			{isa.FMA, "-mfma"}, {isa.FP16C, "-mf16c"}, {isa.AVX512, "-mavx512f"},
+			{isa.RDRAND, "-mrdrnd"}, {isa.BMI2, "-mbmi2"},
+		} {
+			if fs.Has(f.fam) {
+				flags = append(flags, f.flag)
+			}
+		}
+	}
+	flags = append(flags, "-shared", "-fPIC")
+	return flags
+}
+
+// CommandLine renders the full (simulated) compile invocation for a
+// generated source file.
+func (t Toolchain) CommandLine(fs isa.FeatureSet, src, lib string) string {
+	return fmt.Sprintf("%s %s -o %s %s", t.Path, strings.Join(t.Flags(fs), " "), lib, src)
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// Bind populates a native-function placeholder with the compiled kernel
+// — the analog of the paper's Figure 4 step 4, where `compile(...)`
+// links the generated library against the `@native def apply`
+// declaration via JNI naming, reflection and Scala macros.
+//
+// The paper lists as a limitation (Section 3.5) that "there is no
+// mechanism to ensure the isomorphism between the native function
+// placeholder and the staged function"; this reproduction closes that
+// gap: Bind checks, via reflection, that the placeholder's parameter
+// and result types are isomorphic to the staged function's signature
+// (slice element types against pointer parameters, scalar kinds against
+// scalar parameters) and refuses mismatches with a positional error.
+//
+// fnPtr must be a pointer to a function variable, e.g.:
+//
+//	var saxpy func(a, b []float32, s float32, n int)
+//	if err := core.Bind(kernel, &saxpy); err != nil { ... }
+//	saxpy(xs, ys, 2.5, len(xs))
+//
+// Bound functions panic on runtime kernel errors (out-of-bounds array
+// accesses surface exactly where a segfault would in the paper's
+// setting); use Kernel.Call for error returns.
+func Bind(kn *Kernel, fnPtr any) error {
+	pv := reflect.ValueOf(fnPtr)
+	if pv.Kind() != reflect.Ptr || pv.Elem().Kind() != reflect.Func {
+		return fmt.Errorf("core: Bind needs a pointer to a func variable, got %T", fnPtr)
+	}
+	ft := pv.Elem().Type()
+	params := kn.k.F.Params
+	if ft.NumIn() != len(params) {
+		return fmt.Errorf("core: placeholder has %d parameters, staged %s has %d",
+			ft.NumIn(), kn.k.Name(), len(params))
+	}
+	for i := 0; i < ft.NumIn(); i++ {
+		if err := checkParam(ft.In(i), params[i].Typ); err != nil {
+			return fmt.Errorf("core: %s parameter %d: %w", kn.k.Name(), i, err)
+		}
+	}
+	if err := checkResult(ft, kn.k.F.G.Root().Result); err != nil {
+		return fmt.Errorf("core: %s: %w", kn.k.Name(), err)
+	}
+
+	impl := reflect.MakeFunc(ft, func(in []reflect.Value) []reflect.Value {
+		args := make([]any, len(in))
+		for i, v := range in {
+			args[i] = v.Interface()
+		}
+		out, err := kn.Call(args...)
+		if err != nil {
+			panic(fmt.Sprintf("core: %s: %v", kn.k.Name(), err))
+		}
+		if ft.NumOut() == 0 {
+			return nil
+		}
+		return []reflect.Value{scalarValue(out, ft.Out(0))}
+	})
+	pv.Elem().Set(impl)
+	return nil
+}
+
+// MustBind is Bind that panics on signature mismatch.
+func MustBind(kn *Kernel, fnPtr any) {
+	if err := Bind(kn, fnPtr); err != nil {
+		panic(err)
+	}
+}
+
+// checkParam verifies one placeholder parameter against a staged type.
+func checkParam(goT reflect.Type, staged ir.Type) error {
+	if staged.Kind == ir.KindPtr {
+		if goT.Kind() != reflect.Slice {
+			return fmt.Errorf("staged %s needs a slice, placeholder has %s", staged, goT)
+		}
+		want := goElemKind(staged.Elem)
+		if goT.Elem().Kind() != want {
+			return fmt.Errorf("staged %s needs []%s, placeholder has %s",
+				staged, want, goT)
+		}
+		return nil
+	}
+	want := scalarGoKind(staged.Kind)
+	if want == reflect.Invalid {
+		return fmt.Errorf("staged type %s has no Go equivalent", staged)
+	}
+	if goT.Kind() != want {
+		return fmt.Errorf("staged %s needs %s, placeholder has %s", staged, want, goT)
+	}
+	return nil
+}
+
+func checkResult(ft reflect.Type, result ir.Exp) error {
+	if result == nil {
+		if ft.NumOut() != 0 {
+			return fmt.Errorf("placeholder returns %s but the staged function is void", ft.Out(0))
+		}
+		return nil
+	}
+	if ft.NumOut() != 1 {
+		return fmt.Errorf("staged function returns %s but the placeholder returns %d values",
+			result.Type(), ft.NumOut())
+	}
+	want := scalarGoKind(result.Type().Kind)
+	if ft.Out(0).Kind() != want {
+		return fmt.Errorf("staged result %s needs %s, placeholder returns %s",
+			result.Type(), want, ft.Out(0))
+	}
+	return nil
+}
+
+func goElemKind(p isa.Prim) reflect.Kind {
+	switch p {
+	case isa.PrimF32:
+		return reflect.Float32
+	case isa.PrimF64:
+		return reflect.Float64
+	case isa.PrimI8:
+		return reflect.Int8
+	case isa.PrimU8:
+		return reflect.Uint8
+	case isa.PrimI16:
+		return reflect.Int16
+	case isa.PrimU16:
+		return reflect.Uint16
+	case isa.PrimI32:
+		return reflect.Int32
+	case isa.PrimU32:
+		return reflect.Uint32
+	case isa.PrimI64:
+		return reflect.Int64
+	case isa.PrimU64:
+		return reflect.Uint64
+	default:
+		return reflect.Invalid
+	}
+}
+
+func scalarGoKind(k ir.Kind) reflect.Kind {
+	switch k {
+	case ir.KindF32:
+		return reflect.Float32
+	case ir.KindF64:
+		return reflect.Float64
+	case ir.KindI32:
+		return reflect.Int
+	case ir.KindI64:
+		return reflect.Int64
+	case ir.KindBool:
+		return reflect.Bool
+	case ir.KindU32:
+		return reflect.Uint32
+	case ir.KindU64:
+		return reflect.Uint64
+	default:
+		return reflect.Invalid
+	}
+}
+
+// scalarValue converts a kernel result to the placeholder's return type.
+func scalarValue(v vm.Value, t reflect.Type) reflect.Value {
+	out := reflect.New(t).Elem()
+	switch t.Kind() {
+	case reflect.Float32, reflect.Float64:
+		out.SetFloat(v.AsFloat())
+	case reflect.Bool:
+		out.SetBool(v.B)
+	case reflect.Uint32, reflect.Uint64:
+		out.SetUint(uint64(v.AsInt()))
+	default:
+		out.SetInt(v.AsInt())
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+)
+
+func TestBindRejectsNonFuncPointer(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Bind(kn, 42); err == nil {
+		t.Error("Bind accepted a non-pointer")
+	}
+	var notFunc int
+	if err := Bind(kn, &notFunc); err == nil {
+		t.Error("Bind accepted a pointer to non-func")
+	}
+}
+
+func TestMustBindPanicsOnMismatch(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBind did not panic on mismatch")
+		}
+	}()
+	var wrong func(int)
+	MustBind(kn, &wrong)
+}
+
+func TestBoundFuncPanicsOnRuntimeError(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var double func(a []float32, n int)
+	if err := Bind(kn, &double); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("out-of-bounds bound call did not panic")
+		}
+		if !strings.Contains(r.(string), "out-of-bounds") {
+			t.Errorf("panic message = %v", r)
+		}
+	}()
+	double(make([]float32, 4), 16) // 16 elements over a 4-element array
+}
+
+func TestMustCallPanics(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCall did not panic")
+		}
+	}()
+	kn.MustCall("bogus", 1)
+}
+
+func TestBindVoidReturnShape(t *testing.T) {
+	rt := DefaultRuntime()
+	k := rt.NewKernel("ret32")
+	x := k.ParamInt()
+	k.Return(x.MulC(3))
+	kn, err := rt.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Void placeholder against a value-returning kernel: rejected.
+	var void func(x int)
+	if err := Bind(kn, &void); err == nil {
+		t.Error("value-returning kernel bound to void placeholder")
+	}
+	var ok func(x int) int
+	if err := Bind(kn, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if got := ok(7); got != 21 {
+		t.Errorf("bound ok(7) = %d", got)
+	}
+	_ = dsl.Kernel{} // keep the dsl import for stageDouble's file
+}

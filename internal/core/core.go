@@ -1,0 +1,213 @@
+// Package core is NGen — the runtime pipeline of the paper (Figure 3):
+// inspect the system (CPUID → available ISAs), detect native compilers
+// and derive flags, take a staged SIMD function, generate C from its
+// computation graph, "compile and link" it, and hand back a callable
+// kernel with zero per-element overhead (one JNI-priced boundary
+// crossing per invocation).
+//
+// In this reproduction the generated C is retained for inspection while
+// execution goes through internal/kernelc over the software SIMD machine
+// — see DESIGN.md's substitution table.
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cgen"
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernelc"
+	"repro/internal/vm"
+)
+
+// JNICall is the counter key for managed↔native boundary crossings.
+const JNICall = "jni.call"
+
+// Runtime is one initialised NGen instance.
+type Runtime struct {
+	Arch      *isa.Microarch
+	Toolchain cgen.Toolchain
+	Machine   *vm.Machine
+}
+
+// NewRuntime inspects the (simulated) system: CPUID via the
+// microarchitecture database, compiler discovery via the environment.
+func NewRuntime(arch *isa.Microarch, env cgen.Environment) (*Runtime, error) {
+	tc, err := cgen.Pick(env)
+	if err != nil {
+		return nil, err
+	}
+	return &Runtime{Arch: arch, Toolchain: tc, Machine: vm.NewMachine(arch)}, nil
+}
+
+// DefaultRuntime builds the paper's testbed: Haswell with gcc and icc
+// installed.
+func DefaultRuntime() *Runtime {
+	rt, err := NewRuntime(isa.Haswell, cgen.HostEnvironment)
+	if err != nil {
+		panic(err) // HostEnvironment always has compilers
+	}
+	return rt
+}
+
+// NewKernel starts staging a kernel against this runtime's detected
+// features.
+func (rt *Runtime) NewKernel(name string) *dsl.Kernel {
+	return dsl.NewKernel(name, rt.Arch.Features)
+}
+
+// Kernel is a compiled, callable kernel.
+type Kernel struct {
+	rt      *Runtime
+	k       *dsl.Kernel
+	prog    *kernelc.Program
+	source  string
+	command string
+}
+
+// Compile runs the full pipeline on a staged kernel: ISA validation, C
+// generation with JNI binding, (simulated) native compilation, and
+// executable lowering.
+func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
+	if miss := k.MissingISAs(); len(miss) > 0 {
+		return nil, fmt.Errorf("core: %s uses unavailable ISAs:\n  %s",
+			k.Name(), strings.Join(miss, "\n  "))
+	}
+	src, err := cgen.Emit(k.F, cgen.Options{JNI: true, Package: "ch.ethz.acl.ngen", Class: "NKernel"})
+	if err != nil {
+		return nil, err
+	}
+	prog, err := kernelc.Compile(k.F)
+	if err != nil {
+		return nil, err
+	}
+	lib := "lib" + k.Name() + ".so"
+	return &Kernel{
+		rt:      rt,
+		k:       k,
+		prog:    prog,
+		source:  src,
+		command: rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib),
+	}, nil
+}
+
+// Source returns the generated C translation unit.
+func (kn *Kernel) Source() string { return kn.source }
+
+// CompileCommand returns the (simulated) native compiler invocation.
+func (kn *Kernel) CompileCommand() string { return kn.command }
+
+// Func exposes the staged function (for the cost model's chain
+// analysis).
+func (kn *Kernel) Func() *ir.Func { return kn.k.F }
+
+// Call invokes the kernel with Go values. Slices pin into vm buffers on
+// entry and copy back on exit — the GetPrimitiveArrayCritical behaviour
+// of Section 3.5 — and each invocation counts one JNI crossing.
+func (kn *Kernel) Call(args ...any) (vm.Value, error) {
+	m := kn.rt.Machine
+	vals := make([]vm.Value, len(args))
+	type pinned struct {
+		buf  *vm.Buffer
+		back func()
+	}
+	var pins []pinned
+	for i, a := range args {
+		switch x := a.(type) {
+		case []float32:
+			buf := vm.PinF32(x)
+			pins = append(pins, pinned{buf, func() { buf.UnpinF32(x) }})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []float64:
+			buf := vm.PinF64(x)
+			pins = append(pins, pinned{buf, func() { buf.UnpinF64(x) }})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []int8:
+			buf := vm.PinI8(x)
+			pins = append(pins, pinned{buf, func() {
+				for j := range x {
+					x[j] = int8(buf.Data[j])
+				}
+			}})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []uint8:
+			buf := vm.PinU8(x)
+			pins = append(pins, pinned{buf, func() { copy(x, buf.Data) }})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []int16:
+			buf := vm.PinI16(x)
+			pins = append(pins, pinned{buf, func() {
+				for j := range x {
+					x[j] = int16(buf.IntAt(j))
+				}
+			}})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []uint16:
+			buf := vm.PinU16(x)
+			pins = append(pins, pinned{buf, func() {
+				for j := range x {
+					x[j] = uint16(buf.IntAt(j))
+				}
+			}})
+			vals[i] = vm.PtrValue(buf, 0)
+		case []int32:
+			buf := vm.PinI32(x)
+			pins = append(pins, pinned{buf, func() { buf.UnpinI32(x) }})
+			vals[i] = vm.PtrValue(buf, 0)
+		case *vm.Buffer:
+			vals[i] = vm.PtrValue(x, 0)
+		case float32:
+			vals[i] = vm.F32Value(x)
+		case float64:
+			vals[i] = vm.F64Value(x)
+		case int:
+			vals[i] = vm.IntValue(x)
+		case int32:
+			vals[i] = vm.IntValue(int(x))
+		case int64:
+			vals[i] = vm.Value{Kind: ir.KindI64, I: x}
+		case bool:
+			vals[i] = vm.BoolValue(x)
+		default:
+			return vm.Value{}, fmt.Errorf("core: unsupported argument type %T", a)
+		}
+	}
+	m.Counts.Add(JNICall, 1)
+	out, err := kn.prog.Run(m, vals...)
+	for _, p := range pins {
+		p.back()
+	}
+	return out, err
+}
+
+// CallValues invokes the kernel with prebuilt machine values (the
+// benchmark harness pins buffers once and reuses them across
+// repetitions). One JNI crossing is still counted per invocation.
+func (kn *Kernel) CallValues(args ...vm.Value) (vm.Value, error) {
+	kn.rt.Machine.Counts.Add(JNICall, 1)
+	return kn.prog.Run(kn.rt.Machine, args...)
+}
+
+// MustCall is Call that panics on error (examples and benchmarks).
+func (kn *Kernel) MustCall(args ...any) vm.Value {
+	out, err := kn.Call(args...)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// SystemReport renders the runtime's view of the machine — the
+// "TestPlatform" inspection of the artifact (Appendix A.4).
+func (rt *Runtime) SystemReport() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CPU:       %s (%s), %.2f GHz\n", rt.Arch.Name, rt.Arch.Vendor, rt.Arch.BaseGHz)
+	fmt.Fprintf(&b, "Caches:    L1 %dKB, L2 %dKB, L3 %dMB\n",
+		rt.Arch.L1Bytes>>10, rt.Arch.L2Bytes>>10, rt.Arch.L3Bytes>>20)
+	fmt.Fprintf(&b, "ISAs:      %s\n", rt.Arch.Features)
+	fmt.Fprintf(&b, "Compiler:  %s %s (%s)\n", rt.Toolchain.Name, rt.Toolchain.Version, rt.Toolchain.Path)
+	fmt.Fprintf(&b, "Flags:     %s\n", strings.Join(rt.Toolchain.Flags(rt.Arch.Features), " "))
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/dsl"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+func stageDouble(rt *Runtime) *dsl.Kernel {
+	k := rt.NewKernel("double_all")
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	two := k.MM256Set1Ps(k.ConstF32(2))
+	k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+		k.MM256StoreuPs(a, i, k.MM256MulPs(k.MM256LoaduPs(a, i), two))
+	})
+	return k
+}
+
+func TestPipelineEndToEnd(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(kn.Source(), "JNIEXPORT") {
+		t.Error("compiled kernel carries no JNI C source")
+	}
+	if !strings.Contains(kn.CompileCommand(), "icc") {
+		t.Errorf("compile command should use the preferred compiler: %s", kn.CompileCommand())
+	}
+	xs := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if _, err := kn.Call(xs, len(xs)); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range xs {
+		if x != float32(2*(i+1)) {
+			t.Fatalf("xs[%d] = %v", i, x)
+		}
+	}
+}
+
+func TestCompileRejectsMissingISA(t *testing.T) {
+	rt, err := NewRuntime(isa.Nehalem, cgen.HostEnvironment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := rt.NewKernel("avx_on_nehalem")
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	v := k.MM256Set1Ps(k.ConstF32(1)) // AVX on an SSE4.2 machine
+	k.MM256StoreuPs(a, k.ConstInt(0), v)
+	if _, err := rt.Compile(k); err == nil {
+		t.Fatal("compile accepted AVX intrinsics on Nehalem")
+	} else if !strings.Contains(err.Error(), "AVX") {
+		t.Errorf("error should name the missing ISA: %v", err)
+	}
+}
+
+func TestJNICounting(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Machine.Counts.Reset()
+	xs := make([]float32, 16)
+	for i := 0; i < 7; i++ {
+		if _, err := kn.Call(xs, len(xs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.Machine.Counts[JNICall]; got != 7 {
+		t.Errorf("jni.call count = %d, want 7", got)
+	}
+}
+
+func TestCallArgumentKinds(t *testing.T) {
+	rt := DefaultRuntime()
+	k := rt.NewKernel("copy8")
+	src := k.ParamI8Ptr()
+	dst := dsl.Mutable(k, k.ParamI8Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		dst.Set(i, src.At(i))
+	})
+	kn, err := rt.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := []int8{1, -2, 3}
+	out := make([]int8, 3)
+	if _, err := kn.Call(in, out, 3); err != nil {
+		t.Fatal(err)
+	}
+	if out[1] != -2 {
+		t.Errorf("int8 slice copy-back failed: %v", out)
+	}
+	// Unsupported argument type errors cleanly.
+	if _, err := kn.Call("nope", out, 3); err == nil {
+		t.Error("string argument accepted")
+	}
+}
+
+func TestCallBuffersAvoidCopy(t *testing.T) {
+	rt := DefaultRuntime()
+	kn, err := rt.Compile(stageDouble(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := vm.PinF32([]float32{1, 2, 3, 4, 5, 6, 7, 8})
+	if _, err := kn.Call(buf, 8); err != nil {
+		t.Fatal(err)
+	}
+	if buf.F32At(0) != 2 {
+		t.Error("buffer argument not mutated in place")
+	}
+}
+
+func TestSystemReport(t *testing.T) {
+	rep := DefaultRuntime().SystemReport()
+	for _, want := range []string{"Haswell", "AVX2", "FMA", "icc 17.0.0", "-xHost", "L1 32KB"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("system report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestNewRuntimeNoCompiler(t *testing.T) {
+	if _, err := NewRuntime(isa.Haswell, cgen.Environment{}); err == nil {
+		t.Error("runtime must fail without any native compiler")
+	}
+}

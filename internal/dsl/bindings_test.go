@@ -1,0 +1,157 @@
+package dsl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// allFeatures enables every family so no binding records a missing ISA.
+func allFeatures() isa.FeatureSet {
+	fs := isa.NewFeatureSet()
+	for _, f := range isa.Families() {
+		fs.Add(f)
+	}
+	return fs
+}
+
+// buildArg constructs a staged argument of the given reflect type.
+func buildArg(t *testing.T, k *Kernel, typ reflect.Type) reflect.Value {
+	fresh := func(irT ir.Type) ir.Exp { return k.F.G.Fresh(irT) }
+	switch typ.Name() {
+	case "M64":
+		return reflect.ValueOf(M64{k, fresh(ir.TM64)})
+	case "M128":
+		return reflect.ValueOf(M128{k, fresh(ir.TM128)})
+	case "M128d":
+		return reflect.ValueOf(M128d{k, fresh(ir.TM128d)})
+	case "M128i":
+		return reflect.ValueOf(M128i{k, fresh(ir.TM128i)})
+	case "M256":
+		return reflect.ValueOf(M256{k, fresh(ir.TM256)})
+	case "M256d":
+		return reflect.ValueOf(M256d{k, fresh(ir.TM256d)})
+	case "M256i":
+		return reflect.ValueOf(M256i{k, fresh(ir.TM256i)})
+	case "M512":
+		return reflect.ValueOf(M512{k, fresh(ir.TM512)})
+	case "M512d":
+		return reflect.ValueOf(M512d{k, fresh(ir.TM512d)})
+	case "M512i":
+		return reflect.ValueOf(M512i{k, fresh(ir.TM512i)})
+	case "Mask8":
+		return reflect.ValueOf(Mask8{k, fresh(ir.TMask8)})
+	case "Mask16":
+		return reflect.ValueOf(Mask16{k, fresh(ir.TMask16)})
+	case "Int":
+		return reflect.ValueOf(k.ConstInt(0))
+	case "I64":
+		return reflect.ValueOf(k.ConstI64(0))
+	case "I8":
+		return reflect.ValueOf(k.ConstI8(0))
+	case "U8":
+		return reflect.ValueOf(k.ConstU8(0))
+	case "I16":
+		return reflect.ValueOf(k.ConstI16(0))
+	case "U16":
+		return reflect.ValueOf(k.ConstU16(0))
+	case "U32":
+		return reflect.ValueOf(U32{k, ir.Const{Typ: ir.TU32}})
+	case "U64":
+		return reflect.ValueOf(U64{k, ir.Const{Typ: ir.TU64}})
+	case "F32":
+		return reflect.ValueOf(k.ConstF32(0))
+	case "F64":
+		return reflect.ValueOf(k.ConstF64(0))
+	case "Bool":
+		return reflect.ValueOf(Bool{k, ir.ConstBool(false)})
+	case "PF32":
+		return reflect.ValueOf(Mutable(k, k.ParamF32Ptr()))
+	case "PF64":
+		return reflect.ValueOf(Mutable(k, k.ParamF64Ptr()))
+	case "PI8":
+		return reflect.ValueOf(Mutable(k, k.ParamI8Ptr()))
+	case "PU8":
+		return reflect.ValueOf(Mutable(k, k.ParamU8Ptr()))
+	case "PI16":
+		return reflect.ValueOf(Mutable(k, k.ParamI16Ptr()))
+	case "PU16":
+		return reflect.ValueOf(Mutable(k, k.ParamU16Ptr()))
+	case "PI32":
+		return reflect.ValueOf(Mutable(k, k.ParamI32Ptr()))
+	case "int":
+		return reflect.ValueOf(0)
+	case "Pointer", "": // the Pointer interface
+		if typ.Kind() == reflect.Interface {
+			return reflect.ValueOf(Mutable(k, k.ParamF32Ptr()))
+		}
+	}
+	t.Fatalf("no argument builder for type %v", typ)
+	return reflect.Value{}
+}
+
+// TestExerciseEveryGeneratedBinding reflectively invokes all generated
+// intrinsic bindings with well-typed staged arguments, checking that
+// each stages a node with the right op name, carries no missing-ISA
+// record under a full feature set, and stays consistent with its
+// IntrinMeta effects (pure intrinsics stage pure nodes; memory
+// intrinsics stage effectful ones).
+func TestExerciseEveryGeneratedBinding(t *testing.T) {
+	exercised := 0
+	for cname, meta := range IntrinMeta {
+		k := NewKernel("exercise", allFeatures())
+		method := reflect.ValueOf(k).MethodByName(gen.MethodName(cname))
+		if !method.IsValid() {
+			t.Errorf("%s: no generated method %s", cname, gen.MethodName(cname))
+			continue
+		}
+		mt := method.Type()
+		args := make([]reflect.Value, mt.NumIn())
+		for i := range args {
+			args[i] = buildArg(t, k, mt.In(i))
+		}
+		method.Call(args)
+		if miss := k.MissingISAs(); len(miss) != 0 {
+			t.Errorf("%s: missing ISA under full feature set: %v", cname, miss)
+			continue
+		}
+		// Find the staged intrinsic node.
+		var def *ir.Def
+		var walk func(b *ir.Block)
+		walk = func(b *ir.Block) {
+			for _, n := range b.Nodes {
+				if n.Def.Op == cname {
+					def = n.Def
+				}
+				for _, blk := range n.Def.Blocks {
+					walk(blk)
+				}
+			}
+		}
+		walk(k.F.G.Root())
+		if def == nil {
+			t.Errorf("%s: binding staged no node", cname)
+			continue
+		}
+		pure := def.Effect.IsPure()
+		if (meta.Reads || meta.Writes) && pure {
+			t.Errorf("%s: memory intrinsic staged a pure node", cname)
+		}
+		if !meta.Reads && !meta.Writes && !pure {
+			t.Errorf("%s: pure intrinsic staged an effectful node (%+v)", cname, def.Effect)
+		}
+		if meta.Reads && len(def.Effect.Reads) == 0 {
+			t.Errorf("%s: read effect lost", cname)
+		}
+		if meta.Writes && len(def.Effect.Writes) == 0 {
+			t.Errorf("%s: write effect lost", cname)
+		}
+		exercised++
+	}
+	if exercised < 600 {
+		t.Errorf("exercised only %d bindings", exercised)
+	}
+}

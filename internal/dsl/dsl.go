@@ -1,0 +1,275 @@
+// Package dsl is the staged SIMD frontend: the reproduction of the
+// paper's ISA-specific eDSLs (Section 3). A Kernel accumulates intrinsic
+// invocations, auxiliary scalar operations and control flow into an
+// internal/ir graph instead of executing them; the runtime (internal/core)
+// then compiles the graph once and runs it at full speed.
+//
+// Go has no operator overloading, so where the Scala eDSL writes
+// `a + b` on Rep[T] values, this frontend writes `a.Add(b)` on typed
+// wrappers; everything else — the deferred API, SSA graph, effect
+// inference, ISA mixing — matches the paper's architecture.
+//
+// The intrinsic bindings themselves (methods like MM256LoaduPs) live in
+// generated code (intrin_gen.go, produced by cmd/intrinsics-gen from the
+// XML specification), exactly as the paper generates its eDSLs.
+package dsl
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Kernel is a staged function under construction.
+type Kernel struct {
+	F        *ir.Func
+	Features isa.FeatureSet
+	// missing collects intrinsics staged without hardware support, so
+	// the compile pipeline can report them all at once.
+	missing []string
+}
+
+// NewKernel starts staging a kernel for a machine with the given ISA
+// features (the paper's "mixin one or several ISA-specific eDSLs").
+func NewKernel(name string, features isa.FeatureSet) *Kernel {
+	return &Kernel{F: ir.NewFunc(name), Features: features}
+}
+
+// Name returns the kernel's name.
+func (k *Kernel) Name() string { return k.F.Name }
+
+// MissingISAs returns the intrinsics staged without the required CPU
+// features, in staging order.
+func (k *Kernel) MissingISAs() []string { return append([]string(nil), k.missing...) }
+
+// --- parameters --------------------------------------------------------------
+
+func (k *Kernel) param(t ir.Type) ir.Sym {
+	s := k.F.G.Fresh(t)
+	k.F.Params = append(k.F.Params, s)
+	return s
+}
+
+// ParamF32 declares a float scalar parameter.
+func (k *Kernel) ParamF32() F32 { return F32{k, k.param(ir.TF32)} }
+
+// ParamF64 declares a double scalar parameter.
+func (k *Kernel) ParamF64() F64 { return F64{k, k.param(ir.TF64)} }
+
+// ParamInt declares an int32 parameter.
+func (k *Kernel) ParamInt() Int { return Int{k, k.param(ir.TI32)} }
+
+// ParamI64 declares an int64 parameter.
+func (k *Kernel) ParamI64() I64 { return I64{k, k.param(ir.TI64)} }
+
+// ParamF32Ptr declares a float-array parameter (Array[Float] ↔ float*).
+func (k *Kernel) ParamF32Ptr() PF32 { return PF32{k, k.param(ir.PtrType(isa.PrimF32))} }
+
+// ParamF64Ptr declares a double-array parameter.
+func (k *Kernel) ParamF64Ptr() PF64 { return PF64{k, k.param(ir.PtrType(isa.PrimF64))} }
+
+// ParamI8Ptr declares a byte-array parameter.
+func (k *Kernel) ParamI8Ptr() PI8 { return PI8{k, k.param(ir.PtrType(isa.PrimI8))} }
+
+// ParamU8Ptr declares an unsigned-byte-array parameter.
+func (k *Kernel) ParamU8Ptr() PU8 { return PU8{k, k.param(ir.PtrType(isa.PrimU8))} }
+
+// ParamI16Ptr declares a short-array parameter.
+func (k *Kernel) ParamI16Ptr() PI16 { return PI16{k, k.param(ir.PtrType(isa.PrimI16))} }
+
+// ParamU16Ptr declares an unsigned-short-array parameter.
+func (k *Kernel) ParamU16Ptr() PU16 { return PU16{k, k.param(ir.PtrType(isa.PrimU16))} }
+
+// ParamI32Ptr declares an int-array parameter.
+func (k *Kernel) ParamI32Ptr() PI32 { return PI32{k, k.param(ir.PtrType(isa.PrimI32))} }
+
+// Mutable marks an array parameter writable — the paper's
+// reflectMutableSym (Figure 4 makes SAXPY's `a` mutable before storing).
+func Mutable[P interface{ sym() ir.Sym }](k *Kernel, p P) P {
+	k.F.G.MarkMutable(p.sym())
+	return p
+}
+
+// --- control flow -------------------------------------------------------------
+
+// For stages `for (i = start; i < end; i += stride) body` — the paper's
+// forloop(start, end, fresh[Int], stride, body).
+func (k *Kernel) For(start, end Int, stride int, body func(i Int)) {
+	k.F.G.Loop(start.E, end.E, ir.ConstInt(stride), func(iv ir.Sym) {
+		body(Int{k, iv})
+	})
+}
+
+// ForExp is For with a staged stride.
+func (k *Kernel) ForExp(start, end, stride Int, body func(i Int)) {
+	k.F.G.Loop(start.E, end.E, stride.E, func(iv ir.Sym) {
+		body(Int{k, iv})
+	})
+}
+
+// ForAccM256 stages a counted loop carrying a __m256 accumulator (the
+// `acc += dot_ps(...)` pattern of Section 4.1).
+func (k *Kernel) ForAccM256(start, end Int, stride int, init M256, body func(i Int, acc M256) M256) M256 {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, M256{k, acc}).E })
+	return M256{k, e}
+}
+
+// ForAccM256i stages a counted loop carrying a __m256i accumulator.
+func (k *Kernel) ForAccM256i(start, end Int, stride int, init M256i, body func(i Int, acc M256i) M256i) M256i {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, M256i{k, acc}).E })
+	return M256i{k, e}
+}
+
+// ForAccM512 stages a counted loop carrying a __m512 accumulator.
+func (k *Kernel) ForAccM512(start, end Int, stride int, init M512, body func(i Int, acc M512) M512) M512 {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, M512{k, acc}).E })
+	return M512{k, e}
+}
+
+// ForAccF32 stages a counted loop carrying a float accumulator (the
+// Java-style scalar reduction the SLP baseline cannot vectorize).
+func (k *Kernel) ForAccF32(start, end Int, stride int, init F32, body func(i Int, acc F32) F32) F32 {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, F32{k, acc}).E })
+	return F32{k, e}
+}
+
+// ForAccInt stages a counted loop carrying an int accumulator.
+func (k *Kernel) ForAccInt(start, end Int, stride int, init Int, body func(i Int, acc Int) Int) Int {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, Int{k, acc}).E })
+	return Int{k, e}
+}
+
+// ForAccI64 stages a counted loop carrying a long accumulator.
+func (k *Kernel) ForAccI64(start, end Int, stride int, init I64, body func(i Int, acc I64) I64) I64 {
+	e := k.F.G.LoopAcc(start.E, end.E, ir.ConstInt(stride), init.E,
+		func(iv, acc ir.Sym) ir.Exp { return body(Int{k, iv}, I64{k, acc}).E })
+	return I64{k, e}
+}
+
+// If stages a statement-level conditional.
+func (k *Kernel) If(cond Bool, then, els func()) {
+	k.F.G.If(cond.E, ir.TVoid,
+		func() ir.Exp {
+			then()
+			return nil
+		},
+		func() ir.Exp {
+			if els != nil {
+				els()
+			}
+			return nil
+		})
+}
+
+// IfInt stages an int-valued conditional expression.
+func (k *Kernel) IfInt(cond Bool, then, els func() Int) Int {
+	e := k.F.G.If(cond.E, ir.TI32,
+		func() ir.Exp { return then().E },
+		func() ir.Exp { return els().E })
+	return Int{k, e}
+}
+
+// IfF32 stages a float-valued conditional expression.
+func (k *Kernel) IfF32(cond Bool, then, els func() F32) F32 {
+	e := k.F.G.If(cond.E, ir.TF32,
+		func() ir.Exp { return then().E },
+		func() ir.Exp { return els().E })
+	return F32{k, e}
+}
+
+// Comment stages a comment that survives into generated C.
+func (k *Kernel) Comment(text string) { k.F.G.Comment(text) }
+
+// Return sets the kernel's result expression.
+func (k *Kernel) Return(v interface{ exp() ir.Exp }) {
+	k.F.G.Root().Result = v.exp()
+}
+
+// --- literals ------------------------------------------------------------------
+
+// ConstInt stages an i32 literal.
+func (k *Kernel) ConstInt(v int) Int { return Int{k, ir.ConstInt(v)} }
+
+// ConstF32 stages an f32 literal.
+func (k *Kernel) ConstF32(v float32) F32 { return F32{k, ir.ConstF32(v)} }
+
+// ConstF64 stages an f64 literal.
+func (k *Kernel) ConstF64(v float64) F64 { return F64{k, ir.ConstF64(v)} }
+
+// ConstI64 stages an i64 literal.
+func (k *Kernel) ConstI64(v int64) I64 { return I64{k, ir.ConstI64(v)} }
+
+// ConstI8 stages an i8 literal (char-typed intrinsic immediates).
+func (k *Kernel) ConstI8(v int8) I8 { return I8{k, ir.Const{Typ: ir.TI8, I: int64(v)}} }
+
+// ConstI16 stages an i16 literal (short-typed intrinsic immediates).
+func (k *Kernel) ConstI16(v int16) I16 { return I16{k, ir.Const{Typ: ir.TI16, I: int64(v)}} }
+
+// ConstU8 stages a u8 literal.
+func (k *Kernel) ConstU8(v uint8) U8 { return U8{k, ir.Const{Typ: ir.TU8, U: uint64(v)}} }
+
+// ConstU16 stages a u16 literal.
+func (k *Kernel) ConstU16(v uint16) U16 { return U16{k, ir.Const{Typ: ir.TU16, U: uint64(v)}} }
+
+// --- intrinsic emission (used by the generated bindings) -----------------------
+
+// Intrinsic stages one intrinsic invocation. required lists the CPUID
+// families the intrinsic needs; eff carries the inferred memory effect
+// with pointer roots already resolved. This is the runtime half of the
+// paper's generated `def _mm256_add_pd(...) = MM256_ADD_PD(...)`
+// conversions.
+func (k *Kernel) Intrinsic(name string, typ ir.Type, required []isa.Family, eff ir.Effect, args ...ir.Exp) ir.Exp {
+	for _, fam := range required {
+		// SVML is a compiler-provided library, not a CPUID feature: its
+		// intrinsics lower to sequences of whatever vector ISA exists.
+		if fam == isa.SVML && k.Features[isa.SSE] {
+			continue
+		}
+		if !k.Features[fam] {
+			k.missing = append(k.missing,
+				fmt.Sprintf("%s requires %s (machine has: %s)", name, fam, k.Features))
+			break
+		}
+	}
+	return k.F.G.Emit(&ir.Def{Op: name, Typ: typ, Args: args, Effect: eff})
+}
+
+// ReadEff builds a read effect through the pointer expression's root.
+func (k *Kernel) ReadEff(ptrs ...ir.Exp) ir.Effect {
+	return ir.ReadEffect(k.roots(ptrs)...)
+}
+
+// WriteEff builds a write effect through the pointer expression's root.
+func (k *Kernel) WriteEff(ptrs ...ir.Exp) ir.Effect {
+	eff := ir.WriteEffect(k.roots(ptrs)...)
+	for _, root := range eff.Writes {
+		if !k.F.G.IsMutable(root) {
+			panic(fmt.Sprintf("dsl: intrinsic store through immutable array %v; wrap the parameter in dsl.Mutable", root))
+		}
+	}
+	return eff
+}
+
+func (k *Kernel) roots(ptrs []ir.Exp) []ir.Sym {
+	out := make([]ir.Sym, 0, len(ptrs))
+	for _, p := range ptrs {
+		if s, ok := p.(ir.Sym); ok {
+			out = append(out, k.F.G.RootPtr(s))
+		}
+	}
+	return out
+}
+
+// Offset displaces a pointer expression by idx elements (`a + i`).
+func (k *Kernel) Offset(ptr ir.Exp, idx Int) ir.Exp {
+	if c, ok := idx.E.(ir.Const); ok && c.IsZero() {
+		return ptr
+	}
+	return k.F.G.PtrAdd(ptr, idx.E)
+}

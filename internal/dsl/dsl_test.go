@@ -1,0 +1,164 @@
+package dsl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+func hk(name string) *Kernel { return NewKernel(name, isa.Haswell.Features) }
+
+func TestParamsAllocateInOrder(t *testing.T) {
+	k := hk("params")
+	a := k.ParamF32Ptr()
+	s := k.ParamF32()
+	n := k.ParamInt()
+	if len(k.F.Params) != 3 {
+		t.Fatalf("param count %d", len(k.F.Params))
+	}
+	if a.sym() != k.F.Params[0] || s.E != ir.Exp(k.F.Params[1]) || n.E != ir.Exp(k.F.Params[2]) {
+		t.Error("parameter symbols out of order")
+	}
+	if k.F.Params[0].Typ.Kind != ir.KindPtr || k.F.Params[1].Typ != ir.TF32 {
+		t.Error("parameter types wrong")
+	}
+}
+
+func TestMutableGuardsStores(t *testing.T) {
+	k := hk("mut")
+	a := k.ParamF32Ptr()
+	defer func() {
+		if recover() == nil {
+			t.Error("store through immutable array must panic")
+		}
+	}()
+	a.Set(k.ConstInt(0), k.ConstF32(1))
+}
+
+func TestIntrinsicStoreRequiresMutable(t *testing.T) {
+	k := hk("mutvec")
+	a := k.ParamF32Ptr()
+	v := k.MM256Set1Ps(k.ConstF32(1))
+	defer func() {
+		if recover() == nil {
+			t.Error("vector store through immutable array must panic")
+		}
+	}()
+	k.MM256StoreuPs(a, k.ConstInt(0), v)
+}
+
+func TestGeneratedBindingShape(t *testing.T) {
+	k := hk("bind")
+	a := k.ParamF32Ptr()
+	v := k.MM256LoaduPs(a, k.ConstInt(8))
+	if v.E.Type() != ir.TM256 {
+		t.Errorf("loadu result type %v", v.E.Type())
+	}
+	// Two nodes: the ptradd displacement and the load.
+	var loadDef *ir.Def
+	for _, n := range k.F.G.Root().Nodes {
+		if n.Def.Op == "_mm256_loadu_ps" {
+			loadDef = n.Def
+		}
+	}
+	if loadDef == nil {
+		t.Fatal("load node missing")
+	}
+	if loadDef.Effect.IsPure() || len(loadDef.Effect.Reads) != 1 {
+		t.Errorf("load effect wrong: %+v", loadDef.Effect)
+	}
+	if root := loadDef.Effect.Reads[0]; root != a.sym() {
+		t.Errorf("read effect names %v, want the array parameter", root)
+	}
+}
+
+func TestOffsetZeroIsFree(t *testing.T) {
+	k := hk("offset")
+	a := k.ParamF32Ptr()
+	before := k.F.G.NumNodes()
+	_ = k.MM256LoaduPs(a, k.ConstInt(0))
+	// Only the load node itself: a zero offset must not stage a ptradd.
+	if got := k.F.G.NumNodes() - before; got != 1 {
+		t.Errorf("zero-offset load staged %d nodes, want 1", got)
+	}
+}
+
+func TestMissingISATracking(t *testing.T) {
+	k := NewKernel("no512", isa.Haswell.Features)
+	k.MM512AddPs(M512{k, k.F.G.Fresh(ir.TM512)}, M512{k, k.F.G.Fresh(ir.TM512)})
+	miss := k.MissingISAs()
+	if len(miss) != 1 || !strings.Contains(miss[0], "AVX-512") {
+		t.Errorf("missing = %v", miss)
+	}
+}
+
+func TestIntrinMetaTable(t *testing.T) {
+	meta, ok := IntrinMeta["_mm256_fmadd_ps"]
+	if !ok {
+		t.Fatal("fmadd missing from IntrinMeta")
+	}
+	if meta.Header != "immintrin.h" || meta.Reads || meta.Writes {
+		t.Errorf("fmadd meta = %+v", meta)
+	}
+	load := IntrinMeta["_mm256_loadu_ps"]
+	if !load.Reads || load.Writes {
+		t.Errorf("loadu meta = %+v", load)
+	}
+	store := IntrinMeta["_mm256_storeu_ps"]
+	if store.Reads || !store.Writes {
+		t.Errorf("storeu meta = %+v", store)
+	}
+	if len(IntrinMeta) < 600 {
+		t.Errorf("IntrinMeta has %d entries, want 600+", len(IntrinMeta))
+	}
+}
+
+func TestScalarOpSugar(t *testing.T) {
+	k := hk("sugar")
+	n := k.ParamInt()
+	n0 := n.Shr(3).Shl(3)
+	if _, isConst := n0.E.(ir.Const); isConst {
+		t.Error("n0 must stay symbolic")
+	}
+	eight := k.ConstInt(12).Sub(k.ConstInt(4))
+	if c, ok := eight.E.(ir.Const); !ok || c.I != 8 {
+		t.Errorf("constant folding through sugar failed: %v", eight.E)
+	}
+	b := n.Lt(k.ConstInt(10)).And(n.Ge(k.ConstInt(0)))
+	if b.E.Type() != ir.TBool {
+		t.Error("comparison chain type wrong")
+	}
+	f := n.ToF32().Mul(k.ConstF32(2)).ToF64().ToF32()
+	if f.E.Type() != ir.TF32 {
+		t.Error("conversion chain type wrong")
+	}
+}
+
+func TestForAccTypes(t *testing.T) {
+	k := hk("acc")
+	n := k.ParamInt()
+	iAcc := k.ForAccInt(k.ConstInt(0), n, 1, k.ConstInt(0),
+		func(i Int, acc Int) Int { return acc.Add(i) })
+	if iAcc.E.Type() != ir.TI32 {
+		t.Errorf("int accumulator type %v", iAcc.E.Type())
+	}
+	vAcc := k.ForAccM256(k.ConstInt(0), n, 8, k.MM256SetzeroPs(),
+		func(i Int, acc M256) M256 { return acc })
+	if vAcc.E.Type() != ir.TM256 {
+		t.Errorf("vector accumulator type %v", vAcc.E.Type())
+	}
+}
+
+func TestIfSugar(t *testing.T) {
+	k := hk("ifs")
+	n := k.ParamInt()
+	clamped := k.IfInt(n.Lt(k.ConstInt(0)),
+		func() Int { return k.ConstInt(0) },
+		func() Int { return n })
+	k.Return(clamped)
+	if k.F.G.Root().Result == nil {
+		t.Error("Return did not set the root result")
+	}
+}

@@ -1,0 +1,497 @@
+package dsl
+
+import (
+	"repro/internal/ir"
+)
+
+// Typed staged values. Each wrapper pairs the kernel with an ir
+// expression, mirroring the paper's Rep[__m256d], Rep[Float],
+// Rep[Array[Float]] hierarchy (Section 3.1). The vector wrappers carry no
+// operations of their own: every operation on them is an intrinsic
+// (generated bindings); the scalar wrappers carry the host-language
+// arithmetic the staged graph interleaves with intrinsics.
+
+// --- vector register types -----------------------------------------------------
+
+// M64 is a staged __m64 (MMX).
+type M64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M128 is a staged __m128 (SSE, 4×f32).
+type M128 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M128d is a staged __m128d (SSE2, 2×f64).
+type M128d struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M128i is a staged __m128i (SSE2 integer).
+type M128i struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M256 is a staged __m256 (AVX, 8×f32).
+type M256 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M256d is a staged __m256d (AVX, 4×f64).
+type M256d struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M256i is a staged __m256i (AVX integer).
+type M256i struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M512 is a staged __m512 (AVX-512, 16×f32).
+type M512 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M512d is a staged __m512d (AVX-512, 8×f64).
+type M512d struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// M512i is a staged __m512i (AVX-512 integer).
+type M512i struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// Mask8 is a staged __mmask8.
+type Mask8 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// Mask16 is a staged __mmask16.
+type Mask16 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+func (v M64) exp() ir.Exp    { return v.E }
+func (v M128) exp() ir.Exp   { return v.E }
+func (v M128d) exp() ir.Exp  { return v.E }
+func (v M128i) exp() ir.Exp  { return v.E }
+func (v M256) exp() ir.Exp   { return v.E }
+func (v M256d) exp() ir.Exp  { return v.E }
+func (v M256i) exp() ir.Exp  { return v.E }
+func (v M512) exp() ir.Exp   { return v.E }
+func (v M512d) exp() ir.Exp  { return v.E }
+func (v M512i) exp() ir.Exp  { return v.E }
+func (v Mask8) exp() ir.Exp  { return v.E }
+func (v Mask16) exp() ir.Exp { return v.E }
+
+// --- scalar types ----------------------------------------------------------------
+
+// Int is a staged 32-bit integer (the JVM Int).
+type Int struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// I64 is a staged 64-bit integer.
+type I64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// U16 is a staged unsigned 16-bit integer (Scala Unsigned's UShort).
+type U16 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// U32 is a staged unsigned 32-bit integer.
+type U32 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// U64 is a staged unsigned 64-bit integer.
+type U64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// I8 is a staged signed byte.
+type I8 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// U8 is a staged unsigned byte.
+type U8 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// I16 is a staged 16-bit integer.
+type I16 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// F32 is a staged float.
+type F32 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// F64 is a staged double.
+type F64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// Bool is a staged boolean.
+type Bool struct {
+	K *Kernel
+	E ir.Exp
+}
+
+func (v Int) exp() ir.Exp  { return v.E }
+func (v I64) exp() ir.Exp  { return v.E }
+func (v I8) exp() ir.Exp   { return v.E }
+func (v U8) exp() ir.Exp   { return v.E }
+func (v I16) exp() ir.Exp  { return v.E }
+func (v U16) exp() ir.Exp  { return v.E }
+func (v U32) exp() ir.Exp  { return v.E }
+func (v U64) exp() ir.Exp  { return v.E }
+func (v F32) exp() ir.Exp  { return v.E }
+func (v F64) exp() ir.Exp  { return v.E }
+func (v Bool) exp() ir.Exp { return v.E }
+
+// --- pointer (array) types --------------------------------------------------------
+
+// PF32 is a staged float* (Array[Float]).
+type PF32 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PF64 is a staged double*.
+type PF64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PI8 is a staged int8_t*.
+type PI8 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PU8 is a staged uint8_t*.
+type PU8 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PI16 is a staged int16_t*.
+type PI16 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PU16 is a staged uint16_t*.
+type PU16 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PI32 is a staged int32_t*.
+type PI32 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PU32 is a staged uint32_t*.
+type PU32 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PI64 is a staged int64_t*.
+type PI64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PU64 is a staged uint64_t*.
+type PU64 struct {
+	K *Kernel
+	E ir.Exp
+}
+
+// PVoid is a staged void*.
+type PVoid struct {
+	K *Kernel
+	E ir.Exp
+}
+
+func (p PF32) exp() ir.Exp  { return p.E }
+func (p PF64) exp() ir.Exp  { return p.E }
+func (p PI8) exp() ir.Exp   { return p.E }
+func (p PU8) exp() ir.Exp   { return p.E }
+func (p PI16) exp() ir.Exp  { return p.E }
+func (p PU16) exp() ir.Exp  { return p.E }
+func (p PI32) exp() ir.Exp  { return p.E }
+func (p PU32) exp() ir.Exp  { return p.E }
+func (p PI64) exp() ir.Exp  { return p.E }
+func (p PU64) exp() ir.Exp  { return p.E }
+func (p PVoid) exp() ir.Exp { return p.E }
+
+func (p PF32) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PF64) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PI8) sym() ir.Sym   { return p.E.(ir.Sym) }
+func (p PU8) sym() ir.Sym   { return p.E.(ir.Sym) }
+func (p PI16) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PU16) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PI32) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PU32) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PI64) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PU64) sym() ir.Sym  { return p.E.(ir.Sym) }
+func (p PVoid) sym() ir.Sym { return p.E.(ir.Sym) }
+
+// --- scalar operations ---------------------------------------------------------
+
+// Int arithmetic.
+
+// Add stages a + b.
+func (v Int) Add(o Int) Int { return Int{v.K, v.K.F.G.Add(v.E, o.E)} }
+
+// AddC stages a + constant.
+func (v Int) AddC(c int) Int { return v.Add(v.K.ConstInt(c)) }
+
+// Sub stages a - b.
+func (v Int) Sub(o Int) Int { return Int{v.K, v.K.F.G.Sub(v.E, o.E)} }
+
+// Mul stages a * b.
+func (v Int) Mul(o Int) Int { return Int{v.K, v.K.F.G.Mul(v.E, o.E)} }
+
+// MulC stages a * constant.
+func (v Int) MulC(c int) Int { return v.Mul(v.K.ConstInt(c)) }
+
+// Div stages a / b.
+func (v Int) Div(o Int) Int { return Int{v.K, v.K.F.G.Div(v.E, o.E)} }
+
+// Rem stages a % b.
+func (v Int) Rem(o Int) Int { return Int{v.K, v.K.F.G.Rem(v.E, o.E)} }
+
+// Shl stages a << c.
+func (v Int) Shl(c int) Int { return Int{v.K, v.K.F.G.Shl(v.E, ir.ConstInt(c))} }
+
+// Shr stages a >> c (arithmetic).
+func (v Int) Shr(c int) Int { return Int{v.K, v.K.F.G.Shr(v.E, ir.ConstInt(c))} }
+
+// And stages a & b.
+func (v Int) And(o Int) Int { return Int{v.K, v.K.F.G.And(v.E, o.E)} }
+
+// Or stages a | b.
+func (v Int) Or(o Int) Int { return Int{v.K, v.K.F.G.Or(v.E, o.E)} }
+
+// Xor stages a ^ b.
+func (v Int) Xor(o Int) Int { return Int{v.K, v.K.F.G.Xor(v.E, o.E)} }
+
+// Min stages min(a, b).
+func (v Int) Min(o Int) Int { return Int{v.K, v.K.F.G.Min(v.E, o.E)} }
+
+// Max stages max(a, b).
+func (v Int) Max(o Int) Int { return Int{v.K, v.K.F.G.Max(v.E, o.E)} }
+
+// Lt stages a < b.
+func (v Int) Lt(o Int) Bool { return Bool{v.K, v.K.F.G.Lt(v.E, o.E)} }
+
+// Le stages a <= b.
+func (v Int) Le(o Int) Bool { return Bool{v.K, v.K.F.G.Le(v.E, o.E)} }
+
+// Gt stages a > b.
+func (v Int) Gt(o Int) Bool { return Bool{v.K, v.K.F.G.Gt(v.E, o.E)} }
+
+// Ge stages a >= b.
+func (v Int) Ge(o Int) Bool { return Bool{v.K, v.K.F.G.Ge(v.E, o.E)} }
+
+// Eq stages a == b.
+func (v Int) Eq(o Int) Bool { return Bool{v.K, v.K.F.G.Eq(v.E, o.E)} }
+
+// Ne stages a != b.
+func (v Int) Ne(o Int) Bool { return Bool{v.K, v.K.F.G.Ne(v.E, o.E)} }
+
+// ToF32 stages an int→float conversion.
+func (v Int) ToF32() F32 { return F32{v.K, v.K.F.G.Conv(v.E, ir.TF32)} }
+
+// ToI64 stages an int→long conversion.
+func (v Int) ToI64() I64 { return I64{v.K, v.K.F.G.Conv(v.E, ir.TI64)} }
+
+// I64 arithmetic (subset used by kernels).
+
+// Add stages a + b.
+func (v I64) Add(o I64) I64 { return I64{v.K, v.K.F.G.Add(v.E, o.E)} }
+
+// Sub stages a - b.
+func (v I64) Sub(o I64) I64 { return I64{v.K, v.K.F.G.Sub(v.E, o.E)} }
+
+// Mul stages a * b.
+func (v I64) Mul(o I64) I64 { return I64{v.K, v.K.F.G.Mul(v.E, o.E)} }
+
+// ToInt stages a long→int truncation.
+func (v I64) ToInt() Int { return Int{v.K, v.K.F.G.Conv(v.E, ir.TI32)} }
+
+// F32 arithmetic.
+
+// Add stages a + b.
+func (v F32) Add(o F32) F32 { return F32{v.K, v.K.F.G.Add(v.E, o.E)} }
+
+// Sub stages a - b.
+func (v F32) Sub(o F32) F32 { return F32{v.K, v.K.F.G.Sub(v.E, o.E)} }
+
+// Mul stages a * b.
+func (v F32) Mul(o F32) F32 { return F32{v.K, v.K.F.G.Mul(v.E, o.E)} }
+
+// Div stages a / b.
+func (v F32) Div(o F32) F32 { return F32{v.K, v.K.F.G.Div(v.E, o.E)} }
+
+// Neg stages -a.
+func (v F32) Neg() F32 { return F32{v.K, v.K.F.G.Neg(v.E)} }
+
+// Lt stages a < b.
+func (v F32) Lt(o F32) Bool { return Bool{v.K, v.K.F.G.Lt(v.E, o.E)} }
+
+// Gt stages a > b.
+func (v F32) Gt(o F32) Bool { return Bool{v.K, v.K.F.G.Gt(v.E, o.E)} }
+
+// ToF64 stages a float→double conversion.
+func (v F32) ToF64() F64 { return F64{v.K, v.K.F.G.Conv(v.E, ir.TF64)} }
+
+// ToInt stages a float→int truncation.
+func (v F32) ToInt() Int { return Int{v.K, v.K.F.G.Conv(v.E, ir.TI32)} }
+
+// F64 arithmetic.
+
+// Add stages a + b.
+func (v F64) Add(o F64) F64 { return F64{v.K, v.K.F.G.Add(v.E, o.E)} }
+
+// Sub stages a - b.
+func (v F64) Sub(o F64) F64 { return F64{v.K, v.K.F.G.Sub(v.E, o.E)} }
+
+// Mul stages a * b.
+func (v F64) Mul(o F64) F64 { return F64{v.K, v.K.F.G.Mul(v.E, o.E)} }
+
+// Div stages a / b.
+func (v F64) Div(o F64) F64 { return F64{v.K, v.K.F.G.Div(v.E, o.E)} }
+
+// ToF32 stages a double→float conversion.
+func (v F64) ToF32() F32 { return F32{v.K, v.K.F.G.Conv(v.E, ir.TF32)} }
+
+// Bool operations.
+
+// And stages a && b.
+func (v Bool) And(o Bool) Bool { return Bool{v.K, v.K.F.G.And(v.E, o.E)} }
+
+// Or stages a || b.
+func (v Bool) Or(o Bool) Bool { return Bool{v.K, v.K.F.G.Or(v.E, o.E)} }
+
+// Not stages !a.
+func (v Bool) Not() Bool { return Bool{v.K, v.K.F.G.Not(v.E)} }
+
+// --- array access ------------------------------------------------------------------
+
+// At stages a[i].
+func (p PF32) At(i Int) F32 { return F32{p.K, p.K.F.G.ALoad(p.E, i.E)} }
+
+// Set stages a[i] = v.
+func (p PF32) Set(i Int, v F32) { p.K.F.G.AStore(p.E, i.E, v.E) }
+
+// Plus stages pointer displacement a + i.
+func (p PF32) Plus(i Int) PF32 { return PF32{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i].
+func (p PF64) At(i Int) F64 { return F64{p.K, p.K.F.G.ALoad(p.E, i.E)} }
+
+// Set stages a[i] = v.
+func (p PF64) Set(i Int, v F64) { p.K.F.G.AStore(p.E, i.E, v.E) }
+
+// Plus stages pointer displacement a + i.
+func (p PF64) Plus(i Int) PF64 { return PF64{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i] sign-extended to Int (Java's byte loads promote).
+func (p PI8) At(i Int) Int {
+	v := p.K.F.G.ALoad(p.E, i.E)
+	return Int{p.K, p.K.F.G.Conv(v, ir.TI32)}
+}
+
+// Set stages a[i] = (int8) v.
+func (p PI8) Set(i Int, v Int) {
+	p.K.F.G.AStore(p.E, i.E, p.K.F.G.Conv(v.E, ir.TI8))
+}
+
+// Plus stages pointer displacement a + i.
+func (p PI8) Plus(i Int) PI8 { return PI8{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i] zero-extended to Int.
+func (p PU8) At(i Int) Int {
+	v := p.K.F.G.ALoad(p.E, i.E)
+	return Int{p.K, p.K.F.G.Conv(v, ir.TI32)}
+}
+
+// Set stages a[i] = (uint8) v.
+func (p PU8) Set(i Int, v Int) {
+	p.K.F.G.AStore(p.E, i.E, p.K.F.G.Conv(v.E, ir.TU8))
+}
+
+// Plus stages pointer displacement a + i.
+func (p PU8) Plus(i Int) PU8 { return PU8{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i] sign-extended to Int (Java short semantics).
+func (p PI16) At(i Int) Int {
+	v := p.K.F.G.ALoad(p.E, i.E)
+	return Int{p.K, p.K.F.G.Conv(v, ir.TI32)}
+}
+
+// Set stages a[i] = (int16) v.
+func (p PI16) Set(i Int, v Int) {
+	p.K.F.G.AStore(p.E, i.E, p.K.F.G.Conv(v.E, ir.TI16))
+}
+
+// Plus stages pointer displacement a + i.
+func (p PI16) Plus(i Int) PI16 { return PI16{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i] zero-extended to Int.
+func (p PU16) At(i Int) Int {
+	v := p.K.F.G.ALoad(p.E, i.E)
+	return Int{p.K, p.K.F.G.Conv(v, ir.TI32)}
+}
+
+// Set stages a[i] = (uint16) v.
+func (p PU16) Set(i Int, v Int) {
+	p.K.F.G.AStore(p.E, i.E, p.K.F.G.Conv(v.E, ir.TU16))
+}
+
+// Plus stages pointer displacement a + i.
+func (p PU16) Plus(i Int) PU16 { return PU16{p.K, p.K.Offset(p.E, i)} }
+
+// At stages a[i].
+func (p PI32) At(i Int) Int { return Int{p.K, p.K.F.G.ALoad(p.E, i.E)} }
+
+// Set stages a[i] = v.
+func (p PI32) Set(i Int, v Int) { p.K.F.G.AStore(p.E, i.E, v.E) }
+
+// Plus stages pointer displacement a + i.
+func (p PI32) Plus(i Int) PI32 { return PI32{p.K, p.K.Offset(p.E, i)} }

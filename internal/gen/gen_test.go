@@ -1,0 +1,157 @@
+package gen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlspec"
+)
+
+func TestMethodName(t *testing.T) {
+	cases := map[string]string{
+		"_mm256_add_pd":        "MM256AddPd",
+		"_mm_loadu_ps":         "MMLoaduPs",
+		"_rdrand16_step":       "Rdrand16Step",
+		"_mm512_storenrngo_pd": "MM512StorenrngoPd",
+		"_mm_cvtss_f32":        "MMCvtssF32",
+		"_lzcnt_u32":           "LzcntU32",
+	}
+	for in, want := range cases {
+		if got := MethodName(in); got != want {
+			t.Errorf("MethodName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func latestIndex(t *testing.T) *xmlspec.Index {
+	t.Helper()
+	f := xmlspec.Generate(xmlspec.Latest())
+	rs, errs := xmlspec.Resolve(f)
+	if len(errs) != 0 {
+		t.Fatalf("resolve errors: %v", errs[0])
+	}
+	ix, dups := xmlspec.NewIndex(rs)
+	if len(dups) != 0 {
+		t.Fatalf("duplicates: %v", dups[0])
+	}
+	return ix
+}
+
+func TestGenerateParsesAsGo(t *testing.T) {
+	ix := latestIndex(t)
+	names := []string{"_mm256_add_pd", "_mm256_loadu_ps", "_mm256_storeu_ps",
+		"_mm256_fmadd_ps", "_rdrand16_step", "_mm256_shuffle_ps"}
+	src, report, err := Generate(ix, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range report {
+		if r.Skipped {
+			t.Errorf("%s skipped: %s", r.CName, r.Reason)
+		}
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "intrin_gen.go", src, 0); err != nil {
+		t.Fatalf("generated code does not parse: %v", err)
+	}
+	text := string(src)
+	for _, want := range []string{
+		"func (kb *Kernel) MM256AddPd(a M256d, b M256d) M256d",
+		"func (kb *Kernel) MM256LoaduPs(memAddr PF32, memAddrOffset Int) M256",
+		"func (kb *Kernel) MM256StoreuPs(memAddr PF32, memAddrOffset Int, a M256)",
+		"func (kb *Kernel) MM256ShufflePs(a M256, b M256, imm8 int) M256",
+		"kb.ReadEff(memAddrP)",
+		"kb.WriteEff(memAddrP)",
+		"IntrinMeta = map[string]IntrinInfo",
+		"{Families: []isa.Family{isa.AVX}, Header: \"immintrin.h\", Category: \"Arithmetic\", Instruction: \"vaddpd\"",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}
+
+func TestGenerateIsDeterministic(t *testing.T) {
+	ix := latestIndex(t)
+	names := []string{"_mm256_add_pd", "_mm_add_ps", "_mm256_fmadd_ps"}
+	a, _, err := Generate(ix, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := Generate(ix, append([]string(nil), names...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Error("generation is not deterministic")
+	}
+	// Order of the input list must not matter.
+	c, _, err := Generate(ix, []string{"_mm256_fmadd_ps", "_mm256_add_pd", "_mm_add_ps"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(c) {
+		t.Error("generation depends on input order")
+	}
+}
+
+func TestGenerateReportsUnknown(t *testing.T) {
+	ix := latestIndex(t)
+	_, report, err := Generate(ix, []string{"_mm256_add_pd", "_mm999_warp_drive"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var skipped int
+	for _, r := range report {
+		if r.Skipped {
+			skipped++
+			if r.CName != "_mm999_warp_drive" {
+				t.Errorf("wrong intrinsic skipped: %s", r.CName)
+			}
+		}
+	}
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+}
+
+func TestFullCuratedSetGenerates(t *testing.T) {
+	ix := latestIndex(t)
+	var names []string
+	for _, e := range xmlspec.CuratedEntries() {
+		names = append(names, e.Name)
+	}
+	src, report, err := Generate(ix, names)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound := 0
+	for _, r := range report {
+		if r.Skipped {
+			t.Errorf("%s skipped: %s", r.CName, r.Reason)
+		} else {
+			bound++
+		}
+	}
+	if bound < 600 {
+		t.Errorf("bound %d intrinsics, expected 600+", bound)
+	}
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "intrin_gen.go", src, 0); err != nil {
+		t.Fatalf("full generated file does not parse: %v", err)
+	}
+}
+
+func TestSanitizeParam(t *testing.T) {
+	cases := map[string]string{
+		"mem_addr": "memAddr", "k": "kp", "a": "a", "RoundKey": "roundkey",
+		"func": "funcp",
+	}
+	for in, want := range cases {
+		if got := sanitizeParam(in); got != want {
+			t.Errorf("sanitizeParam(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

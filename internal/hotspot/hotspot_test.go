@@ -1,0 +1,211 @@
+package hotspot
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// javaSaxpy stages the paper's JSaxpy: the plain Java loop
+// `for (i) a[i] += b[i] * s`.
+func javaSaxpy() *ir.Func {
+	k := dsl.NewKernel("JSaxpy_apply", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	s := k.ParamF32()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).Add(b.At(i).Mul(s)))
+	})
+	return k.F
+}
+
+// javaDot stages the scalar reduction `for (i) acc += a[i]*b[i]`.
+func javaDot() *ir.Func {
+	k := dsl.NewKernel("JDot_apply", isa.Haswell.Features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	n := k.ParamInt()
+	acc := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+		func(i dsl.Int, acc dsl.F32) dsl.F32 {
+			return acc.Add(a.At(i).Mul(b.At(i)))
+		})
+	k.Return(acc)
+	return k.F
+}
+
+func TestSLPVectorizesSaxpy(t *testing.T) {
+	f := javaSaxpy()
+	vf, rep := AutoVectorize(f, isa.Haswell.Features)
+	if !rep.Vectorized() {
+		t.Fatalf("SLP did not vectorize saxpy: %v", rep.Rejections)
+	}
+	ops := ir.Schedule(vf).CountOps()
+	if ops["_mm_loadu_ps"] == 0 || ops["_mm_storeu_ps"] == 0 ||
+		ops["_mm_mul_ps"] == 0 || ops["_mm_add_ps"] == 0 {
+		t.Errorf("vectorized ops = %v", ops)
+	}
+	if ops["_mm256_loadu_ps"] != 0 {
+		t.Error("SLP must use SSE width only, not AVX")
+	}
+	for op := range ops {
+		if strings.Contains(op, "fmadd") {
+			t.Error("SLP must not contract to FMA")
+		}
+	}
+}
+
+func TestSLPVectorizedSaxpyIsCorrect(t *testing.T) {
+	v := NewVM(isa.Haswell)
+	m, err := v.Load(javaSaxpy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 23
+	a := make([]float32, n)
+	b := make([]float32, n)
+	want := make([]float32, n)
+	for i := range a {
+		a[i] = float32(i)
+		b[i] = float32(2 * i)
+		want[i] = a[i] + b[i]*3
+	}
+	aBuf, bBuf := vm.PinF32(a), vm.PinF32(b)
+	if _, err := m.InvokeAt(TierC2, vm.PtrValue(aBuf, 0), vm.PtrValue(bBuf, 0),
+		vm.F32Value(3), vm.IntValue(n)); err != nil {
+		t.Fatal(err)
+	}
+	aBuf.UnpinF32(a)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("a[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+	// The C2 run must actually have used SSE.
+	if v.Machine.Counts["_mm_loadu_ps"] == 0 {
+		t.Error("C2 execution used no SSE loads")
+	}
+	if got := v.Machine.Counts["_mm_storeu_ps"]; got != 5 { // 20 elements / 4
+		t.Errorf("SSE stores = %d, want 5", got)
+	}
+	if got := v.Machine.Counts["scalar.store"]; got != 3 { // 23-20 tail
+		t.Errorf("scalar tail stores = %d, want 3", got)
+	}
+}
+
+func TestSLPRejectsReduction(t *testing.T) {
+	_, rep := AutoVectorize(javaDot(), isa.Haswell.Features)
+	if rep.Vectorized() {
+		t.Fatal("SLP vectorized a reduction; HotSpot's SLP cannot")
+	}
+	found := false
+	for _, r := range rep.Rejections {
+		if strings.Contains(r, "reduction") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("rejection reasons = %v, want a reduction rejection", rep.Rejections)
+	}
+}
+
+func TestSLPRejectsNonContiguous(t *testing.T) {
+	k := dsl.NewKernel("strided", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i.MulC(2), a.At(i.MulC(2)).Add(k.ConstF32(1)))
+	})
+	_, rep := AutoVectorize(k.F, isa.Haswell.Features)
+	if rep.Vectorized() {
+		t.Fatal("SLP vectorized a strided access")
+	}
+}
+
+func TestSLPRejectsTypePromotion(t *testing.T) {
+	// Java 8-bit loop: bytes promote to int before arithmetic.
+	k := dsl.NewKernel("bytes", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI8Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).AddC(1))
+	})
+	_, rep := AutoVectorize(k.F, isa.Haswell.Features)
+	if rep.Vectorized() {
+		t.Fatal("SLP vectorized promoted byte arithmetic")
+	}
+}
+
+func TestSLPWithoutSSE(t *testing.T) {
+	fs := isa.NewFeatureSet(isa.MMX) // no SSE at all
+	_, rep := AutoVectorize(javaSaxpy(), fs)
+	if rep.Vectorized() {
+		t.Fatal("vectorized without SSE")
+	}
+}
+
+func TestTieredCompilation(t *testing.T) {
+	v := NewVM(isa.Haswell)
+	v.CompileThreshold = 100 // the paper's -XX:CompileThreshold=100
+	m, err := v.Load(javaSaxpy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tier() != TierInterpreter {
+		t.Errorf("fresh method at %v, want interpreter", m.Tier())
+	}
+	a, b := vm.PinF32(make([]float32, 8)), vm.PinF32(make([]float32, 8))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(b, 0), vm.F32Value(1), vm.IntValue(8)}
+	for i := 0; i < 25; i++ {
+		if _, err := m.Invoke(args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Tier() != TierC1 {
+		t.Errorf("after 25 invocations: %v, want C1", m.Tier())
+	}
+	for i := 0; i < 80; i++ {
+		if _, err := m.Invoke(args...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Tier() != TierC2 {
+		t.Errorf("after 105 invocations: %v, want C2", m.Tier())
+	}
+	if TierInterpreter.CostMultiplier() <= TierC1.CostMultiplier() ||
+		TierC1.CostMultiplier() <= TierC2.CostMultiplier() {
+		t.Error("tier cost multipliers must strictly improve")
+	}
+}
+
+func TestEstimateTierScaling(t *testing.T) {
+	v := NewVM(isa.Haswell)
+	m, err := v.Load(javaSaxpy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 1024
+	a, b := vm.PinF32(make([]float32, n)), vm.PinF32(make([]float32, n))
+	args := []vm.Value{vm.PtrValue(a, 0), vm.PtrValue(b, 0), vm.F32Value(1), vm.IntValue(n)}
+
+	v.Machine.Counts.Reset()
+	if _, err := m.InvokeAt(TierC2, args...); err != nil {
+		t.Fatal(err)
+	}
+	c2 := m.Estimate(TierC2, v.Machine.Counts, n*8)
+
+	v.Machine.Counts.Reset()
+	if _, err := m.InvokeAt(TierInterpreter, args...); err != nil {
+		t.Fatal(err)
+	}
+	interp := m.Estimate(TierInterpreter, v.Machine.Counts, n*8)
+
+	if interp.Cycles <= c2.Cycles*5 {
+		t.Errorf("interpreter estimate %.0f should be ≫ C2 estimate %.0f",
+			interp.Cycles, c2.Cycles)
+	}
+}

@@ -1,0 +1,222 @@
+// Package hotspot simulates the baseline managed runtime the paper
+// compares against: a tiered JVM (interpreter → C1 → C2) whose C2
+// compiler auto-vectorizes with Superword Level Parallelism (Larsen &
+// Amarasinghe, PLDI 2000) — with exactly the limitations the paper
+// measures (Sections 2.2, 3.4, 4.2):
+//
+//   - vectorization uses SSE width only (the assembly diagnostics in
+//     Section 3.4 show HotSpot emitting SSE while the staged code uses
+//     AVX+FMA);
+//   - no FMA contraction;
+//   - no reduction idioms: loop-carried accumulators stay scalar, which
+//     is why the Java dot products lose Figure 7;
+//   - only contiguous unit-stride float accesses pack, which is why
+//     both Java MMM variants stay scalar in Figure 6b;
+//   - 8/16-bit integer arithmetic promotes to 32-bit first.
+package hotspot
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// SLPWidth is the SSE vector width in f32 lanes.
+const SLPWidth = 4
+
+// SLPReport records what the auto-vectorizer did to one method.
+type SLPReport struct {
+	LoopsSeen       int
+	LoopsVectorized int
+	Rejections      []string
+}
+
+// Vectorized reports whether any loop was vectorized.
+func (r SLPReport) Vectorized() bool { return r.LoopsVectorized > 0 }
+
+// slpPlan is the analysis result for one vectorizable loop body.
+type slpPlan struct {
+	body *ir.Block
+}
+
+// analyzeLoop decides whether a mirrored loop body is an SLP pack
+// candidate and explains rejections.
+func analyzeLoop(d *ir.Def) (slpPlan, string) {
+	if len(d.Args) == 4 {
+		return slpPlan{}, "reduction: loop-carried accumulator (SLP cannot detect reduction idioms)"
+	}
+	stride, ok := d.Args[2].(ir.Const)
+	if !ok || stride.AsInt() != 1 {
+		return slpPlan{}, "non-unit stride"
+	}
+	body := d.Blocks[0]
+	iv := body.Params[0]
+	hasStore := false
+	for _, n := range body.Nodes {
+		def := n.Def
+		switch def.Op {
+		case ir.OpALoad:
+			idx, ok := def.Args[1].(ir.Sym)
+			if !ok || idx != iv {
+				return slpPlan{}, "non-contiguous memory access"
+			}
+			if n.Sym.Typ != ir.TF32 {
+				return slpPlan{}, fmt.Sprintf("unsupported element type %s", n.Sym.Typ)
+			}
+		case ir.OpAStore:
+			idx, ok := def.Args[1].(ir.Sym)
+			if !ok || idx != iv {
+				return slpPlan{}, "non-contiguous memory access"
+			}
+			if def.Args[2].Type() != ir.TF32 {
+				return slpPlan{}, fmt.Sprintf("unsupported store type %s", def.Args[2].Type())
+			}
+			hasStore = true
+		case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpMin, ir.OpMax:
+			if def.Typ != ir.TF32 {
+				return slpPlan{}, fmt.Sprintf("non-f32 arithmetic (%s on %s)", def.Op, def.Typ)
+			}
+			// The loop variable must not feed arithmetic (only
+			// addressing): isomorphic packs need pure data ops.
+			for _, a := range def.ArgSyms() {
+				if a == iv {
+					return slpPlan{}, "loop variable used as data"
+				}
+			}
+		case ir.OpConv:
+			return slpPlan{}, "type promotion in loop body"
+		case ir.OpLoop, ir.OpIf:
+			return slpPlan{}, "control flow in loop body"
+		default:
+			return slpPlan{}, fmt.Sprintf("unsupported operation %s", def.Op)
+		}
+	}
+	if !hasStore {
+		return slpPlan{}, "no packable store"
+	}
+	return slpPlan{body: body}, ""
+}
+
+// AutoVectorize runs the SLP pass over a scalar method, producing the
+// C2-compiled version. Features decide availability (no SSE → scalar).
+func AutoVectorize(f *ir.Func, features isa.FeatureSet) (*ir.Func, SLPReport) {
+	rep := SLPReport{}
+	if !features.Has(isa.SSE) {
+		rep.Rejections = append(rep.Rejections, "no SSE support on this machine")
+		return ir.NewTransformer().Mirror(f), rep
+	}
+	tr := ir.NewTransformer()
+	tr.Rewrite = func(dst *ir.Graph, d *ir.Def) (ir.Exp, bool) {
+		if d.Op != ir.OpLoop {
+			return nil, false
+		}
+		rep.LoopsSeen++
+		plan, reason := analyzeLoop(d)
+		if reason != "" {
+			rep.Rejections = append(rep.Rejections, reason)
+			return nil, false
+		}
+		rep.LoopsVectorized++
+		return emitVectorLoop(dst, d, plan), true
+	}
+	return tr.Mirror(f), rep
+}
+
+// emitVectorLoop rewrites a packable scalar loop into an SSE main loop
+// plus a scalar tail, returning the (void) expression of the rewritten
+// region.
+func emitVectorLoop(g *ir.Graph, d *ir.Def, plan slpPlan) ir.Exp {
+	start, end := d.Args[0], d.Args[1]
+	body := plan.body
+	iv := body.Params[0]
+
+	// n0 = start + ((end-start) & ^(w-1))
+	span := g.Sub(end, start)
+	aligned := g.And(span, ir.ConstInt(^(SLPWidth - 1)))
+	n0 := g.Add(start, aligned)
+
+	// Hoist loop-invariant broadcast of external scalars and constants.
+	splats := map[string]ir.Exp{}
+	splat := func(e ir.Exp) ir.Exp {
+		key := e.String()
+		if v, ok := splats[key]; ok {
+			return v
+		}
+		v := g.Emit(&ir.Def{Op: "_mm_set1_ps", Typ: ir.TM128,
+			Args: []ir.Exp{e}, Effect: ir.PureEffect})
+		splats[key] = v
+		return v
+	}
+
+	// Main vector loop.
+	vIv := g.Fresh(ir.TI32)
+	vBlk := g.InBlock([]ir.Sym{vIv}, func() ir.Exp {
+		vec := map[int]ir.Exp{} // scalar sym → vector exp
+		lookup := func(e ir.Exp) ir.Exp {
+			if s, ok := e.(ir.Sym); ok {
+				if v, hit := vec[s.ID]; hit {
+					return v
+				}
+				return splat(s) // loop-invariant scalar
+			}
+			return splat(e) // constant
+		}
+		for _, n := range body.Nodes {
+			def := n.Def
+			switch def.Op {
+			case ir.OpALoad:
+				ptr := g.PtrAdd(def.Args[0], vIv)
+				root := g.RootPtr(ptr.(ir.Sym))
+				vec[n.Sym.ID] = g.Emit(&ir.Def{Op: "_mm_loadu_ps", Typ: ir.TM128,
+					Args: []ir.Exp{ptr}, Effect: ir.ReadEffect(root)})
+			case ir.OpAStore:
+				ptr := g.PtrAdd(def.Args[0], vIv)
+				root := g.RootPtr(ptr.(ir.Sym))
+				g.EmitStmt(&ir.Def{Op: "_mm_storeu_ps", Typ: ir.TVoid,
+					Args:   []ir.Exp{ptr, lookup(def.Args[2])},
+					Effect: ir.WriteEffect(root)})
+			default:
+				op := map[string]string{
+					ir.OpAdd: "_mm_add_ps", ir.OpSub: "_mm_sub_ps",
+					ir.OpMul: "_mm_mul_ps", ir.OpMin: "_mm_min_ps",
+					ir.OpMax: "_mm_max_ps",
+				}[def.Op]
+				vec[n.Sym.ID] = g.Emit(&ir.Def{Op: op, Typ: ir.TM128,
+					Args:   []ir.Exp{lookup(def.Args[0]), lookup(def.Args[1])},
+					Effect: ir.PureEffect})
+			}
+		}
+		return nil
+	})
+	loopEff := vBlk.Effect()
+	g.EmitStmt(&ir.Def{Op: ir.OpLoop, Typ: ir.TVoid,
+		Args:   []ir.Exp{start, n0, ir.ConstInt(SLPWidth)},
+		Blocks: []*ir.Block{vBlk}, Effect: loopEff})
+
+	// Scalar tail: replay the original body with a fresh loop variable.
+	tIv := g.Fresh(ir.TI32)
+	tBlk := g.InBlock([]ir.Sym{tIv}, func() ir.Exp {
+		sub := map[int]ir.Exp{iv.ID: tIv}
+		get := func(e ir.Exp) ir.Exp {
+			if s, ok := e.(ir.Sym); ok {
+				if r, hit := sub[s.ID]; hit {
+					return r
+				}
+			}
+			return e
+		}
+		for _, n := range body.Nodes {
+			def := n.Def
+			nd := &ir.Def{Op: def.Op, Typ: def.Typ, Effect: def.Effect}
+			for _, a := range def.Args {
+				nd.Args = append(nd.Args, get(a))
+			}
+			sub[n.Sym.ID] = g.Emit(nd)
+		}
+		return nil
+	})
+	return g.Emit(&ir.Def{Op: ir.OpLoop, Typ: ir.TVoid,
+		Args:   []ir.Exp{n0, end, ir.ConstInt(1)},
+		Blocks: []*ir.Block{tBlk}, Effect: tBlk.Effect()})
+}

@@ -1,0 +1,120 @@
+package hotspot
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernelc"
+	"repro/internal/vm"
+)
+
+// randomLoopKernel stages a random element-wise loop over two inputs and
+// one output: out[i] = f(a[i], b[i]) where f is a random expression tree
+// over {+, −, ×, min, max} and float constants. Every such loop is SLP-
+// vectorizable, and vectorization must not change any lane's value
+// (element-wise maps have no reassociation freedom).
+type loopSpec struct {
+	Ops    []uint8
+	Consts []int8
+}
+
+func buildRandomLoop(spec loopSpec) *ir.Func {
+	k := dsl.NewKernel("randloop", isa.Haswell.Features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	out := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		x := a.At(i)
+		y := b.At(i)
+		vals := []dsl.F32{x, y}
+		for j, op := range spec.Ops {
+			if j > 6 {
+				break
+			}
+			lhs := vals[int(op)%len(vals)]
+			rhs := vals[(int(op)/4)%len(vals)]
+			if j < len(spec.Consts) {
+				rhs = k.ConstF32(float32(spec.Consts[j]))
+			}
+			var v dsl.F32
+			switch op % 5 {
+			case 0:
+				v = lhs.Add(rhs)
+			case 1:
+				v = lhs.Sub(rhs)
+			case 2:
+				v = lhs.Mul(rhs)
+			case 3:
+				v = dsl.F32{K: k, E: k.F.G.Min(lhs.E, rhs.E)}
+			default:
+				v = dsl.F32{K: k, E: k.F.G.Max(lhs.E, rhs.E)}
+			}
+			vals = append(vals, v)
+		}
+		out.Set(i, vals[len(vals)-1])
+	})
+	return k.F
+}
+
+func TestQuickSLPPreservesSemantics(t *testing.T) {
+	check := func(spec loopSpec, seed uint64, rawN uint8) bool {
+		if len(spec.Ops) == 0 {
+			return true
+		}
+		n := int(rawN)%50 + 3 // 3..52, exercises vector body + tail
+		f := buildRandomLoop(spec)
+
+		scalarProg, err := kernelc.Compile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vf, rep := AutoVectorize(f, isa.Haswell.Features)
+		vecProg, err := kernelc.Compile(vf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Vectorized() {
+			t.Fatalf("elementwise loop not vectorized: %v", rep.Rejections)
+		}
+
+		rng := vm.NewXorshift(seed)
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.Uniform()*16 - 8)
+			b[i] = float32(rng.Uniform()*16 - 8)
+		}
+		run := func(p *kernelc.Program) []float32 {
+			out := vm.NewBuffer(vm.PinF32(a).Prim, n)
+			m := vm.NewMachine(isa.Haswell)
+			if _, err := p.Run(m, vm.PtrValue(vm.PinF32(a), 0),
+				vm.PtrValue(vm.PinF32(b), 0), vm.PtrValue(out, 0),
+				vm.IntValue(n)); err != nil {
+				t.Fatal(err)
+			}
+			res := make([]float32, n)
+			out.UnpinF32(res)
+			return res
+		}
+		s := run(scalarProg)
+		v := run(vecProg)
+		for i := range s {
+			sb := math.Float32bits(s[i])
+			vb := math.Float32bits(v[i])
+			if sb != vb && !(math.IsNaN(float64(s[i])) && math.IsNaN(float64(v[i]))) {
+				t.Logf("lane %d: scalar %v (%#x) vs vectorized %v (%#x)",
+					i, s[i], sb, v[i], vb)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Scalar operation names. These cover the "auxiliary scalar operations
+// and control flow" the staged graph batches together with intrinsic
+// invocations (Section 1 of the paper). Intrinsic nodes use their C name
+// (leading underscore) as the Op, so the two vocabularies cannot collide.
+const (
+	OpAdd  = "add"
+	OpSub  = "sub"
+	OpMul  = "mul"
+	OpDiv  = "div"
+	OpRem  = "rem"
+	OpNeg  = "neg"
+	OpMin  = "min"
+	OpMax  = "max"
+	OpAnd  = "and"
+	OpOr   = "or"
+	OpXor  = "xor"
+	OpNot  = "not"
+	OpShl  = "shl"
+	OpShr  = "shr"
+	OpEq   = "eq"
+	OpNe   = "ne"
+	OpLt   = "lt"
+	OpLe   = "le"
+	OpGt   = "gt"
+	OpGe   = "ge"
+	OpConv = "conv"   // scalar conversion: arg type → node type
+	OpSel  = "select" // (cond, then, else)
+
+	OpALoad  = "aload"  // (ptr, idx) → elem; reads memory
+	OpAStore = "astore" // (ptr, idx, val); writes memory
+	OpPtrAdd = "ptradd" // (ptr, idx) → ptr displaced by idx elements
+
+	OpLoop = "forloop" // (start, end, stride) + body block w/ index param
+	OpIf   = "if"      // (cond) + then/else blocks carrying results
+
+	OpParam   = "param"   // function parameter placeholder
+	OpComment = "comment" // structured comment carried into generated C
+)
+
+// IsIntrinsicOp reports whether op names a SIMD intrinsic (C names start
+// with '_').
+func IsIntrinsicOp(op string) bool { return strings.HasPrefix(op, "_") }
+
+// EffectKind classifies how a definition interacts with the world.
+type EffectKind uint8
+
+const (
+	// Pure nodes have no effects: they are subject to CSE and dead-code
+	// elimination.
+	Pure EffectKind = iota
+	// ReadWrite nodes read and/or write the memory reachable from
+	// specific symbols; ordering is preserved per symbol.
+	ReadWrite
+	// Global nodes order against everything (fences, zeroupper, rdtsc,
+	// control flow with effectful bodies).
+	Global
+)
+
+// Effect describes a definition's memory behaviour, mirroring the LMS
+// read/write effects the generator infers per intrinsic (Section 3.2).
+type Effect struct {
+	Kind   EffectKind
+	Reads  []Sym // pointer symbols whose memory is read
+	Writes []Sym // pointer symbols whose memory is written
+}
+
+// PureEffect is the effect of a pure node.
+var PureEffect = Effect{Kind: Pure}
+
+// ReadEffect builds an effect reading through the given pointer symbols.
+func ReadEffect(ptrs ...Sym) Effect { return Effect{Kind: ReadWrite, Reads: ptrs} }
+
+// WriteEffect builds an effect writing through the given pointer symbols.
+func WriteEffect(ptrs ...Sym) Effect { return Effect{Kind: ReadWrite, Writes: ptrs} }
+
+// GlobalEffect orders against all other effectful nodes.
+var GlobalEffect = Effect{Kind: Global}
+
+// IsPure reports whether the effect is pure.
+func (e Effect) IsPure() bool { return e.Kind == Pure }
+
+// Union combines two effects.
+func (e Effect) Union(o Effect) Effect {
+	if e.Kind == Global || o.Kind == Global {
+		return GlobalEffect
+	}
+	if e.IsPure() {
+		return o
+	}
+	if o.IsPure() {
+		return e
+	}
+	out := Effect{Kind: ReadWrite}
+	out.Reads = append(append(out.Reads, e.Reads...), o.Reads...)
+	out.Writes = append(append(out.Writes, e.Writes...), o.Writes...)
+	return out
+}
+
+// Block is a nested sequence of nodes with optional parameters (loop
+// indices) and an optional result expression.
+type Block struct {
+	Params []Sym
+	Nodes  []*Node
+	Result Exp
+}
+
+// Effect returns the union of the block's nodes' effects.
+func (b *Block) Effect() Effect {
+	eff := PureEffect
+	for _, n := range b.Nodes {
+		eff = eff.Union(n.Def.Effect)
+	}
+	return eff
+}
+
+// Def is a definition: one computation node — the analog of LMS's
+// Def[T] subclasses (the generated case classes of Section 3.2). Instead
+// of one Go struct per intrinsic, a Def carries its op name and typed
+// argument list; the generated bindings give each intrinsic a typed
+// constructor.
+type Def struct {
+	Op     string
+	Typ    Type
+	Args   []Exp
+	Blocks []*Block // control-flow bodies (loops, conditionals)
+	Effect Effect
+}
+
+// Node pairs a definition with the symbol naming its result (the SSA
+// binding "val x7 = Def(...)").
+type Node struct {
+	Sym Sym
+	Def *Def
+}
+
+// HasBlocks reports whether the definition carries nested blocks.
+func (d *Def) HasBlocks() bool { return len(d.Blocks) > 0 }
+
+// cseKey builds the structural key used for common-subexpression
+// elimination. Only pure block-free definitions are keyed.
+func (d *Def) cseKey() (string, bool) {
+	if !d.Effect.IsPure() || d.HasBlocks() {
+		return "", false
+	}
+	var b strings.Builder
+	b.WriteString(d.Op)
+	b.WriteByte('|')
+	fmt.Fprintf(&b, "%v", d.Typ)
+	for _, a := range d.Args {
+		b.WriteByte('|')
+		switch x := a.(type) {
+		case Sym:
+			fmt.Fprintf(&b, "s%d", x.ID)
+		case Const:
+			fmt.Fprintf(&b, "c%v:%s", x.Typ, x.String())
+		default:
+			return "", false
+		}
+	}
+	return b.String(), true
+}
+
+// ArgSyms returns the symbols among the definition's direct arguments.
+func (d *Def) ArgSyms() []Sym {
+	var out []Sym
+	for _, a := range d.Args {
+		if s, ok := a.(Sym); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (d *Def) String() string {
+	parts := make([]string, len(d.Args))
+	for i, a := range d.Args {
+		parts[i] = a.String()
+	}
+	s := fmt.Sprintf("%s(%s)", d.Op, strings.Join(parts, ", "))
+	if d.HasBlocks() {
+		s += fmt.Sprintf(" {%d blocks}", len(d.Blocks))
+	}
+	return s
+}

@@ -1,0 +1,151 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Exp is a staged expression: the analog of LMS's Exp[T]. An Exp is
+// either a Const or a Sym referring to a Def in the graph.
+type Exp interface {
+	Type() Type
+	isExp()
+	String() string
+}
+
+// Sym is a symbolic reference to a graph node by numeric index — LMS's
+// Sym(id). Syms are small value types and compare with ==.
+type Sym struct {
+	ID  int
+	Typ Type
+}
+
+// Type returns the symbol's staged type.
+func (s Sym) Type() Type { return s.Typ }
+
+func (s Sym) isExp() {}
+
+// String formats the symbol like LMS does: x<id>.
+func (s Sym) String() string { return fmt.Sprintf("x%d", s.ID) }
+
+// Const is a staged literal — LMS's Const(.). The value lives in the
+// field matching the type's kind; Const is comparable so pure nodes with
+// identical literal arguments CSE.
+type Const struct {
+	Typ Type
+	I   int64   // signed integers
+	U   uint64  // unsigned integers
+	F   float64 // f32 (rounded) and f64
+	B   bool
+}
+
+// Type returns the literal's staged type.
+func (c Const) Type() Type { return c.Typ }
+
+func (c Const) isExp() {}
+
+// String formats the literal.
+func (c Const) String() string {
+	switch {
+	case c.Typ.Kind == KindBool:
+		return fmt.Sprintf("%v", c.B)
+	case c.Typ.IsFloat():
+		return fmt.Sprintf("%g", c.F)
+	case c.Typ.IsSigned():
+		return fmt.Sprintf("%d", c.I)
+	default:
+		return fmt.Sprintf("%d", c.U)
+	}
+}
+
+// ConstInt builds an i32 literal.
+func ConstInt(v int) Const { return Const{Typ: TI32, I: int64(v)} }
+
+// ConstI64 builds an i64 literal.
+func ConstI64(v int64) Const { return Const{Typ: TI64, I: v} }
+
+// ConstU64 builds a u64 literal.
+func ConstU64(v uint64) Const { return Const{Typ: TU64, U: v} }
+
+// ConstF32 builds an f32 literal (value stored at float32 precision).
+func ConstF32(v float32) Const { return Const{Typ: TF32, F: float64(v)} }
+
+// ConstF64 builds an f64 literal.
+func ConstF64(v float64) Const { return Const{Typ: TF64, F: v} }
+
+// ConstBool builds a bool literal.
+func ConstBool(v bool) Const { return Const{Typ: TBool, B: v} }
+
+// ConstOf builds a literal of type t from a float64 (useful for
+// type-driven code such as transformers and tests).
+func ConstOf(t Type, v float64) Const {
+	c := Const{Typ: t}
+	switch {
+	case t.Kind == KindBool:
+		c.B = v != 0
+	case t.IsFloat():
+		if t.Kind == KindF32 {
+			v = float64(float32(v))
+		}
+		c.F = v
+	case t.IsSigned():
+		c.I = int64(v)
+	default:
+		if v < 0 {
+			v = 0
+		}
+		c.U = uint64(v)
+	}
+	return c
+}
+
+// AsFloat extracts the numeric value of the literal as float64.
+func (c Const) AsFloat() float64 {
+	switch {
+	case c.Typ.Kind == KindBool:
+		if c.B {
+			return 1
+		}
+		return 0
+	case c.Typ.IsFloat():
+		return c.F
+	case c.Typ.IsSigned():
+		return float64(c.I)
+	default:
+		return float64(c.U)
+	}
+}
+
+// AsInt extracts the numeric value as int64 (floats truncate).
+func (c Const) AsInt() int64 {
+	switch {
+	case c.Typ.Kind == KindBool:
+		if c.B {
+			return 1
+		}
+		return 0
+	case c.Typ.IsFloat():
+		if math.IsNaN(c.F) {
+			return 0
+		}
+		return int64(c.F)
+	case c.Typ.IsSigned():
+		return c.I
+	default:
+		return int64(c.U)
+	}
+}
+
+// IsZero reports whether the literal is the zero of its type.
+func (c Const) IsZero() bool {
+	switch {
+	case c.Typ.Kind == KindBool:
+		return !c.B
+	case c.Typ.IsFloat():
+		return c.F == 0
+	case c.Typ.IsSigned():
+		return c.I == 0
+	default:
+		return c.U == 0
+	}
+}

@@ -1,0 +1,63 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders a staged function as readable SSA text, for debugging and
+// golden tests. Only scheduled (live) nodes print.
+func Dump(f *Func) string {
+	s := Schedule(f)
+	var b strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s: %s", p, p.Typ)
+	}
+	fmt.Fprintf(&b, "def %s(%s) {\n", f.Name, strings.Join(params, ", "))
+	dumpBlock(&b, f, s, f.G.Root(), 1)
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func dumpBlock(b *strings.Builder, f *Func, s *Scheduled, blk *Block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, n := range s.Keep[blk] {
+		switch n.Def.Op {
+		case OpComment:
+			if c, ok := n.Def.Args[0].(Const); ok {
+				fmt.Fprintf(b, "%s// %s\n", ind, f.G.CommentText(int(c.I)))
+			}
+			continue
+		case OpLoop:
+			body := n.Def.Blocks[0]
+			fmt.Fprintf(b, "%sfor %s := %s; %s < %s; %s += %s {\n",
+				ind, body.Params[0], n.Def.Args[0], body.Params[0],
+				n.Def.Args[1], body.Params[0], n.Def.Args[2])
+			dumpBlock(b, f, s, body, depth+1)
+			fmt.Fprintf(b, "%s}\n", ind)
+			continue
+		case OpIf:
+			fmt.Fprintf(b, "%s%s = if %s {\n", ind, n.Sym, n.Def.Args[0])
+			dumpBlock(b, f, s, n.Def.Blocks[0], depth+1)
+			if r := n.Def.Blocks[0].Result; r != nil {
+				fmt.Fprintf(b, "%s  → %s\n", ind, r)
+			}
+			fmt.Fprintf(b, "%s} else {\n", ind)
+			dumpBlock(b, f, s, n.Def.Blocks[1], depth+1)
+			if r := n.Def.Blocks[1].Result; r != nil {
+				fmt.Fprintf(b, "%s  → %s\n", ind, r)
+			}
+			fmt.Fprintf(b, "%s}\n", ind)
+			continue
+		}
+		if n.Def.Typ == TVoid {
+			fmt.Fprintf(b, "%s%s\n", ind, n.Def)
+		} else {
+			fmt.Fprintf(b, "%sval %s: %s = %s\n", ind, n.Sym, n.Sym.Typ, n.Def)
+		}
+	}
+	if r := blk.Result; r != nil && depth == 1 {
+		fmt.Fprintf(b, "%sreturn %s\n", ind, r)
+	}
+}

@@ -1,0 +1,125 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestGoldenDump pins the SSA pretty-printer's output for a small
+// function covering loops, conditionals, comments and effects.
+func TestGoldenDump(t *testing.T) {
+	f := NewFunc("clampadd", PtrType(isa.PrimF32), TI32)
+	a := f.G.MarkMutable(f.Param(0))
+	n := f.Param(1)
+	f.G.Comment("clamp negatives to zero, in place")
+	f.G.Loop(ConstInt(0), n, ConstInt(1), func(i Sym) {
+		v := f.G.ALoad(a, i)
+		c := f.G.If(f.G.Lt(v, ConstF32(0)), TF32,
+			func() Exp { return ConstF32(0) },
+			func() Exp { return v })
+		f.G.AStore(a, i, c)
+	})
+	const want = `def clampadd(x0: float*, x1: int32_t) {
+  // clamp negatives to zero, in place
+  for x3 := 0; x3 < x1; x3 += 1 {
+    val x4: float = aload(x0, x3)
+    val x5: bool = lt(x4, 0)
+    x6 = if x5 {
+      → 0
+    } else {
+      → x4
+    }
+    astore(x0, x3, x6)
+  }
+}
+`
+	if got := Dump(f); got != want {
+		t.Errorf("golden dump mismatch.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestDumpLoopAcc(t *testing.T) {
+	f := NewFunc("sum", PtrType(isa.PrimF32), TI32)
+	a, n := f.Param(0), f.Param(1)
+	acc := f.G.LoopAcc(ConstInt(0), n, ConstInt(1), ConstF32(0),
+		func(i, acc Sym) Exp {
+			return f.G.Add(acc, f.G.ALoad(a, i))
+		})
+	f.G.Root().Result = acc
+	out := Dump(f)
+	for _, want := range []string{"def sum", "return "} {
+		if !contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLoopAccPanicsOnTypeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("LoopAcc accepted a body returning the wrong type")
+		}
+	}()
+	f := NewFunc("bad", TI32)
+	f.G.LoopAcc(ConstInt(0), f.Param(0), ConstInt(1), ConstF32(0),
+		func(i, acc Sym) Exp { return ConstInt(1) })
+}
+
+func TestSubstPanicsOnTypeChange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Subst accepted a type-changing substitution")
+		}
+	}()
+	f := NewFunc("s", TF32)
+	tr := NewTransformer()
+	tr.Subst(f.Param(0), ConstInt(1))
+}
+
+func TestEffectUnion(t *testing.T) {
+	f := NewFunc("e", PtrType(isa.PrimF32), PtrType(isa.PrimF32))
+	p, q := f.Param(0), f.Param(1)
+	r := ReadEffect(p)
+	w := WriteEffect(q)
+	u := r.Union(w)
+	if u.IsPure() || len(u.Reads) != 1 || len(u.Writes) != 1 {
+		t.Errorf("union = %+v", u)
+	}
+	if g := u.Union(GlobalEffect); g.Kind != Global {
+		t.Errorf("union with global = %+v", g)
+	}
+	if pu := PureEffect.Union(PureEffect); !pu.IsPure() {
+		t.Error("pure ∪ pure must stay pure")
+	}
+	if x := PureEffect.Union(r); len(x.Reads) != 1 {
+		t.Error("pure ∪ read lost the read")
+	}
+}
+
+func TestConstAccessors(t *testing.T) {
+	if ConstF64(2.5).AsInt() != 2 || ConstInt(-3).AsFloat() != -3 {
+		t.Error("const conversions broken")
+	}
+	if !ConstBool(false).IsZero() || ConstBool(true).IsZero() {
+		t.Error("bool zero check broken")
+	}
+	if ConstU64(5).AsInt() != 5 {
+		t.Error("u64 AsInt broken")
+	}
+	if ConstOf(TU32, -5).U != 0 {
+		t.Error("negative into unsigned must clamp to 0")
+	}
+	if c := ConstOf(TF32, 1.0/3.0); c.F != float64(float32(1.0/3.0)) {
+		t.Error("f32 const must round to float32 precision")
+	}
+}

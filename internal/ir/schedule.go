@@ -1,0 +1,131 @@
+package ir
+
+// Scheduling: decide which nodes execute and in what order. Emission
+// order is already topological (SSA ids grow monotonically and arguments
+// precede uses), so scheduling here means dead-code elimination over pure
+// nodes while retaining every effectful node in program order — the
+// property the paper's effect inference exists to protect (a store must
+// not be dropped or reordered across a load of the same array).
+
+// Scheduled is the executable view of a staged function.
+type Scheduled struct {
+	F *Func
+	// Keep lists, per block, the nodes that must execute, in order.
+	Keep map[*Block][]*Node
+	// Free lists, per block, the symbols a block references but does
+	// not define (loop-invariant values and outer arrays).
+	Free map[*Block][]Sym
+	// Stats for the ablation benchmarks.
+	Total, Kept int
+}
+
+// Schedule computes the executable node sets for every block of f.
+func Schedule(f *Func) *Scheduled {
+	s := &Scheduled{F: f, Keep: map[*Block][]*Node{}, Free: map[*Block][]Sym{}}
+	s.scheduleBlock(f.G.Root())
+	return s
+}
+
+// scheduleBlock processes one block and returns the set of symbols it
+// needs from enclosing scopes.
+func (s *Scheduled) scheduleBlock(b *Block) map[int]Sym {
+	needed := map[int]bool{}
+	external := map[int]Sym{}
+	defined := map[int]bool{}
+	for _, p := range b.Params {
+		defined[p.ID] = true
+	}
+	for _, n := range b.Nodes {
+		defined[n.Sym.ID] = true
+	}
+	if r, ok := b.Result.(Sym); ok {
+		needed[r.ID] = true
+		if !defined[r.ID] {
+			external[r.ID] = r
+		}
+	}
+
+	// childNeeds caches each nested block's external requirements so a
+	// kept control-flow node pulls in what its body references.
+	childNeeds := map[*Block]map[int]Sym{}
+	var kept []*Node
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		n := b.Nodes[i]
+		s.Total++
+		keep := !n.Def.Effect.IsPure() || needed[n.Sym.ID]
+		if !keep {
+			continue
+		}
+		s.Kept++
+		kept = append(kept, n)
+		for _, blk := range n.Def.Blocks {
+			ext, ok := childNeeds[blk]
+			if !ok {
+				ext = s.scheduleBlock(blk)
+				childNeeds[blk] = ext
+			}
+			for id, sym := range ext {
+				if defined[id] {
+					needed[id] = true
+				} else {
+					external[id] = sym
+				}
+			}
+		}
+		for _, a := range n.Def.ArgSyms() {
+			if defined[a.ID] {
+				needed[a.ID] = true
+			} else {
+				external[a.ID] = a
+			}
+		}
+		// Effects referencing outer arrays also count as uses.
+		for _, sym := range append(n.Def.Effect.Reads, n.Def.Effect.Writes...) {
+			if defined[sym.ID] {
+				needed[sym.ID] = true
+			} else {
+				external[sym.ID] = sym
+			}
+		}
+	}
+	// Reverse into program order.
+	for l, r := 0, len(kept)-1; l < r; l, r = l+1, r-1 {
+		kept[l], kept[r] = kept[r], kept[l]
+	}
+	s.Keep[b] = kept
+	free := make([]Sym, 0, len(external))
+	for _, sym := range external {
+		free = append(free, sym)
+	}
+	// Deterministic order for consumers.
+	for i := 1; i < len(free); i++ {
+		for j := i; j > 0 && free[j].ID < free[j-1].ID; j-- {
+			free[j], free[j-1] = free[j-1], free[j]
+		}
+	}
+	s.Free[b] = free
+	return external
+}
+
+// Walk visits every kept node of the schedule depth-first in execution
+// order, calling fn with the block nesting depth.
+func (s *Scheduled) Walk(fn func(depth int, n *Node)) {
+	var rec func(b *Block, depth int)
+	rec = func(b *Block, depth int) {
+		for _, n := range s.Keep[b] {
+			fn(depth, n)
+			for _, blk := range n.Def.Blocks {
+				rec(blk, depth+1)
+			}
+		}
+	}
+	rec(s.F.G.Root(), 0)
+}
+
+// CountOps returns the number of kept nodes per op, a cheap way for
+// tests to assert on the structure of staged kernels.
+func (s *Scheduled) CountOps() map[string]int {
+	out := map[string]int{}
+	s.Walk(func(_ int, n *Node) { out[n.Def.Op]++ })
+	return out
+}

@@ -1,0 +1,125 @@
+package ir
+
+import "fmt"
+
+// Transformer rebuilds a staged function into a fresh graph while
+// substituting expressions — the LMS "mirroring" machinery (Section 3.2):
+// when a substitution is defined the transformer creates new definitions,
+// and when none applies each Def is mirrored back into an Exp in the new
+// graph, recursively transforming sub-blocks.
+type Transformer struct {
+	// Rewrite, when non-nil, may replace a definition wholesale. It
+	// receives the definition with already-transformed arguments and the
+	// destination graph; returning (exp, true) uses exp instead of
+	// re-emitting the definition.
+	Rewrite func(dst *Graph, d *Def) (Exp, bool)
+
+	subst map[int]Exp
+}
+
+// NewTransformer creates a transformer with an empty substitution.
+func NewTransformer() *Transformer {
+	return &Transformer{subst: map[int]Exp{}}
+}
+
+// Subst registers a substitution: every use of sym becomes rep.
+func (t *Transformer) Subst(sym Sym, rep Exp) {
+	if sym.Typ != rep.Type() {
+		panic(fmt.Sprintf("ir: substitution changes type of %v: %v → %v",
+			sym, sym.Typ, rep.Type()))
+	}
+	t.subst[sym.ID] = rep
+}
+
+// Apply transforms an expression: LMS's f(a) inside mirror().
+func (t *Transformer) Apply(e Exp) Exp {
+	if s, ok := e.(Sym); ok {
+		if rep, hit := t.subst[s.ID]; hit {
+			return rep
+		}
+	}
+	return e
+}
+
+// Mirror rebuilds f into a new function with the same parameter types,
+// applying the substitution and rewrite hook everywhere.
+func (t *Transformer) Mirror(f *Func) *Func {
+	types := make([]Type, len(f.Params))
+	for i, p := range f.Params {
+		types[i] = p.Typ
+	}
+	nf := NewFunc(f.Name, types...)
+	for i, p := range f.Params {
+		// Parameters map to the new function's parameters unless an
+		// explicit substitution overrides them.
+		if _, hit := t.subst[p.ID]; !hit {
+			t.subst[p.ID] = nf.Params[i]
+		}
+		if f.G.IsMutable(p) {
+			if np, ok := t.subst[p.ID].(Sym); ok {
+				nf.G.MarkMutable(np)
+			}
+		}
+	}
+	nf.G.Root().Result = t.mirrorBlockInto(f, nf.G, f.G.Root())
+	return nf
+}
+
+// mirrorBlockInto replays the nodes of block b into the destination
+// graph's current block.
+func (t *Transformer) mirrorBlockInto(src *Func, dst *Graph, b *Block) Exp {
+	for _, n := range b.Nodes {
+		nd := &Def{Op: n.Def.Op, Typ: n.Def.Typ, Effect: n.Def.Effect}
+		nd.Args = make([]Exp, len(n.Def.Args))
+		for i, a := range n.Def.Args {
+			nd.Args[i] = t.Apply(a)
+		}
+		// Effects name pointer symbols; map them through the
+		// substitution too.
+		nd.Effect.Reads = t.applySyms(n.Def.Effect.Reads)
+		nd.Effect.Writes = t.applySyms(n.Def.Effect.Writes)
+		for _, blk := range n.Def.Blocks {
+			nd.Blocks = append(nd.Blocks, t.mirrorBlock(src, dst, blk))
+		}
+		var rep Exp
+		if t.Rewrite != nil {
+			if e, ok := t.Rewrite(dst, nd); ok {
+				rep = e
+			}
+		}
+		if rep == nil {
+			rep = dst.Emit(nd)
+		}
+		if rep.Type() != n.Sym.Typ {
+			panic(fmt.Sprintf("ir: mirror of %v changes type %v → %v",
+				n.Def.Op, n.Sym.Typ, rep.Type()))
+		}
+		t.subst[n.Sym.ID] = rep
+	}
+	return t.Apply(b.Result)
+}
+
+// mirrorBlock rebuilds a nested block with fresh parameters.
+func (t *Transformer) mirrorBlock(src *Func, dst *Graph, b *Block) *Block {
+	params := make([]Sym, len(b.Params))
+	for i, p := range b.Params {
+		params[i] = dst.Fresh(p.Typ)
+		t.subst[p.ID] = params[i]
+	}
+	return dst.InBlock(params, func() Exp {
+		return t.mirrorBlockInto(src, dst, b)
+	})
+}
+
+func (t *Transformer) applySyms(ss []Sym) []Sym {
+	if len(ss) == 0 {
+		return nil
+	}
+	out := make([]Sym, 0, len(ss))
+	for _, s := range ss {
+		if rep, ok := t.Apply(s).(Sym); ok {
+			out = append(out, rep)
+		}
+	}
+	return out
+}

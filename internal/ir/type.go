@@ -1,0 +1,228 @@
+// Package ir implements the staged computation-graph intermediate
+// representation at the heart of the reproduction — the analog of the LMS
+// (Lightweight Modular Staging) layer the paper builds on (Section 2.3).
+//
+// Programs written against the staged frontend do not execute when
+// invoked; they append nodes to a Graph. Expressions (Exp) are either
+// constants or symbols referring to definitions (Def) held in static
+// single assignment form; effectful definitions (loads, stores, mutable
+// array writes) carry an Effect so the scheduler preserves their order,
+// and pure definitions are deduplicated by structural CSE — exactly the
+// Def[T]/Exp[T] + effects architecture the paper describes in Section 3.2.
+package ir
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// Kind is the coarse classification of a staged value's type.
+type Kind uint8
+
+const (
+	KindVoid Kind = iota
+	KindBool
+	KindI8
+	KindU8
+	KindI16
+	KindU16
+	KindI32
+	KindU32
+	KindI64
+	KindU64
+	KindF32
+	KindF64
+	KindPtr // pointer to an array of a primitive (Array[T] ↔ T*)
+	KindVec // SIMD register
+)
+
+// Type is the type of a staged expression. It is a small value type,
+// comparable, and usable as a map key (CSE relies on this).
+type Type struct {
+	Kind Kind
+	Elem isa.Prim    // pointee primitive when Kind == KindPtr
+	Vec  isa.VecKind // register kind when Kind == KindVec
+}
+
+// Predefined scalar types.
+var (
+	TVoid = Type{Kind: KindVoid}
+	TBool = Type{Kind: KindBool}
+	TI8   = Type{Kind: KindI8}
+	TU8   = Type{Kind: KindU8}
+	TI16  = Type{Kind: KindI16}
+	TU16  = Type{Kind: KindU16}
+	TI32  = Type{Kind: KindI32}
+	TU32  = Type{Kind: KindU32}
+	TI64  = Type{Kind: KindI64}
+	TU64  = Type{Kind: KindU64}
+	TF32  = Type{Kind: KindF32}
+	TF64  = Type{Kind: KindF64}
+)
+
+// Predefined vector types (Section 3.1's Rep[__m256d] etc.).
+var (
+	TM64    = VecType(isa.M64)
+	TM128   = VecType(isa.M128)
+	TM128d  = VecType(isa.M128d)
+	TM128i  = VecType(isa.M128i)
+	TM256   = VecType(isa.M256)
+	TM256d  = VecType(isa.M256d)
+	TM256i  = VecType(isa.M256i)
+	TM512   = VecType(isa.M512)
+	TM512d  = VecType(isa.M512d)
+	TM512i  = VecType(isa.M512i)
+	TMask8  = VecType(isa.MMask8)
+	TMask16 = VecType(isa.MMask16)
+)
+
+// PtrType returns the type of a pointer to elements of primitive p.
+func PtrType(p isa.Prim) Type { return Type{Kind: KindPtr, Elem: p} }
+
+// VecType returns the type of a SIMD register of kind v.
+func VecType(v isa.VecKind) Type { return Type{Kind: KindVec, Vec: v} }
+
+// PrimType maps an isa primitive to the staged scalar type.
+func PrimType(p isa.Prim) Type {
+	switch p {
+	case isa.PrimBool:
+		return TBool
+	case isa.PrimI8:
+		return TI8
+	case isa.PrimU8:
+		return TU8
+	case isa.PrimI16:
+		return TI16
+	case isa.PrimU16:
+		return TU16
+	case isa.PrimI32:
+		return TI32
+	case isa.PrimU32:
+		return TU32
+	case isa.PrimI64:
+		return TI64
+	case isa.PrimU64:
+		return TU64
+	case isa.PrimF32:
+		return TF32
+	case isa.PrimF64:
+		return TF64
+	default:
+		return TVoid
+	}
+}
+
+// Prim maps a scalar type back to its isa primitive (PrimVoid for
+// non-scalars).
+func (t Type) Prim() isa.Prim {
+	switch t.Kind {
+	case KindBool:
+		return isa.PrimBool
+	case KindI8:
+		return isa.PrimI8
+	case KindU8:
+		return isa.PrimU8
+	case KindI16:
+		return isa.PrimI16
+	case KindU16:
+		return isa.PrimU16
+	case KindI32:
+		return isa.PrimI32
+	case KindU32:
+		return isa.PrimU32
+	case KindI64:
+		return isa.PrimI64
+	case KindU64:
+		return isa.PrimU64
+	case KindF32:
+		return isa.PrimF32
+	case KindF64:
+		return isa.PrimF64
+	default:
+		return isa.PrimVoid
+	}
+}
+
+// IsScalar reports whether the type is a scalar primitive.
+func (t Type) IsScalar() bool {
+	switch t.Kind {
+	case KindVoid, KindPtr, KindVec:
+		return false
+	default:
+		return true
+	}
+}
+
+// IsInteger reports whether the type is a (signed or unsigned) integer.
+func (t Type) IsInteger() bool {
+	switch t.Kind {
+	case KindI8, KindU8, KindI16, KindU16, KindI32, KindU32, KindI64, KindU64:
+		return true
+	default:
+		return false
+	}
+}
+
+// IsFloat reports whether the type is f32 or f64.
+func (t Type) IsFloat() bool { return t.Kind == KindF32 || t.Kind == KindF64 }
+
+// IsSigned reports whether the type is a signed integer.
+func (t Type) IsSigned() bool {
+	switch t.Kind {
+	case KindI8, KindI16, KindI32, KindI64:
+		return true
+	default:
+		return false
+	}
+}
+
+// Bits returns the scalar bit width, the vector register width, or 64
+// for pointers.
+func (t Type) Bits() int {
+	switch t.Kind {
+	case KindVec:
+		return t.Vec.Bits()
+	case KindPtr:
+		return 64
+	default:
+		return t.Prim().Bits()
+	}
+}
+
+// CName returns the C spelling the unparser emits.
+func (t Type) CName() string {
+	switch t.Kind {
+	case KindVoid:
+		return "void"
+	case KindVec:
+		return t.Vec.String()
+	case KindPtr:
+		return t.Elem.CName() + "*"
+	default:
+		return t.Prim().CName()
+	}
+}
+
+// String returns the C spelling.
+func (t Type) String() string { return t.CName() }
+
+// GoName returns the Go spelling used in diagnostics.
+func (t Type) GoName() string {
+	switch t.Kind {
+	case KindVoid:
+		return "unit"
+	case KindVec:
+		return t.Vec.String()
+	case KindPtr:
+		return "[]" + t.Elem.GoName()
+	default:
+		return t.Prim().GoName()
+	}
+}
+
+func (t Type) check() {
+	if t.Kind == KindVec && t.Vec == isa.VecNone {
+		panic(fmt.Sprintf("ir: vector type without register kind: %+v", t))
+	}
+}

@@ -1,0 +1,201 @@
+package isa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FeatureSet is the set of ISA families a machine supports. It stands in
+// for the CPUID inspection the NGen runtime performs on start-up
+// (Figure 3: "Inspect the system through CPUID").
+type FeatureSet map[Family]bool
+
+// NewFeatureSet builds a feature set from the given families, closing it
+// under the Implies relation (an AVX2 machine also has AVX, SSE4.2, …).
+func NewFeatureSet(fams ...Family) FeatureSet {
+	fs := make(FeatureSet)
+	for _, f := range fams {
+		fs[f] = true
+		for _, g := range Families() {
+			if f.Implies(g) {
+				fs[g] = true
+			}
+		}
+	}
+	return fs
+}
+
+// Has reports whether every listed family is supported.
+func (fs FeatureSet) Has(fams ...Family) bool {
+	for _, f := range fams {
+		if !fs[f] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts a family (and its implications) into the set.
+func (fs FeatureSet) Add(f Family) {
+	fs[f] = true
+	for _, g := range Families() {
+		if f.Implies(g) {
+			fs[g] = true
+		}
+	}
+}
+
+// Names returns the sorted CPUID names of the supported families.
+func (fs FeatureSet) Names() []string {
+	out := make([]string, 0, len(fs))
+	for f, ok := range fs {
+		if ok {
+			out = append(out, f.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// String formats the set like /proc/cpuinfo flags.
+func (fs FeatureSet) String() string {
+	return strings.Join(fs.Names(), " ")
+}
+
+// MaxVectorBits returns the widest vector register available.
+func (fs FeatureSet) MaxVectorBits() int {
+	max := 0
+	for f, ok := range fs {
+		if ok && f.VectorBits() > max {
+			max = f.VectorBits()
+		}
+	}
+	return max
+}
+
+// Microarch describes a CPU microarchitecture: its feature set and the
+// performance parameters the machine model needs. The database mirrors
+// the performance information the vendor XML attaches to intrinsics
+// ("performance: Map[MicroArchType, Performance]" in the paper's
+// IntrinsicsDef).
+type Microarch struct {
+	Name     string
+	Vendor   string
+	Features FeatureSet
+	BaseGHz  float64
+	// Cache hierarchy (bytes).
+	L1Bytes, L2Bytes, L3Bytes int
+	// Per-cycle sustainable bandwidth to each level, in bytes/cycle,
+	// as seen by one core.
+	L1BW, L2BW, L3BW, MemBW float64
+	// Execution resources (Haswell-style port counts).
+	FMAPorts   int // ports executing FMA/MUL (p0,p1 on Haswell)
+	AddPorts   int // ports executing FP add (p1)
+	ALUPorts   int // scalar integer ALU ports
+	ShufPorts  int // vector shuffle ports (p5)
+	LoadPorts  int // load AGU/data ports (p2,p3)
+	StorePorts int // store data ports (p4)
+	// JNICycles is the fixed cost of crossing the managed↔native
+	// boundary once (call + GetPrimitiveArrayCritical bookkeeping).
+	JNICycles float64
+}
+
+// Known microarchitectures. Haswell matches the paper's test machine
+// (Xeon E3-1285L v3); the others let tests exercise ISA dispatch.
+var microarchs = map[string]*Microarch{}
+
+func register(m *Microarch) *Microarch {
+	microarchs[strings.ToLower(m.Name)] = m
+	return m
+}
+
+// Haswell is the paper's evaluation platform: Intel Xeon E3-1285L v3
+// 3.10GHz, 32KB L1d, 256KB L2, 8MB L3, AVX2+FMA+FP16C+RDRAND.
+var Haswell = register(&Microarch{
+	Name:   "Haswell",
+	Vendor: "GenuineIntel",
+	Features: NewFeatureSet(AVX2, FMA, FP16C, RDRAND, POPCNT, LZCNT,
+		BMI1, BMI2, AES, PCLMULQDQ, FSGSBASE, MONITOR, TSC, XSAVE, XSAVEOPT),
+	BaseGHz: 3.10,
+	L1Bytes: 32 << 10, L2Bytes: 256 << 10, L3Bytes: 8 << 20,
+	L1BW: 64, L2BW: 28, L3BW: 14, MemBW: 6.5,
+	FMAPorts: 2, AddPorts: 1, ALUPorts: 4, ShufPorts: 1,
+	LoadPorts: 2, StorePorts: 1,
+	JNICycles: 420,
+})
+
+// SandyBridge predates FMA/AVX2: AVX float only.
+var SandyBridge = register(&Microarch{
+	Name:   "SandyBridge",
+	Vendor: "GenuineIntel",
+	Features: NewFeatureSet(AVX, RDRAND, POPCNT, AES, PCLMULQDQ,
+		TSC, XSAVE, MONITOR),
+	BaseGHz: 3.0,
+	L1Bytes: 32 << 10, L2Bytes: 256 << 10, L3Bytes: 8 << 20,
+	L1BW: 32, L2BW: 16, L3BW: 10, MemBW: 5,
+	FMAPorts: 1, AddPorts: 1, ALUPorts: 3, ShufPorts: 1,
+	LoadPorts: 2, StorePorts: 1,
+	JNICycles: 420,
+})
+
+// SkylakeX adds AVX-512.
+var SkylakeX = register(&Microarch{
+	Name:   "SkylakeX",
+	Vendor: "GenuineIntel",
+	Features: NewFeatureSet(AVX512, AVX2, FMA, FP16C, RDRAND, RDSEED,
+		POPCNT, LZCNT, BMI1, BMI2, AES, PCLMULQDQ, CLFLUSHOPT, CLWB,
+		TSC, XSAVE, XSAVEC),
+	BaseGHz: 2.5,
+	L1Bytes: 32 << 10, L2Bytes: 1 << 20, L3Bytes: 24 << 20,
+	L1BW: 128, L2BW: 52, L3BW: 16, MemBW: 8,
+	FMAPorts: 2, AddPorts: 2, ALUPorts: 4, ShufPorts: 1,
+	LoadPorts: 2, StorePorts: 1,
+	JNICycles: 400,
+})
+
+// Nehalem is the oldest modeled part: SSE4.2 only, no AVX.
+var Nehalem = register(&Microarch{
+	Name:     "Nehalem",
+	Vendor:   "GenuineIntel",
+	Features: NewFeatureSet(SSE42, POPCNT, TSC, MONITOR),
+	BaseGHz:  2.8,
+	L1Bytes:  32 << 10, L2Bytes: 256 << 10, L3Bytes: 8 << 20,
+	L1BW: 16, L2BW: 11, L3BW: 8, MemBW: 4,
+	FMAPorts: 1, AddPorts: 1, ALUPorts: 3, ShufPorts: 1,
+	LoadPorts: 1, StorePorts: 1,
+	JNICycles: 480,
+})
+
+// LookupMicroarch finds a registered microarchitecture by name
+// (case-insensitive).
+func LookupMicroarch(name string) (*Microarch, error) {
+	if m, ok := microarchs[strings.ToLower(name)]; ok {
+		return m, nil
+	}
+	return nil, fmt.Errorf("isa: unknown microarchitecture %q", name)
+}
+
+// Microarchs lists registered microarchitectures sorted by name.
+func Microarchs() []*Microarch {
+	out := make([]*Microarch, 0, len(microarchs))
+	for _, m := range microarchs {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// CacheLevel classifies a working-set size against the hierarchy.
+func (m *Microarch) CacheLevel(bytes int) string {
+	switch {
+	case bytes <= m.L1Bytes:
+		return "L1"
+	case bytes <= m.L2Bytes:
+		return "L2"
+	case bytes <= m.L3Bytes:
+		return "L3"
+	default:
+		return "Mem"
+	}
+}

@@ -1,0 +1,239 @@
+package isa
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Prim is a primitive (scalar) machine type. The set mirrors Table 2 of
+// the paper: the 12 JVM↔C primitive pairs, plus Void for intrinsics that
+// return nothing and MemAddr for raw pointers whose element type is
+// unspecified (void*).
+type Prim int
+
+const (
+	PrimVoid Prim = iota
+	PrimBool
+	PrimI8
+	PrimU8
+	PrimI16
+	PrimU16
+	PrimI32
+	PrimU32
+	PrimI64
+	PrimU64
+	PrimF32
+	PrimF64
+	primCount
+)
+
+var primC = map[Prim]string{
+	PrimVoid: "void", PrimBool: "bool",
+	PrimI8: "int8_t", PrimU8: "uint8_t",
+	PrimI16: "int16_t", PrimU16: "uint16_t",
+	PrimI32: "int32_t", PrimU32: "uint32_t",
+	PrimI64: "int64_t", PrimU64: "uint64_t",
+	PrimF32: "float", PrimF64: "double",
+}
+
+var primJVM = map[Prim]string{
+	PrimVoid: "Unit", PrimBool: "Boolean",
+	PrimI8: "Byte", PrimU8: "UByte",
+	PrimI16: "Short", PrimU16: "UShort",
+	PrimI32: "Int", PrimU32: "UInt",
+	PrimI64: "Long", PrimU64: "ULong",
+	PrimF32: "Float", PrimF64: "Double",
+}
+
+var primGo = map[Prim]string{
+	PrimVoid: "struct{}", PrimBool: "bool",
+	PrimI8: "int8", PrimU8: "uint8",
+	PrimI16: "int16", PrimU16: "uint16",
+	PrimI32: "int32", PrimU32: "uint32",
+	PrimI64: "int64", PrimU64: "uint64",
+	PrimF32: "float32", PrimF64: "float64",
+}
+
+// CName returns the C/C++ spelling of the primitive (Table 2 right column).
+func (p Prim) CName() string { return primC[p] }
+
+// JVMName returns the managed-runtime spelling (Table 2 left column). In
+// this Go reproduction the "JVM side" is the staged frontend; the mapping
+// is retained because the unparser and the spec parser both need it.
+func (p Prim) JVMName() string { return primJVM[p] }
+
+// GoName returns the Go spelling used by the generated bindings.
+func (p Prim) GoName() string { return primGo[p] }
+
+// String returns the C spelling; primitives are usually discussed in
+// their C form in the paper.
+func (p Prim) String() string { return p.CName() }
+
+// Bits returns the width of the primitive in bits (0 for void).
+func (p Prim) Bits() int {
+	switch p {
+	case PrimBool, PrimI8, PrimU8:
+		return 8
+	case PrimI16, PrimU16:
+		return 16
+	case PrimI32, PrimU32, PrimF32:
+		return 32
+	case PrimI64, PrimU64, PrimF64:
+		return 64
+	}
+	return 0
+}
+
+// Signed reports whether the primitive is a signed integer.
+func (p Prim) Signed() bool {
+	switch p {
+	case PrimI8, PrimI16, PrimI32, PrimI64:
+		return true
+	}
+	return false
+}
+
+// Unsigned reports whether the primitive is an unsigned integer.
+func (p Prim) Unsigned() bool {
+	switch p {
+	case PrimU8, PrimU16, PrimU32, PrimU64:
+		return true
+	}
+	return false
+}
+
+// Float reports whether the primitive is a floating-point type.
+func (p Prim) Float() bool { return p == PrimF32 || p == PrimF64 }
+
+// ParsePrimC parses a C type spelling from the XML specification
+// ("unsigned int", "__int64", "const float", …) into a Prim.
+func ParsePrimC(s string) (Prim, bool) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "const ")
+	t = strings.TrimSpace(strings.TrimSuffix(t, "const"))
+	switch t {
+	case "void":
+		return PrimVoid, true
+	case "bool", "_Bool":
+		return PrimBool, true
+	case "char", "signed char", "int8_t", "__int8":
+		return PrimI8, true
+	case "unsigned char", "uint8_t":
+		return PrimU8, true
+	case "short", "int16_t", "__int16":
+		return PrimI16, true
+	case "unsigned short", "uint16_t":
+		return PrimU16, true
+	case "int", "int32_t", "__int32", "long":
+		return PrimI32, true
+	case "unsigned int", "uint32_t", "unsigned", "unsigned long":
+		return PrimU32, true
+	case "long long", "int64_t", "__int64", "ptrdiff_t", "ssize_t":
+		return PrimI64, true
+	case "unsigned long long", "uint64_t", "unsigned __int64", "size_t":
+		return PrimU64, true
+	case "float":
+		return PrimF32, true
+	case "double":
+		return PrimF64, true
+	}
+	return PrimVoid, false
+}
+
+// VecKind identifies one of the SIMD register types exposed by the
+// intrinsics API (Section 3.1 of the paper). Integer registers carry no
+// element type: as in C, __m128i holds 2×64, 4×32, 8×16 or 16×8-bit
+// integers depending on the instruction applied to it.
+type VecKind int
+
+const (
+	VecNone VecKind = iota
+	M64             // MMX integer
+	M128            // SSE 4×f32
+	M128d           // SSE2 2×f64
+	M128i           // SSE2 integer
+	M256            // AVX 8×f32
+	M256d           // AVX 4×f64
+	M256i           // AVX integer
+	M512            // AVX-512 16×f32
+	M512d           // AVX-512 8×f64
+	M512i           // AVX-512 integer
+	MMask8          // AVX-512 __mmask8
+	MMask16         // AVX-512 __mmask16
+	MMask32         // AVX-512 __mmask32
+	MMask64         // AVX-512 __mmask64
+	vecKindCount
+)
+
+var vecNames = map[VecKind]string{
+	M64: "__m64", M128: "__m128", M128d: "__m128d", M128i: "__m128i",
+	M256: "__m256", M256d: "__m256d", M256i: "__m256i",
+	M512: "__m512", M512d: "__m512d", M512i: "__m512i",
+	MMask8: "__mmask8", MMask16: "__mmask16", MMask32: "__mmask32",
+	MMask64: "__mmask64",
+}
+
+// String returns the C spelling (__m256d etc.).
+func (v VecKind) String() string {
+	if s, ok := vecNames[v]; ok {
+		return s
+	}
+	return fmt.Sprintf("VecKind(%d)", int(v))
+}
+
+// ParseVecKind parses a C vector type spelling.
+func ParseVecKind(s string) (VecKind, bool) {
+	t := strings.TrimSpace(s)
+	t = strings.TrimPrefix(t, "const ")
+	for v, name := range vecNames {
+		if name == t {
+			return v, true
+		}
+	}
+	return VecNone, false
+}
+
+// Bits returns the register width in bits. Mask kinds report their mask
+// width (they live in dedicated k-registers).
+func (v VecKind) Bits() int {
+	switch v {
+	case M64:
+		return 64
+	case M128, M128d, M128i:
+		return 128
+	case M256, M256d, M256i:
+		return 256
+	case M512, M512d, M512i:
+		return 512
+	case MMask8:
+		return 8
+	case MMask16:
+		return 16
+	case MMask32:
+		return 32
+	case MMask64:
+		return 64
+	}
+	return 0
+}
+
+// ElemPrim returns the natural element primitive of the register type,
+// or PrimVoid for integer registers (whose element type is per-
+// instruction) and masks.
+func (v VecKind) ElemPrim() Prim {
+	switch v {
+	case M128, M256, M512:
+		return PrimF32
+	case M128d, M256d, M512d:
+		return PrimF64
+	}
+	return PrimVoid
+}
+
+// Lanes returns the number of elements of prim p that the register holds.
+func (v VecKind) Lanes(p Prim) int {
+	if p.Bits() == 0 {
+		return 0
+	}
+	return v.Bits() / p.Bits()
+}

@@ -1,0 +1,588 @@
+// Package kernelc compiles a scheduled staged graph into an executable
+// program over the software SIMD machine (internal/vm). It is the
+// execution half of the substitution for the paper's "generate C,
+// compile with gcc/icc/clang, link via JNI" pipeline: the C unparser
+// (internal/cgen) still produces the C source a native toolchain would
+// compile, while this package makes the very same graph runnable and
+// countable inside the reproduction.
+//
+// Compilation is a single pass over the schedule: every live node
+// becomes one closure over a virtual register frame. Dynamic instruction
+// counts (per intrinsic name, plus scalar.* pseudo-ops for the host-
+// language constructs) accumulate in the machine's Counter, which the
+// analytical cost model converts to cycles.
+package kernelc
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/vm"
+)
+
+// Pseudo-op names for scalar (non-intrinsic) work, consumed by the cost
+// model.
+const (
+	// OpScalarLoadStrided marks scalar loads whose index strides by the
+	// innermost loop variable times a large factor (e.g. b[k*n+j] in a
+	// k-innermost matrix loop): each access touches a fresh cache line,
+	// which the memory model prices as a full 64-byte transfer.
+	OpScalarLoadStrided = "scalar.load.strided"
+
+	OpScalarALU   = "scalar.alu"
+	OpScalarMul   = "scalar.mul"
+	OpScalarDiv   = "scalar.div"
+	OpScalarFP    = "scalar.fp"
+	OpScalarFMul  = "scalar.fmul"
+	OpScalarFDiv  = "scalar.fdiv"
+	OpScalarLoad  = "scalar.load"
+	OpScalarStore = "scalar.store"
+	OpScalarConv  = "scalar.conv"
+	OpLoopIter    = "scalar.loop"
+	OpBranch      = "scalar.branch"
+)
+
+// Program is a compiled kernel.
+type Program struct {
+	F      *ir.Func
+	nRegs  int
+	params []int // register slot per parameter
+	ops    []op
+	result *argRef
+}
+
+type frame struct {
+	regs []vm.Value
+	m    *vm.Machine
+}
+
+type op func(fr *frame) error
+
+// argRef locates an operand at run time: a constant materialised at
+// compile time or a register slot.
+type argRef struct {
+	isConst bool
+	val     vm.Value
+	slot    int
+}
+
+func (a argRef) get(fr *frame) vm.Value {
+	if a.isConst {
+		return a.val
+	}
+	return fr.regs[a.slot]
+}
+
+type compiler struct {
+	f     *ir.Func
+	sched *ir.Scheduled
+	slots map[int]int // sym id → register slot
+	next  int
+	// loopIVs is the stack of enclosing loop variables; the innermost
+	// drives stride classification of scalar loads.
+	loopIVs []ir.Sym
+}
+
+// strided reports whether an index expression strides by the innermost
+// loop variable with a multiplicative factor (iv*X appears as a subterm).
+func (c *compiler) strided(idx ir.Exp) bool {
+	if len(c.loopIVs) == 0 {
+		return false
+	}
+	iv := c.loopIVs[len(c.loopIVs)-1]
+	var walk func(e ir.Exp, depth int) bool
+	walk = func(e ir.Exp, depth int) bool {
+		s, ok := e.(ir.Sym)
+		if !ok || depth > 6 {
+			return false
+		}
+		d, ok := c.f.G.Def(s)
+		if !ok {
+			return false
+		}
+		switch d.Op {
+		case ir.OpMul, ir.OpShl:
+			for _, a := range d.ArgSyms() {
+				if a == iv {
+					return true
+				}
+			}
+			return false
+		case ir.OpAdd, ir.OpSub:
+			for _, a := range d.Args {
+				if walk(a, depth+1) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(idx, 0)
+}
+
+// Compile lowers a staged function to an executable program. Staging
+// errors surface here: intrinsics without executable semantics, unbound
+// symbols, unsupported ops.
+func Compile(f *ir.Func) (*Program, error) {
+	c := &compiler{f: f, sched: ir.Schedule(f), slots: map[int]int{}}
+	p := &Program{F: f}
+	for _, prm := range f.Params {
+		p.params = append(p.params, c.slot(prm))
+	}
+	ops, err := c.compileBlock(f.G.Root())
+	if err != nil {
+		return nil, fmt.Errorf("kernelc: %s: %w", f.Name, err)
+	}
+	p.ops = ops
+	if r := f.G.Root().Result; r != nil {
+		ref, err := c.ref(r)
+		if err != nil {
+			return nil, fmt.Errorf("kernelc: %s: result: %w", f.Name, err)
+		}
+		p.result = &ref
+	}
+	p.nRegs = c.next
+	return p, nil
+}
+
+func (c *compiler) slot(s ir.Sym) int {
+	if idx, ok := c.slots[s.ID]; ok {
+		return idx
+	}
+	idx := c.next
+	c.next++
+	c.slots[s.ID] = idx
+	return idx
+}
+
+func (c *compiler) ref(e ir.Exp) (argRef, error) {
+	switch x := e.(type) {
+	case ir.Const:
+		return argRef{isConst: true, val: constValue(x)}, nil
+	case ir.Sym:
+		idx, ok := c.slots[x.ID]
+		if !ok {
+			return argRef{}, fmt.Errorf("use of undefined symbol %v", x)
+		}
+		return argRef{slot: idx}, nil
+	default:
+		return argRef{}, fmt.Errorf("unsupported expression %T", e)
+	}
+}
+
+func constValue(cst ir.Const) vm.Value {
+	v := vm.Value{Kind: cst.Typ.Kind}
+	switch {
+	case cst.Typ.Kind == ir.KindBool:
+		v.B = cst.B
+	case cst.Typ.IsFloat():
+		v.F = cst.F
+	case cst.Typ.IsSigned():
+		v.I = cst.I
+	default:
+		v.U = cst.U
+	}
+	return v
+}
+
+func (c *compiler) compileBlock(b *ir.Block) ([]op, error) {
+	var ops []op
+	for _, n := range c.sched.Keep[b] {
+		o, err := c.compileNode(n)
+		if err != nil {
+			return nil, err
+		}
+		if o != nil {
+			ops = append(ops, o)
+		}
+	}
+	return ops, nil
+}
+
+func (c *compiler) compileNode(n *ir.Node) (op, error) {
+	d := n.Def
+	switch d.Op {
+	case ir.OpComment, ir.OpParam:
+		return nil, nil
+	case ir.OpLoop:
+		return c.compileLoop(n)
+	case ir.OpIf:
+		return c.compileIf(n)
+	case ir.OpALoad:
+		return c.compileALoad(n)
+	case ir.OpAStore:
+		return c.compileAStore(n)
+	case ir.OpPtrAdd:
+		return c.compilePtrAdd(n)
+	case ir.OpConv:
+		return c.compileConv(n)
+	case ir.OpSel:
+		return c.compileSelect(n)
+	}
+	if ir.IsIntrinsicOp(d.Op) {
+		return c.compileIntrinsic(n)
+	}
+	return c.compileScalar(n)
+}
+
+func (c *compiler) refs(args []ir.Exp) ([]argRef, error) {
+	out := make([]argRef, len(args))
+	for i, a := range args {
+		r, err := c.ref(a)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = r
+	}
+	return out, nil
+}
+
+func (c *compiler) compileIntrinsic(n *ir.Node) (op, error) {
+	name := n.Def.Op
+	in, ok := vm.Lookup(name)
+	if !ok {
+		// The paper's analog: LMS accepts the staged call, but the
+		// native toolchain cannot execute it on this machine.
+		return nil, fmt.Errorf("intrinsic %s has no executable semantic in the vm", name)
+	}
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	dst := c.slot(n.Sym)
+	fn := in.Fn
+	void := n.Def.Typ == ir.TVoid
+	return func(fr *frame) error {
+		vals := make([]vm.Value, len(args))
+		for i, a := range args {
+			vals[i] = a.get(fr)
+		}
+		fr.m.Counts.Add(name, 1)
+		out, err := fn(fr.m, vals)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		if !void {
+			fr.regs[dst] = out
+		}
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileLoop(n *ir.Node) (op, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	body := n.Def.Blocks[0]
+	iv := c.slot(body.Params[0])
+	// Loop-carried accumulator (LoopAcc): 4th argument is the initial
+	// value, 2nd block param the carried symbol, block result the next
+	// value.
+	carried := len(n.Def.Args) == 4
+	var accSlot, dst int
+	if carried {
+		accSlot = c.slot(body.Params[1])
+		dst = c.slot(n.Sym)
+	}
+	c.loopIVs = append(c.loopIVs, body.Params[0])
+	bodyOps, err := c.compileBlock(body)
+	c.loopIVs = c.loopIVs[:len(c.loopIVs)-1]
+	if err != nil {
+		return nil, err
+	}
+	var next argRef
+	if carried {
+		next, err = c.ref(body.Result)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Per-loop iteration counter so the cost model can attribute the
+	// loop-carried dependency chain (see internal/machine).
+	loopKey := fmt.Sprintf("loop.#%d", n.Sym.ID)
+	return func(fr *frame) error {
+		start := args[0].get(fr).AsInt()
+		end := args[1].get(fr).AsInt()
+		stride := args[2].get(fr).AsInt()
+		if stride <= 0 {
+			return fmt.Errorf("forloop stride %d must be positive", stride)
+		}
+		if carried {
+			fr.regs[accSlot] = args[3].get(fr)
+		}
+		iters := int64(0)
+		for i := start; i < end; i += stride {
+			fr.regs[iv] = vm.Value{Kind: ir.KindI32, I: i}
+			for _, o := range bodyOps {
+				if err := o(fr); err != nil {
+					return err
+				}
+			}
+			if carried {
+				fr.regs[accSlot] = next.get(fr)
+			}
+			iters++
+		}
+		fr.m.Counts.Add(OpLoopIter, iters)
+		fr.m.Counts.Add(loopKey, iters)
+		if carried {
+			fr.regs[dst] = fr.regs[accSlot]
+		}
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileIf(n *ir.Node) (op, error) {
+	cond, err := c.ref(n.Def.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	thenB, elseB := n.Def.Blocks[0], n.Def.Blocks[1]
+	thenOps, err := c.compileBlock(thenB)
+	if err != nil {
+		return nil, err
+	}
+	elseOps, err := c.compileBlock(elseB)
+	if err != nil {
+		return nil, err
+	}
+	var thenRes, elseRes *argRef
+	if thenB.Result != nil {
+		r, err := c.ref(thenB.Result)
+		if err != nil {
+			return nil, err
+		}
+		thenRes = &r
+	}
+	if elseB.Result != nil {
+		r, err := c.ref(elseB.Result)
+		if err != nil {
+			return nil, err
+		}
+		elseRes = &r
+	}
+	dst := c.slot(n.Sym)
+	void := n.Def.Typ == ir.TVoid
+	return func(fr *frame) error {
+		fr.m.Counts.Add(OpBranch, 1)
+		if cond.get(fr).B {
+			for _, o := range thenOps {
+				if err := o(fr); err != nil {
+					return err
+				}
+			}
+			if !void && thenRes != nil {
+				fr.regs[dst] = thenRes.get(fr)
+			}
+		} else {
+			for _, o := range elseOps {
+				if err := o(fr); err != nil {
+					return err
+				}
+			}
+			if !void && elseRes != nil {
+				fr.regs[dst] = elseRes.get(fr)
+			}
+		}
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileALoad(n *ir.Node) (op, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	dst := c.slot(n.Sym)
+	kind := n.Sym.Typ.Kind
+	costKey := OpScalarLoad
+	if c.strided(n.Def.Args[1]) {
+		costKey = OpScalarLoadStrided
+	}
+	return func(fr *frame) error {
+		ptr := args[0].get(fr)
+		if ptr.Mem == nil {
+			return fmt.Errorf("aload through nil array")
+		}
+		idx := int(args[1].get(fr).AsInt()) + ptr.Off
+		if idx < 0 || idx >= ptr.Mem.Len() {
+			return fmt.Errorf("aload index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
+		}
+		fr.m.Counts.Add(costKey, 1)
+		fr.m.Touch(ptr.Mem, idx*ptr.Mem.Prim.Bits()/8, ptr.Mem.Prim.Bits()/8)
+		var v vm.Value
+		v.Kind = kind
+		switch kind {
+		case ir.KindF32:
+			v.F = float64(ptr.Mem.F32At(idx))
+		case ir.KindF64:
+			v.F = ptr.Mem.F64At(idx)
+		case ir.KindU8, ir.KindU16, ir.KindU32, ir.KindU64:
+			v.U = uint64(ptr.Mem.IntAt(idx))
+		default:
+			v.I = ptr.Mem.IntAt(idx)
+		}
+		fr.regs[dst] = v
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileAStore(n *ir.Node) (op, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	kind := n.Def.Args[2].Type().Kind
+	return func(fr *frame) error {
+		ptr := args[0].get(fr)
+		if ptr.Mem == nil {
+			return fmt.Errorf("astore through nil array")
+		}
+		idx := int(args[1].get(fr).AsInt()) + ptr.Off
+		if idx < 0 || idx >= ptr.Mem.Len() {
+			return fmt.Errorf("astore index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
+		}
+		fr.m.Counts.Add(OpScalarStore, 1)
+		fr.m.Touch(ptr.Mem, idx*ptr.Mem.Prim.Bits()/8, ptr.Mem.Prim.Bits()/8)
+		v := args[2].get(fr)
+		switch kind {
+		case ir.KindF32, ir.KindF64:
+			switch ptr.Mem.Prim.Bits() {
+			case 32:
+				ptr.Mem.SetF32At(idx, float32(v.F))
+			default:
+				ptr.Mem.SetF64At(idx, v.F)
+			}
+		default:
+			ptr.Mem.SetIntAt(idx, v.AsInt())
+		}
+		return nil
+	}, nil
+}
+
+func (c *compiler) compilePtrAdd(n *ir.Node) (op, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	dst := c.slot(n.Sym)
+	return func(fr *frame) error {
+		ptr := args[0].get(fr)
+		ptr.Off += int(args[1].get(fr).AsInt())
+		fr.m.Counts.Add(OpScalarALU, 1)
+		fr.regs[dst] = ptr
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileConv(n *ir.Node) (op, error) {
+	src, err := c.ref(n.Def.Args[0])
+	if err != nil {
+		return nil, err
+	}
+	dst := c.slot(n.Sym)
+	to := n.Sym.Typ
+	return func(fr *frame) error {
+		fr.m.Counts.Add(OpScalarConv, 1)
+		fr.regs[dst] = convert(src.get(fr), to)
+		return nil
+	}, nil
+}
+
+func (c *compiler) compileSelect(n *ir.Node) (op, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	dst := c.slot(n.Sym)
+	return func(fr *frame) error {
+		fr.m.Counts.Add(OpScalarALU, 1)
+		if args[0].get(fr).B {
+			fr.regs[dst] = args[1].get(fr)
+		} else {
+			fr.regs[dst] = args[2].get(fr)
+		}
+		return nil
+	}, nil
+}
+
+// convert implements scalar conversions with the target type's wrap
+// semantics.
+func convert(v vm.Value, to ir.Type) vm.Value {
+	out := vm.Value{Kind: to.Kind}
+	switch {
+	case to.Kind == ir.KindBool:
+		out.B = v.AsInt() != 0
+	case to.IsFloat():
+		switch v.Kind {
+		case ir.KindF32, ir.KindF64:
+			out.F = v.F
+		default:
+			out.F = v.AsFloat()
+		}
+		if to.Kind == ir.KindF32 {
+			out.F = float64(float32(out.F))
+		}
+	default:
+		var raw int64
+		switch v.Kind {
+		case ir.KindF32, ir.KindF64:
+			if math.IsNaN(v.F) {
+				raw = 0
+			} else {
+				raw = int64(v.F)
+			}
+		default:
+			raw = v.AsInt()
+		}
+		out = truncInt(to, raw)
+	}
+	return out
+}
+
+func truncInt(to ir.Type, raw int64) vm.Value {
+	out := vm.Value{Kind: to.Kind}
+	switch to.Kind {
+	case ir.KindI8:
+		out.I = int64(int8(raw))
+	case ir.KindI16:
+		out.I = int64(int16(raw))
+	case ir.KindI32:
+		out.I = int64(int32(raw))
+	case ir.KindI64:
+		out.I = raw
+	case ir.KindU8:
+		out.U = uint64(uint8(raw))
+	case ir.KindU16:
+		out.U = uint64(uint16(raw))
+	case ir.KindU32:
+		out.U = uint64(uint32(raw))
+	case ir.KindU64:
+		out.U = uint64(raw)
+	}
+	return out
+}
+
+// Run executes the program on machine m with the given arguments (one
+// per staged parameter, arrays as vm pointer values).
+func (p *Program) Run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
+	if len(args) != len(p.params) {
+		return vm.Value{}, fmt.Errorf("kernelc: %s: got %d arguments, want %d",
+			p.F.Name, len(args), len(p.params))
+	}
+	fr := &frame{regs: make([]vm.Value, p.nRegs), m: m}
+	for i, slot := range p.params {
+		fr.regs[slot] = args[i]
+	}
+	for _, o := range p.ops {
+		if err := o(fr); err != nil {
+			return vm.Value{}, fmt.Errorf("kernelc: %s: %w", p.F.Name, err)
+		}
+	}
+	if p.result != nil {
+		return p.result.get(fr), nil
+	}
+	return vm.Value{}, nil
+}

@@ -1,0 +1,139 @@
+package kernelc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsl"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// TestQuickPolynomialKernels stages random polynomials and checks the
+// compiled kernel against direct Go evaluation — a differential test of
+// the staging → scheduling → compilation → vm pipeline for scalar code.
+func TestQuickPolynomialKernels(t *testing.T) {
+	err := quick.Check(func(coeffs []int8, x0 int16) bool {
+		if len(coeffs) == 0 || len(coeffs) > 12 {
+			return true
+		}
+		k := dsl.NewKernel("poly", isa.Haswell.Features)
+		x := k.ParamF32()
+		acc := k.ConstF32(float32(coeffs[len(coeffs)-1]))
+		for i := len(coeffs) - 2; i >= 0; i-- {
+			acc = acc.Mul(x).Add(k.ConstF32(float32(coeffs[i])))
+		}
+		k.Return(acc)
+		p, err := Compile(k.F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		xv := float32(x0) / 256
+		out, err := p.Run(haswell(), vm.F32Value(xv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float32(coeffs[len(coeffs)-1])
+		for i := len(coeffs) - 2; i >= 0; i-- {
+			want = want*xv + float32(coeffs[i])
+		}
+		got := float32(out.AsFloat())
+		if math.IsNaN(float64(want)) {
+			return math.IsNaN(float64(got))
+		}
+		return got == want
+	}, &quick.Config{MaxCount: 150})
+	if err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickVectorSumMatchesScalar stages the same summation twice — as
+// an AVX reduction and as scalar code — and requires identical op counts
+// semantics on random inputs (the vector sum re-associates, so compare
+// against a reference that sums in the same lane order).
+func TestQuickVectorSumMatchesScalar(t *testing.T) {
+	r := func(xs []float32) bool {
+		n := (len(xs) / 8) * 8
+		if n == 0 {
+			return true
+		}
+		xs = xs[:n]
+		for i, v := range xs {
+			// Clamp into a range where float32 addition cannot overflow
+			// in any association order.
+			if math.IsNaN(float64(v)) || math.Abs(float64(v)) > 1e6 {
+				xs[i] = 1
+			}
+		}
+		k := dsl.NewKernel("vsum", isa.Haswell.Features)
+		a := k.ParamF32Ptr()
+		nn := k.ParamInt()
+		acc := k.ForAccM256(k.ConstInt(0), nn, 8, k.MM256SetzeroPs(),
+			func(i dsl.Int, acc dsl.M256) dsl.M256 {
+				return k.MM256AddPs(acc, k.MM256LoaduPs(a, i))
+			})
+		h1 := k.MM256HaddPs(acc, acc)
+		h2 := k.MM256HaddPs(h1, h1)
+		lo := k.MM256Castps256Ps128(h2)
+		hi := k.MM256Extractf128Ps(h2, 1)
+		k.Return(k.MMCvtssF32(k.MMAddPs(lo, hi)))
+		p, err := Compile(k.F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Run(haswell(), vm.PtrValue(vm.PinF32(xs), 0), vm.IntValue(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Lane-order reference: 8 partial sums, then the hadd tree.
+		var lanes [8]float32
+		for i, v := range xs {
+			lanes[i%8] += v
+		}
+		// hadd(acc,acc) twice then cross-half add reduces as:
+		l0 := (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+		l1 := (lanes[4] + lanes[5]) + (lanes[6] + lanes[7])
+		want := l0 + l1
+		got := float32(out.AsFloat())
+		diff := math.Abs(float64(got - want))
+		scale := 1.0
+		for _, v := range xs {
+			scale += math.Abs(float64(v))
+		}
+		return diff <= 1e-4*scale
+	}
+	if err := quick.Check(r, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickIntegerOpsMatchGo cross-checks staged integer arithmetic
+// against Go semantics through the whole pipeline.
+func TestQuickIntegerOpsMatchGo(t *testing.T) {
+	err := quick.Check(func(a, b int32) bool {
+		k := dsl.NewKernel("intops", isa.Haswell.Features)
+		x, y := k.ParamInt(), k.ParamInt()
+		sum := x.Add(y)
+		diff := x.Sub(y)
+		prod := x.Mul(y)
+		mixed := sum.Xor(diff).And(prod.Or(x))
+		k.Return(mixed.Shl(1).Shr(1))
+		p, err := Compile(k.F)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := p.Run(haswell(), vm.IntValue(int(a)), vm.IntValue(int(b)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumG, diffG, prodG := a+b, a-b, a*b
+		mixedG := (sumG ^ diffG) & (prodG | a)
+		wantG := (mixedG << 1) >> 1
+		return int32(out.AsInt()) == wantG
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Error(err)
+	}
+}

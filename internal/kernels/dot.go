@@ -1,0 +1,295 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/quant"
+)
+
+// DotOps is the op count the paper charges every precision: 2n.
+func DotOps(n int) int64 { return 2 * int64(n) }
+
+// DotPsStep is the virtual intrinsic `dot_ps_step(bits)` of Section 4.1:
+// how many elements one staged dot step consumes. 32/16/8-bit process 32
+// elements per unrolled iteration, 4-bit processes 128.
+func DotPsStep(bits int) int {
+	if bits == 4 {
+		return 128
+	}
+	return 32
+}
+
+// ReduceM256 stages the horizontal sum of a __m256 into a float —
+// hadd/extract/add, the reduce_sum of Section 4.1.
+func ReduceM256(k *dsl.Kernel, v dsl.M256) dsl.F32 {
+	h1 := k.MM256HaddPs(v, v)
+	h2 := k.MM256HaddPs(h1, h1)
+	lo := k.MM256Castps256Ps128(h2)
+	hi := k.MM256Extractf128Ps(h2, 1)
+	return k.MMCvtssF32(k.MMAddPs(lo, hi))
+}
+
+// reduceI32ToF32 converts an 8×i32 accumulator to floats and sums it.
+func reduceI32ToF32(k *dsl.Kernel, v dsl.M256i) dsl.F32 {
+	return ReduceM256(k, k.MM256Cvtepi32Ps(v))
+}
+
+// StagedDot builds the variable-precision staged dot product
+// (the paper's `dot_AVX2`): a loop stepping by DotPsStep(bits), each
+// iteration staged by dotPs — the virtual intrinsic `dot_ps(bits, x, y)`
+// — with the final cross-lane reduction at the end. n must be padded to
+// a multiple of the step (quant.Pad).
+//
+// Parameter shapes by precision:
+//
+//	32: (a []float32, b []float32, n)          → float32
+//	16: (a []uint16,  b []uint16,  n)          → float32  (IEEE half)
+//	 8: (a []int8,    b []int8,    invSS, n)   → float32  (Buckwild!)
+//	 4: (a []uint8,   b []uint8,   invSS, n)   → float32  (ZipML packed)
+//
+// invSS is 1/(s_a·s_b), the dequantization factor.
+func StagedDot(bits int, features isa.FeatureSet) (*dsl.Kernel, error) {
+	if err := quant.CheckBits(bits); err != nil {
+		return nil, err
+	}
+	k := dsl.NewKernel(fmt.Sprintf("dot%d", bits), features)
+	step := DotPsStep(bits)
+	switch bits {
+	case 32:
+		a, b := k.ParamF32Ptr(), k.ParamF32Ptr()
+		n := k.ParamInt()
+		acc := k.ForAccM256(k.ConstInt(0), n, step, k.MM256SetzeroPs(),
+			func(i dsl.Int, acc dsl.M256) dsl.M256 {
+				// 4× unrolled: 32 floats per iteration.
+				for u := 0; u < 4; u++ {
+					va := k.MM256LoaduPs(a, i.AddC(8*u))
+					vb := k.MM256LoaduPs(b, i.AddC(8*u))
+					acc = k.MM256FmaddPs(va, vb, acc)
+				}
+				return acc
+			})
+		k.Return(ReduceM256(k, acc))
+	case 16:
+		a, b := k.ParamU16Ptr(), k.ParamU16Ptr()
+		n := k.ParamInt()
+		acc := k.ForAccM256(k.ConstInt(0), n, step, k.MM256SetzeroPs(),
+			func(i dsl.Int, acc dsl.M256) dsl.M256 {
+				for u := 0; u < 4; u++ {
+					ha := k.MMLoaduSi128(a, i.AddC(8*u))
+					hb := k.MMLoaduSi128(b, i.AddC(8*u))
+					va := k.MM256CvtphPs(ha)
+					vb := k.MM256CvtphPs(hb)
+					acc = k.MM256FmaddPs(va, vb, acc)
+				}
+				return acc
+			})
+		k.Return(ReduceM256(k, acc))
+	case 8:
+		a, b := k.ParamI8Ptr(), k.ParamI8Ptr()
+		invSS := k.ParamF32()
+		n := k.ParamInt()
+		ones := k.MM256Set1Epi16(k.ConstI16(1))
+		acc := k.ForAccM256i(k.ConstInt(0), n, step, k.MM256SetzeroSi256(),
+			func(i dsl.Int, acc dsl.M256i) dsl.M256i {
+				va := k.MM256LoaduSi256(a, i)
+				vb := k.MM256LoaduSi256(b, i)
+				acc = dotBytes(k, va, vb, ones, acc)
+				return acc
+			})
+		k.Return(reduceI32ToF32(k, acc).Mul(invSS))
+	case 4:
+		a, b := k.ParamU8Ptr(), k.ParamU8Ptr()
+		lut := k.ParamI8Ptr() // 16-byte sign-magnitude decode table
+		invSS := k.ParamF32()
+		n := k.ParamInt() // element count; bytes hold 2 elements each
+		ones := k.MM256Set1Epi16(k.ConstI16(1))
+		// Hoist the decode LUT: one pshufb per code vector decodes all
+		// 32 nibbles (the "domain knowledge ... HotSpot cannot
+		// synthesize" of Section 4.2).
+		lutVec := k.MM256Broadcastsi128Si256(k.MMLoaduSi128(lut, k.ConstInt(0)))
+		mask := k.MM256Set1Epi8(k.ConstI8(0x0F))
+		acc := k.ForAccM256i(k.ConstInt(0), n, step, k.MM256SetzeroSi256(),
+			func(i dsl.Int, acc dsl.M256i) dsl.M256i {
+				// 128 elements = 64 bytes = two 32-byte loads per array;
+				// the host loop unrolls the staged code (the paper's
+				// macro-system usage).
+				byteOff := i.Shr(1)
+				for _, u := range []int{0, 32} {
+					va := k.MM256LoaduSi256(a, byteOff.AddC(u))
+					vb := k.MM256LoaduSi256(b, byteOff.AddC(u))
+					loA := k.MM256ShuffleEpi8(lutVec, k.MM256AndSi256(va, mask))
+					loB := k.MM256ShuffleEpi8(lutVec, k.MM256AndSi256(vb, mask))
+					hiA := k.MM256ShuffleEpi8(lutVec, k.MM256AndSi256(k.MM256SrliEpi16(va, 4), mask))
+					hiB := k.MM256ShuffleEpi8(lutVec, k.MM256AndSi256(k.MM256SrliEpi16(vb, 4), mask))
+					acc = dotBytes(k, loA, loB, ones, acc)
+					acc = dotBytes(k, hiA, hiB, ones, acc)
+				}
+				return acc
+			})
+		k.Return(reduceI32ToF32(k, acc).Mul(invSS))
+	}
+	return k, nil
+}
+
+// DecodeLUT4 is the 16-byte table mapping a 4-bit sign-magnitude code to
+// its signed byte value, for the staged 4-bit kernel's pshufb decode.
+func DecodeLUT4() []int8 {
+	out := make([]int8, 16)
+	for c := 0; c < 16; c++ {
+		out[c] = int8(quant.Decode4(uint8(c)))
+	}
+	return out
+}
+
+// dotBytes stages the signed-byte dot-product step: 32 products
+// accumulated pairwise into 8×i32 lanes via the abs/sign/maddubs/madd
+// chain (Section 4.1's "fast additions and multiplications ... without
+// spending a single instruction to perform casts").
+func dotBytes(k *dsl.Kernel, va, vb, ones, acc dsl.M256i) dsl.M256i {
+	absA := k.MM256AbsEpi8(va)
+	signB := k.MM256SignEpi8(vb, va)
+	p16 := k.MM256MaddubsEpi16(absA, signB)
+	p32 := k.MM256MaddEpi16(p16, ones)
+	return k.MM256AddEpi32(acc, p32)
+}
+
+// unpackNibbles stages the ZipML 4-bit decode: split packed codes into
+// even-element (low nibble) and odd-element (high nibble) signed bytes.
+// Codes are sign-magnitude: bit 3 sign, bits 0-2 magnitude.
+func unpackNibbles(k *dsl.Kernel, v dsl.M256i) (lo, hi dsl.M256i) {
+	mask := k.MM256Set1Epi8(k.ConstI8(0x0F))
+	decode := func(code dsl.M256i) dsl.M256i {
+		mag := k.MM256AndSi256(code, k.MM256Set1Epi8(k.ConstI8(7)))
+		signBit := k.MM256AndSi256(code, k.MM256Set1Epi8(k.ConstI8(8)))
+		neg := k.MM256CmpeqEpi8(signBit, k.MM256Set1Epi8(k.ConstI8(8)))
+		// neg is −1 where negative; OR with 1 keeps positives at +1.
+		sign := k.MM256OrSi256(neg, k.MM256Set1Epi8(k.ConstI8(1)))
+		return k.MM256SignEpi8(mag, sign)
+	}
+	loCodes := k.MM256AndSi256(v, mask)
+	hiCodes := k.MM256AndSi256(k.MM256SrliEpi16(v, 4), mask)
+	return decode(loCodes), decode(hiCodes)
+}
+
+// StagedDot4ALU is the ablation variant of the 4-bit kernel that decodes
+// sign-magnitude nibbles with and/cmpeq/or/sign arithmetic instead of the
+// pshufb LUT — the design choice DESIGN.md calls out. Same signature as
+// StagedDot(4) minus the LUT parameter.
+func StagedDot4ALU(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("dot4_alu", features)
+	a, b := k.ParamU8Ptr(), k.ParamU8Ptr()
+	invSS := k.ParamF32()
+	n := k.ParamInt()
+	ones := k.MM256Set1Epi16(k.ConstI16(1))
+	acc := k.ForAccM256i(k.ConstInt(0), n, DotPsStep(4), k.MM256SetzeroSi256(),
+		func(i dsl.Int, acc dsl.M256i) dsl.M256i {
+			byteOff := i.Shr(1)
+			for _, u := range []int{0, 32} {
+				va := k.MM256LoaduSi256(a, byteOff.AddC(u))
+				vb := k.MM256LoaduSi256(b, byteOff.AddC(u))
+				loA, hiA := unpackNibbles(k, va)
+				loB, hiB := unpackNibbles(k, vb)
+				acc = dotBytes(k, loA, loB, ones, acc)
+				acc = dotBytes(k, hiA, hiB, ones, acc)
+			}
+			return acc
+		})
+	k.Return(reduceI32ToF32(k, acc).Mul(invSS))
+	return k
+}
+
+// JavaDot stages the Java baseline at each precision (Section 4.1's
+// "Java implementation"): 32-bit is a plain scalar reduction; 16- and
+// 8-bit operate on quantized short/byte arrays with blocked integer
+// accumulation (Java promotes sub-int types to 32-bit before
+// arithmetic); 4-bit decodes sign-magnitude nibble pairs with scalar bit
+// manipulation.
+func JavaDot(bits int, features isa.FeatureSet) (*ir.Func, error) {
+	if err := quant.CheckBits(bits); err != nil {
+		return nil, err
+	}
+	k := dsl.NewKernel(fmt.Sprintf("JDot%d", bits), features)
+	switch bits {
+	case 32:
+		a, b := k.ParamF32Ptr(), k.ParamF32Ptr()
+		n := k.ParamInt()
+		acc := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+			func(i dsl.Int, acc dsl.F32) dsl.F32 {
+				return acc.Add(a.At(i).Mul(b.At(i)))
+			})
+		k.Return(acc)
+	case 16:
+		// No half floats in Java: quantized shorts, integer accumulate.
+		a, b := k.ParamI16Ptr(), k.ParamI16Ptr()
+		invSS := k.ParamF32()
+		n := k.ParamInt()
+		acc := k.ForAccI64(k.ConstInt(0), n, 1, k.ConstI64(0),
+			func(i dsl.Int, acc dsl.I64) dsl.I64 {
+				return acc.Add(a.At(i).Mul(b.At(i)).ToI64())
+			})
+		k.Return(acc.ToInt().ToF32().Mul(invSS))
+	case 8:
+		a, b := k.ParamI8Ptr(), k.ParamI8Ptr()
+		invSS := k.ParamF32()
+		n := k.ParamInt()
+		acc := k.ForAccInt(k.ConstInt(0), n, 1, k.ConstInt(0),
+			func(i dsl.Int, acc dsl.Int) dsl.Int {
+				return acc.Add(a.At(i).Mul(b.At(i)))
+			})
+		k.Return(acc.ToF32().Mul(invSS))
+	case 4:
+		a, b := k.ParamU8Ptr(), k.ParamU8Ptr()
+		invSS := k.ParamF32()
+		n := k.ParamInt() // element count; loop over n/2 bytes
+		one := k.ConstInt(1)
+		decode := func(code dsl.Int) dsl.Int {
+			mag := code.And(k.ConstInt(7))
+			sign := one.Sub(code.Shr(3).And(one).Shl(1))
+			return mag.Mul(sign)
+		}
+		acc := k.ForAccInt(k.ConstInt(0), n.Shr(1), 1, k.ConstInt(0),
+			func(i dsl.Int, acc dsl.Int) dsl.Int {
+				va, vb := a.At(i), b.At(i)
+				lo := decode(va.And(k.ConstInt(0xF))).Mul(decode(vb.And(k.ConstInt(0xF))))
+				hi := decode(va.Shr(4)).Mul(decode(vb.Shr(4)))
+				return acc.Add(lo).Add(hi)
+			})
+		k.Return(acc.ToF32().Mul(invSS))
+	}
+	return k.F, nil
+}
+
+// RefDotF32 is the float reference.
+func RefDotF32(a, b []float32) float64 {
+	var sum float64
+	for i := range a {
+		sum += float64(a[i]) * float64(b[i])
+	}
+	return sum
+}
+
+// RefDotI8 is the quantized 8-bit reference: Σ qa·qb.
+func RefDotI8(a, b []int8) int64 {
+	var sum int64
+	for i := range a {
+		sum += int64(a[i]) * int64(b[i])
+	}
+	return sum
+}
+
+// RefDotQ4 is the packed 4-bit reference over the ZipML layout.
+func RefDotQ4(a, b []uint8, n int) int64 {
+	var sum int64
+	for i := 0; i < n; i++ {
+		ca, cb := a[i/2], b[i/2]
+		if i%2 == 1 {
+			ca >>= 4
+			cb >>= 4
+		}
+		sum += int64(quant.Decode4(ca&0xF)) * int64(quant.Decode4(cb&0xF))
+	}
+	return sum
+}

@@ -1,0 +1,310 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hotspot"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/quant"
+	"repro/internal/vm"
+)
+
+func rt() *core.Runtime { return core.DefaultRuntime() }
+
+func randF32(n int, seed uint64) []float32 {
+	rng := vm.NewXorshift(seed)
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.Uniform()*2 - 1)
+	}
+	return out
+}
+
+func TestStagedSaxpyMatchesReference(t *testing.T) {
+	r := rt()
+	kn, err := r.Compile(StagedSaxpy(r.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 7, 8, 64, 100, 1000} {
+		a := randF32(n, 1)
+		b := randF32(n, 2)
+		want := append([]float32(nil), a...)
+		RefSaxpy(want, b, 1.25)
+		if _, err := kn.Call(a, b, float32(1.25), n); err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			// The staged kernel fuses the multiply-add; the reference
+			// rounds the product, so allow one ulp of slack.
+			if math.Abs(float64(a[i]-want[i])) > 1e-6*(1+math.Abs(float64(want[i]))) {
+				t.Fatalf("n=%d: a[%d] = %v, want %v", n, i, a[i], want[i])
+			}
+		}
+	}
+}
+
+func TestJavaSaxpyMatchesReference(t *testing.T) {
+	v := hotspot.NewVM(isa.Haswell)
+	m, err := v.Load(JavaSaxpy(isa.Haswell.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 53
+	a := randF32(n, 3)
+	b := randF32(n, 4)
+	want := append([]float32(nil), a...)
+	RefSaxpy(want, b, -0.75)
+	aBuf, bBuf := vm.PinF32(a), vm.PinF32(b)
+	if _, err := m.InvokeAt(hotspot.TierC2, vm.PtrValue(aBuf, 0), vm.PtrValue(bBuf, 0),
+		vm.F32Value(-0.75), vm.IntValue(n)); err != nil {
+		t.Fatal(err)
+	}
+	aBuf.UnpinF32(a)
+	for i := range a {
+		if a[i] != want[i] {
+			t.Fatalf("a[%d] = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func mmmClose(t *testing.T, got, want []float32, tol float64) {
+	t.Helper()
+	for i := range got {
+		if math.Abs(float64(got[i]-want[i])) > tol*(1+math.Abs(float64(want[i]))) {
+			t.Fatalf("c[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestStagedMMMMatchesReference(t *testing.T) {
+	r := rt()
+	kn, err := r.Compile(StagedMMM(r.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{8, 16, 24} {
+		a := randF32(n*n, 5)
+		b := randF32(n*n, 6)
+		c := randF32(n*n, 7)
+		want := append([]float32(nil), c...)
+		RefMMM(a, b, want, n)
+		if _, err := kn.Call(a, b, c, n); err != nil {
+			t.Fatal(err)
+		}
+		mmmClose(t, c, want, 1e-4)
+	}
+}
+
+func TestJavaMMMsMatchReference(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		f    func(isa.FeatureSet) *ir.Func
+	}{
+		{"triple", JavaMMMTriple},
+		{"blocked", JavaMMMBlocked},
+	} {
+		build := build
+		t.Run(build.name, func(t *testing.T) {
+			v := hotspot.NewVM(isa.Haswell)
+			m, err := v.Load(build.f(isa.Haswell.Features))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 16
+			a := randF32(n*n, 31)
+			b := randF32(n*n, 32)
+			c := randF32(n*n, 33)
+			want := append([]float32(nil), c...)
+			RefMMM(a, b, want, n)
+			cBuf := vm.PinF32(c)
+			if _, err := m.InvokeAt(hotspot.TierC2,
+				vm.PtrValue(vm.PinF32(a), 0), vm.PtrValue(vm.PinF32(b), 0),
+				vm.PtrValue(cBuf, 0), vm.IntValue(n)); err != nil {
+				t.Fatal(err)
+			}
+			cBuf.UnpinF32(c)
+			mmmClose(t, c, want, 1e-4)
+			// Neither Java MMM may have been vectorized (Figure 6b).
+			if m.SLP.Vectorized() {
+				t.Errorf("SLP vectorized %s MMM; HotSpot does not", build.name)
+			}
+		})
+	}
+}
+
+// absDotBound returns the float-accumulation tolerance for a dot of the
+// given arrays: a small multiple of Σ|a_i·b_i|.
+func absDotBound(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		s += math.Abs(float64(a[i]) * float64(b[i]))
+	}
+	return 1e-5 * (1 + s)
+}
+
+func TestDotStagedAllPrecisions(t *testing.T) {
+	r := rt()
+	n := quant.Pad(1000, 128)
+	a := randF32(n, 11)
+	b := randF32(n, 12)
+	tol := absDotBound(a, b)
+	rng := vm.NewXorshift(99)
+
+	for _, bits := range []int{32, 16, 8, 4} {
+		k, err := StagedDot(bits, r.Arch.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kn, err := r.Compile(k)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		var got, want float64
+		switch bits {
+		case 32:
+			out, err := kn.Call(a, b, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want = out.AsFloat(), RefDotF32(a, b)
+		case 16:
+			ha, hb := quant.EncodeF16(a), quant.EncodeF16(b)
+			out, err := kn.Call(ha.Data, hb.Data, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The kernel computes exactly the dot of the decoded halves.
+			got, want = out.AsFloat(), RefDotF32(ha.Decode(), hb.Decode())
+		case 8:
+			qa, qb := quant.QuantizeQ8(a, rng), quant.QuantizeQ8(b, rng)
+			invSS := float32(1) / (qa.Scale * qb.Scale)
+			out, err := kn.Call(qa.Data, qb.Data, invSS, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = out.AsFloat()
+			want = float64(RefDotI8(qa.Data, qb.Data)) * float64(invSS)
+		case 4:
+			qa, qb := quant.QuantizeQ4(a, rng), quant.QuantizeQ4(b, rng)
+			invSS := float32(1) / (qa.Scale * qb.Scale)
+			out, err := kn.Call(qa.Data, qb.Data, DecodeLUT4(), invSS, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = out.AsFloat()
+			want = float64(RefDotQ4(qa.Data, qb.Data, n)) * float64(invSS)
+
+			// The ALU-decode ablation variant must agree exactly.
+			alu, err := rt().Compile(StagedDot4ALU(isa.Haswell.Features))
+			if err != nil {
+				t.Fatal(err)
+			}
+			aluOut, err := alu.Call(qa.Data, qb.Data, invSS, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if aluOut.AsFloat() != got {
+				t.Errorf("4-bit ALU-decode variant = %v, LUT variant = %v",
+					aluOut.AsFloat(), got)
+			}
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("bits=%d: dot = %v, want %v (tol %g)", bits, got, want, tol)
+		}
+	}
+}
+
+func TestDotJavaAllPrecisions(t *testing.T) {
+	n := quant.Pad(512, 128)
+	a := randF32(n, 21)
+	b := randF32(n, 22)
+	tol := absDotBound(a, b)
+	rng := vm.NewXorshift(7)
+	v := hotspot.NewVM(isa.Haswell)
+
+	for _, bits := range []int{32, 16, 8, 4} {
+		f, err := JavaDot(bits, isa.Haswell.Features)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := v.Load(f)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		var got, want float64
+		switch bits {
+		case 32:
+			out, err := m.InvokeAt(hotspot.TierC2,
+				vm.PtrValue(vm.PinF32(a), 0), vm.PtrValue(vm.PinF32(b), 0), vm.IntValue(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want = out.AsFloat(), RefDotF32(a, b)
+		case 16:
+			// Java 16-bit path: quantized shorts.
+			sa, sb := quant.Scale(a, 16), quant.Scale(b, 16)
+			qa := make([]int16, n)
+			qb := make([]int16, n)
+			var sum int64
+			for i := range a {
+				qa[i] = int16(a[i] * sa)
+				qb[i] = int16(b[i] * sb)
+				sum += int64(qa[i]) * int64(qb[i])
+			}
+			out, err := m.InvokeAt(hotspot.TierC2,
+				vm.PtrValue(vm.PinI16(qa), 0), vm.PtrValue(vm.PinI16(qb), 0),
+				vm.F32Value(1/(sa*sb)), vm.IntValue(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, want = out.AsFloat(), float64(float32(int32(sum))*(1/(sa*sb)))
+		case 8:
+			qa, qb := quant.QuantizeQ8(a, rng), quant.QuantizeQ8(b, rng)
+			out, err := m.InvokeAt(hotspot.TierC2,
+				vm.PtrValue(vm.PinI8(qa.Data), 0), vm.PtrValue(vm.PinI8(qb.Data), 0),
+				vm.F32Value(1/(qa.Scale*qb.Scale)), vm.IntValue(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = out.AsFloat()
+			want = float64(RefDotI8(qa.Data, qb.Data)) / float64(qa.Scale*qb.Scale)
+		case 4:
+			qa, qb := quant.QuantizeQ4(a, rng), quant.QuantizeQ4(b, rng)
+			out, err := m.InvokeAt(hotspot.TierC2,
+				vm.PtrValue(vm.PinU8(qa.Data), 0), vm.PtrValue(vm.PinU8(qb.Data), 0),
+				vm.F32Value(1/(qa.Scale*qb.Scale)), vm.IntValue(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = out.AsFloat()
+			want = float64(RefDotQ4(qa.Data, qb.Data, n)) / float64(qa.Scale*qb.Scale)
+		}
+		if math.Abs(got-want) > tol {
+			t.Errorf("bits=%d: java dot = %v, want %v (tol %g)", bits, got, want, tol)
+		}
+	}
+}
+
+func TestStagedDotRejectsBadBits(t *testing.T) {
+	if _, err := StagedDot(12, isa.Haswell.Features); err == nil {
+		t.Error("bits=12 accepted")
+	}
+	if _, err := JavaDot(0, isa.Haswell.Features); err == nil {
+		t.Error("bits=0 accepted")
+	}
+}
+
+func TestDotPsStepTable(t *testing.T) {
+	// Section 4.1: "in the case of 32, 16 and 8-bit versions, 32
+	// elements are processed at a time and in the case of the 4-bit, 128
+	// elements at a time."
+	for _, c := range []struct{ bits, want int }{{32, 32}, {16, 32}, {8, 32}, {4, 128}} {
+		if got := DotPsStep(c.bits); got != c.want {
+			t.Errorf("dot_ps_step(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package kernels
+
+import (
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// MMMFlops is the flop count of an n×n matrix multiplication: 2n³.
+func MMMFlops(n int) int64 { return 2 * int64(n) * int64(n) * int64(n) }
+
+// Transpose8x8 stages the paper's Figure 5 in-register transpose: take
+// 8 __m256 rows and return the 8 transposed columns. It is written the
+// way the paper advertises — host-language slices, closures and helper
+// functions acting as a macro system over staged values.
+func Transpose8x8(k *dsl.Kernel, row []dsl.M256) []dsl.M256 {
+	// Stage 1: interleave row pairs.
+	var tt []dsl.M256
+	for i := 0; i < 8; i += 2 {
+		tt = append(tt,
+			k.MM256UnpackloPs(row[i], row[i+1]),
+			k.MM256UnpackhiPs(row[i], row[i+1]))
+	}
+	// Stage 2: 4-wide shuffles within groups of four.
+	var ss []dsl.M256
+	for g := 0; g < 2; g++ {
+		a, b, c, d := tt[4*g], tt[4*g+1], tt[4*g+2], tt[4*g+3]
+		ss = append(ss,
+			k.MM256ShufflePs(a, c, 68),
+			k.MM256ShufflePs(a, c, 238),
+			k.MM256ShufflePs(b, d, 68),
+			k.MM256ShufflePs(b, d, 238))
+	}
+	// Stage 3: zip the 128-bit halves.
+	out := make([]dsl.M256, 0, 8)
+	for i := 0; i < 4; i++ {
+		out = append(out, k.MM256Permute2f128Ps(ss[i], ss[i+4], 0x20))
+	}
+	for i := 0; i < 4; i++ {
+		out = append(out, k.MM256Permute2f128Ps(ss[i], ss[i+4], 0x31))
+	}
+	return out
+}
+
+// treeAdd sums a slice of staged vectors with a balanced reduction tree
+// — the recursive closure `f` of Figure 5 (lines 45-52).
+func treeAdd(k *dsl.Kernel, l []dsl.M256) dsl.M256 {
+	if len(l) == 1 {
+		return l[0]
+	}
+	mid := len(l) / 2
+	return k.MM256AddPs(treeAdd(k, l[:mid]), treeAdd(k, l[mid:]))
+}
+
+// StagedMMM stages Figure 5's blocked matrix multiplication
+// (c += a·b, all matrices n×n row-major, n a multiple of 8): for each
+// 8×8 block of B, transpose it in registers, then stream the rows of A
+// against it.
+func StagedMMM(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("mmm_blocked", features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	c := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+
+	k.For(k.ConstInt(0), n, 8, func(kk dsl.Int) {
+		k.For(k.ConstInt(0), n, 8, func(jj dsl.Int) {
+			// Load the 8×8 block of B at (kk, jj) and transpose it.
+			rows := make([]dsl.M256, 8)
+			for i := 0; i < 8; i++ {
+				rows[i] = k.MM256LoaduPs(b, kk.AddC(i).Mul(n).Add(jj))
+			}
+			blockB := Transpose8x8(k, rows)
+			// Multiply every row of A's block column with the block.
+			k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+				rowA := k.MM256LoaduPs(a, i.Mul(n).Add(kk))
+				prods := make([]dsl.M256, 8)
+				for j := range blockB {
+					prods[j] = k.MM256MulPs(rowA, blockB[j])
+				}
+				mulAB := Transpose8x8(k, prods)
+				rowC := k.MM256LoaduPs(c, i.Mul(n).Add(jj))
+				accC := k.MM256AddPs(treeAdd(k, mulAB), rowC)
+				k.MM256StoreuPs(c, i.Mul(n).Add(jj), accC)
+			})
+		})
+	})
+	return k
+}
+
+// JavaMMMTriple stages the plain Java triple loop — the Figure 6b
+// baseline. The innermost loop is a scalar reduction, so SLP leaves it
+// scalar.
+func JavaMMMTriple(features isa.FeatureSet) *ir.Func {
+	k := dsl.NewKernel("JMMM_triple", features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	c := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		k.For(k.ConstInt(0), n, 1, func(j dsl.Int) {
+			sum := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+				func(kk dsl.Int, acc dsl.F32) dsl.F32 {
+					return acc.Add(a.At(i.Mul(n).Add(kk)).Mul(b.At(kk.Mul(n).Add(j))))
+				})
+			c.Set(i.Mul(n).Add(j), c.At(i.Mul(n).Add(j)).Add(sum))
+		})
+	})
+	return k.F
+}
+
+// JavaMMMBlocked stages the blocked (block size 8) Java version of
+// Figure 6b, in the cache-friendly i-k-j order: the innermost loop walks
+// B and C contiguously, so the blocked version keeps its locality
+// advantage over the triple loop. C2 unrolls it but generates no SIMD
+// (Section 3.4): the inner body's multi-index addressing defeats SLP's
+// adjacency packing, as the SLPReport records.
+func JavaMMMBlocked(features isa.FeatureSet) *ir.Func {
+	k := dsl.NewKernel("JMMM_blocked", features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	c := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 8, func(kk dsl.Int) {
+		k.For(k.ConstInt(0), n, 8, func(jj dsl.Int) {
+			k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+				k.For(kk, kk.AddC(8), 1, func(kx dsl.Int) {
+					aik := a.At(i.Mul(n).Add(kx))
+					k.For(jj, jj.AddC(8), 1, func(j dsl.Int) {
+						idx := i.Mul(n).Add(j)
+						c.Set(idx, c.At(idx).Add(aik.Mul(b.At(kx.Mul(n).Add(j)))))
+					})
+				})
+			})
+		})
+	})
+	return k.F
+}
+
+// RefMMM is the Go reference: c += a·b.
+func RefMMM(a, b, c []float32, n int) {
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			sum := float32(0)
+			for kk := 0; kk < n; kk++ {
+				sum += a[i*n+kk] * b[kk*n+j]
+			}
+			c[i*n+j] += sum
+		}
+	}
+}

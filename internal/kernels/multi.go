@@ -1,0 +1,127 @@
+package kernels
+
+import (
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+// StagedSaxpyMulti is the architecture-independent SAXPY of the paper's
+// artifact ("if the testing machine is not Haswell based, we provided an
+// architecture-independent implementation": cgo.TestMultiSaxpy). The
+// dispatch happens at staging time — the host language inspects the
+// feature set and stages the widest available dialect, so the generated
+// kernel contains no runtime branches:
+//
+//	AVX2+FMA → 8-wide fused loop (Haswell and later)
+//	AVX      → 8-wide mul+add    (Sandy Bridge)
+//	SSE      → 4-wide mul+add    (Nehalem and earlier)
+//	otherwise a scalar loop.
+func StagedSaxpyMulti(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("saxpy_multi", features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	scalar := k.ParamF32()
+	n := k.ParamInt()
+
+	switch {
+	case features.Has(isa.AVX2, isa.FMA):
+		n0 := n.Shr(3).Shl(3)
+		vs := k.MM256Set1Ps(scalar)
+		k.For(k.ConstInt(0), n0, 8, func(i dsl.Int) {
+			k.MM256StoreuPs(a, i,
+				k.MM256FmaddPs(k.MM256LoaduPs(b, i), vs, k.MM256LoaduPs(a, i)))
+		})
+		scalarTail(k, a, b, scalar, n0, n)
+	case features.Has(isa.AVX):
+		n0 := n.Shr(3).Shl(3)
+		vs := k.MM256Set1Ps(scalar)
+		k.For(k.ConstInt(0), n0, 8, func(i dsl.Int) {
+			prod := k.MM256MulPs(k.MM256LoaduPs(b, i), vs)
+			k.MM256StoreuPs(a, i, k.MM256AddPs(k.MM256LoaduPs(a, i), prod))
+		})
+		scalarTail(k, a, b, scalar, n0, n)
+	case features.Has(isa.SSE):
+		n0 := n.Shr(2).Shl(2)
+		vs := k.MMSet1Ps(scalar)
+		k.For(k.ConstInt(0), n0, 4, func(i dsl.Int) {
+			prod := k.MMMulPs(k.MMLoaduPs(b, i), vs)
+			k.MMStoreuPs(a, i, k.MMAddPs(k.MMLoaduPs(a, i), prod))
+		})
+		scalarTail(k, a, b, scalar, n0, n)
+	default:
+		scalarTail(k, a, b, scalar, k.ConstInt(0), n)
+	}
+	return k
+}
+
+func scalarTail(k *dsl.Kernel, a dsl.PF32, b dsl.PF32, s dsl.F32, from, to dsl.Int) {
+	k.For(from, to, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).Add(b.At(i).Mul(s)))
+	})
+}
+
+// StagedDot512 is the AVX-512 dot product for Skylake-X class machines
+// — the paper's forward-looking ISA (its spec work covers AVX-512 even
+// though the testbed is Haswell). 32 floats per iteration in two fused
+// 16-lane chains, cross-lane reduction via _mm512_reduce_add_ps.
+// n must be a multiple of 32.
+func StagedDot512(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("dot512", features)
+	a, b := k.ParamF32Ptr(), k.ParamF32Ptr()
+	n := k.ParamInt()
+	acc := k.ForAccM512(k.ConstInt(0), n, 32, k.MM512SetzeroPs(),
+		func(i dsl.Int, acc dsl.M512) dsl.M512 {
+			for u := 0; u < 2; u++ {
+				va := k.MM512LoaduPs(a, i.AddC(16*u))
+				vb := k.MM512LoaduPs(b, i.AddC(16*u))
+				acc = k.MM512FmaddPs(va, vb, acc)
+			}
+			return acc
+		})
+	k.Return(k.MM512ReduceAddPs(acc))
+	return k
+}
+
+// StagedLogistic stages the logistic function σ(x) = 1/(1+e^(−x)) over
+// a float array using the SVML exponential — the short-vector math
+// library layer the paper counts in Table 1b (406 intrinsics) and
+// describes new virtual ISAs as resembling (Section 4).
+func StagedLogistic(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("logistic", features)
+	x := k.ParamF32Ptr()
+	y := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	zero := k.MM256SetzeroPs()
+	one := k.MM256Set1Ps(k.ConstF32(1))
+	k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+		vx := k.MM256LoaduPs(x, i)
+		negX := k.MM256SubPs(zero, vx)
+		e := k.MM256ExpPs(negX) // SVML
+		k.MM256StoreuPs(y, i, k.MM256DivPs(one, k.MM256AddPs(one, e)))
+	})
+	return k
+}
+
+// StagedMMMNaive is the blocking ablation: a straightforward vectorized
+// MMM without the 8×8 transpose — each C row accumulates rank-1 updates
+// broadcast from A, streaming B rows directly. Correct and vector-wide,
+// but with n× more passes over C and B traffic than the blocked kernel,
+// it shows what Figure 5's in-register blocking buys.
+func StagedMMMNaive(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("mmm_naive", features)
+	a := k.ParamF32Ptr()
+	b := k.ParamF32Ptr()
+	c := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		k.For(k.ConstInt(0), n, 1, func(kk dsl.Int) {
+			aik := k.MM256BroadcastSs(a, i.Mul(n).Add(kk))
+			k.For(k.ConstInt(0), n, 8, func(j dsl.Int) {
+				rowB := k.MM256LoaduPs(b, kk.Mul(n).Add(j))
+				rowC := k.MM256LoaduPs(c, i.Mul(n).Add(j))
+				k.MM256StoreuPs(c, i.Mul(n).Add(j), k.MM256FmaddPs(aik, rowB, rowC))
+			})
+		})
+	})
+	return k
+}

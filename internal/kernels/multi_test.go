@@ -1,0 +1,197 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// TestMultiSaxpyAllArchitectures is the artifact's cgo.TestMultiSaxpy:
+// the architecture-independent SAXPY must stage the widest dialect each
+// machine supports and compute the same result everywhere.
+func TestMultiSaxpyAllArchitectures(t *testing.T) {
+	archs := []struct {
+		arch     *isa.Microarch
+		wantOp   string // the load op the staged dialect must use
+		forbidOp string
+	}{
+		{isa.Haswell, "_mm256_fmadd_ps", ""},
+		{isa.SandyBridge, "_mm256_mul_ps", "_mm256_fmadd_ps"},
+		{isa.Nehalem, "_mm_mul_ps", "_mm256_mul_ps"},
+	}
+	for _, tc := range archs {
+		tc := tc
+		t.Run(tc.arch.Name, func(t *testing.T) {
+			rt, err := core.NewRuntime(tc.arch, cgen.HostEnvironment)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := StagedSaxpyMulti(tc.arch.Features)
+			ops := ir.Schedule(k.F).CountOps()
+			if tc.wantOp != "" && ops[tc.wantOp] == 0 {
+				t.Errorf("%s dialect missing %s: %v", tc.arch.Name, tc.wantOp, ops)
+			}
+			if tc.forbidOp != "" && ops[tc.forbidOp] != 0 {
+				t.Errorf("%s dialect staged %s", tc.arch.Name, tc.forbidOp)
+			}
+			kn, err := rt.Compile(k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := 21
+			a := make([]float32, n)
+			b := make([]float32, n)
+			want := make([]float32, n)
+			for i := range a {
+				a[i] = float32(i)
+				b[i] = float32(2*i + 1)
+				want[i] = a[i] + b[i]*1.5
+			}
+			if _, err := kn.Call(a, b, float32(1.5), n); err != nil {
+				t.Fatal(err)
+			}
+			for i := range a {
+				if math.Abs(float64(a[i]-want[i])) > 1e-5 {
+					t.Fatalf("a[%d] = %v, want %v", i, a[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestStagedDot512OnSkylakeX(t *testing.T) {
+	rt, err := core.NewRuntime(isa.SkylakeX, cgen.HostEnvironment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := rt.Compile(StagedDot512(rt.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 256
+	a := randF32(n, 41)
+	b := randF32(n, 42)
+	out, err := kn.Call(a, b, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RefDotF32(a, b)
+	if math.Abs(out.AsFloat()-want) > absDotBound(a, b) {
+		t.Errorf("dot512 = %v, want %v", out.AsFloat(), want)
+	}
+	// And it must be rejected on Haswell (no AVX-512).
+	if _, err := rt.Compile(StagedDot512(isa.Haswell.Features)); err == nil {
+		t.Error("AVX-512 dot accepted on a Haswell feature set")
+	}
+}
+
+func TestStagedLogistic(t *testing.T) {
+	r := rt()
+	kn, err := r.Compile(StagedLogistic(r.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 64
+	x := randF32(n, 51)
+	for i := range x {
+		x[i] *= 6 // spread over the sigmoid's interesting range
+	}
+	y := make([]float32, n)
+	if _, err := kn.Call(x, y, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		want := 1 / (1 + math.Exp(-float64(x[i])))
+		if math.Abs(float64(y[i])-want) > 1e-5 {
+			t.Fatalf("σ(%v) = %v, want %v", x[i], y[i], want)
+		}
+	}
+}
+
+func TestStagedMMMNaiveMatchesBlocked(t *testing.T) {
+	r := rt()
+	naive, err := r.Compile(StagedMMMNaive(r.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 16
+	a := randF32(n*n, 61)
+	b := randF32(n*n, 62)
+	c := make([]float32, n*n)
+	want := make([]float32, n*n)
+	RefMMM(a, b, want, n)
+	if _, err := naive.Call(a, b, c, n); err != nil {
+		t.Fatal(err)
+	}
+	for i := range c {
+		if math.Abs(float64(c[i]-want[i])) > 1e-4 {
+			t.Fatalf("naive c[%d] = %v, want %v", i, c[i], want[i])
+		}
+	}
+}
+
+func TestBindPlaceholder(t *testing.T) {
+	r := rt()
+	kn, err := r.Compile(StagedSaxpy(r.Arch.Features))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Figure 4 pattern: declare the native placeholder, bind it,
+	// call it like a plain function.
+	var saxpy func(a, b []float32, s float32, n int)
+	if err := core.Bind(kn, &saxpy); err != nil {
+		t.Fatal(err)
+	}
+	a := []float32{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	b := []float32{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	saxpy(a, b, 2, len(a))
+	if a[0] != 19 || a[8] != 11 {
+		t.Errorf("bound saxpy result: %v", a)
+	}
+
+	// Isomorphism violations must be rejected (the paper's Section 3.5
+	// limitation, closed here).
+	var wrongArity func(a []float32, s float32, n int)
+	if err := core.Bind(kn, &wrongArity); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	var wrongElem func(a, b []float64, s float32, n int)
+	if err := core.Bind(kn, &wrongElem); err == nil {
+		t.Error("element-type mismatch accepted")
+	}
+	var wrongScalar func(a, b []float32, s int, n int)
+	if err := core.Bind(kn, &wrongScalar); err == nil {
+		t.Error("scalar-type mismatch accepted")
+	}
+	var wrongReturn func(a, b []float32, s float32, n int) float32
+	if err := core.Bind(kn, &wrongReturn); err == nil {
+		t.Error("phantom return accepted")
+	}
+}
+
+func TestBindWithResult(t *testing.T) {
+	r := rt()
+	k, err := StagedDot(32, r.Arch.Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kn, err := r.Compile(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dot func(a, b []float32, n int) float32
+	if err := core.Bind(kn, &dot); err != nil {
+		t.Fatal(err)
+	}
+	a := make([]float32, 32)
+	for i := range a {
+		a[i] = 1
+	}
+	if got := dot(a, a, 32); got != 32 {
+		t.Errorf("dot = %v, want 32", got)
+	}
+}

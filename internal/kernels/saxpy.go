@@ -1,0 +1,60 @@
+// Package kernels stages the paper's benchmark kernels: SAXPY (Figure 4)
+// and blocked matrix-matrix multiplication (Figure 5) against AVX+FMA,
+// the Section 4 variable-precision dot products against AVX2+FP16C, and
+// their plain-Java counterparts that the simulated HotSpot baseline
+// (internal/hotspot) compiles with SLP. Pure-Go reference
+// implementations validate every kernel's output.
+package kernels
+
+import (
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// SaxpyFlops is the flop count the paper charges SAXPY: 2n.
+func SaxpyFlops(n int) int64 { return 2 * int64(n) }
+
+// StagedSaxpy stages Figure 4's NSaxpy: an AVX+FMA main loop over
+// 8-element chunks plus a scalar tail, computing a[i] += b[i]·s.
+func StagedSaxpy(features isa.FeatureSet) *dsl.Kernel {
+	k := dsl.NewKernel("saxpy", features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	scalar := k.ParamF32()
+	n := k.ParamInt()
+
+	n0 := n.Shr(3).Shl(3)
+	vecS := k.MM256Set1Ps(scalar)
+	k.For(k.ConstInt(0), n0, 8, func(i dsl.Int) {
+		vecA := k.MM256LoaduPs(a, i)
+		vecB := k.MM256LoaduPs(b, i)
+		res := k.MM256FmaddPs(vecB, vecS, vecA)
+		k.MM256StoreuPs(a, i, res)
+	})
+	k.For(n0, n, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).Add(b.At(i).Mul(scalar)))
+	})
+	return k
+}
+
+// JavaSaxpy stages the paper's JSaxpy baseline — the loop HotSpot's SLP
+// does vectorize (with SSE, without FMA).
+func JavaSaxpy(features isa.FeatureSet) *ir.Func {
+	k := dsl.NewKernel("JSaxpy", features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	s := k.ParamF32()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, a.At(i).Add(b.At(i).Mul(s)))
+	})
+	return k.F
+}
+
+// RefSaxpy is the Go reference.
+func RefSaxpy(a, b []float32, s float32) {
+	for i := range a {
+		a[i] += b[i] * s
+	}
+}

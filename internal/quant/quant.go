@@ -1,0 +1,190 @@
+// Package quant implements the variable-precision data formats of the
+// paper's Section 4: IEEE half-precision arrays (FP16C path), 8-bit
+// two's-complement quantized arrays (Buckwild!), and the ZipML 4-bit
+// sign-magnitude format packed two values per byte — all with the
+// stochastic quantization rule
+//
+//	s_v = (2^(b-1) − 1) / max_i |v_i|,  v_i → ⌊v_i·s_v + µ⌋,  µ ~ U(0,1).
+package quant
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/vm"
+)
+
+// Scale computes the quantization scale factor s_v for b-bit precision.
+func Scale(xs []float32, bits int) float32 {
+	maxAbs := float32(0)
+	for _, x := range xs {
+		a := float32(math.Abs(float64(x)))
+		if a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		return 1
+	}
+	return (float32(int(1)<<(bits-1)) - 1) / maxAbs
+}
+
+// quantizeValue applies the stochastic rounding rule.
+func quantizeValue(x, scale float32, rng *vm.Xorshift, bits int) int {
+	mu := rng.Uniform()
+	q := int(math.Floor(float64(x)*float64(scale) + mu))
+	limit := 1<<(bits-1) - 1
+	if q > limit {
+		q = limit
+	}
+	if q < -limit {
+		q = -limit
+	}
+	return q
+}
+
+// Q8 is an 8-bit quantized array: one scale plus two's-complement bytes
+// (the Buckwild! format).
+type Q8 struct {
+	Scale float32
+	Data  []int8
+}
+
+// QuantizeQ8 quantizes a float vector to 8 bits.
+func QuantizeQ8(xs []float32, rng *vm.Xorshift) *Q8 {
+	s := Scale(xs, 8)
+	out := &Q8{Scale: s, Data: make([]int8, len(xs))}
+	for i, x := range xs {
+		out.Data[i] = int8(quantizeValue(x, s, rng, 8))
+	}
+	return out
+}
+
+// Dequantize reconstructs the float approximation.
+func (q *Q8) Dequantize() []float32 {
+	out := make([]float32, len(q.Data))
+	for i, v := range q.Data {
+		out[i] = float32(v) / q.Scale
+	}
+	return out
+}
+
+// Q4 is a 4-bit quantized array in ZipML sign-magnitude layout: each
+// byte packs two values; bit 3 is the sign, bits 0-2 the magnitude.
+// Element 2j sits in byte j's low nibble, element 2j+1 in the high one.
+type Q4 struct {
+	Scale float32
+	N     int
+	Data  []uint8
+}
+
+// Code4 builds the 4-bit sign-magnitude code of a value in [-7, 7].
+func Code4(v int) uint8 {
+	if v < 0 {
+		return 0x8 | uint8(-v)
+	}
+	return uint8(v)
+}
+
+// Decode4 reads a 4-bit sign-magnitude code.
+func Decode4(c uint8) int {
+	mag := int(c & 0x7)
+	if c&0x8 != 0 {
+		return -mag
+	}
+	return mag
+}
+
+// QuantizeQ4 quantizes a float vector to 4 bits. The element count is
+// padded up to an even length internally.
+func QuantizeQ4(xs []float32, rng *vm.Xorshift) *Q4 {
+	s := Scale(xs, 4)
+	out := &Q4{Scale: s, N: len(xs), Data: make([]uint8, (len(xs)+1)/2)}
+	for i, x := range xs {
+		code := Code4(quantizeValue(x, s, rng, 4))
+		if i%2 == 0 {
+			out.Data[i/2] |= code
+		} else {
+			out.Data[i/2] |= code << 4
+		}
+	}
+	return out
+}
+
+// At returns the dequantized element i.
+func (q *Q4) At(i int) float32 {
+	c := q.Data[i/2]
+	if i%2 == 1 {
+		c >>= 4
+	}
+	return float32(Decode4(c&0xF)) / q.Scale
+}
+
+// Dequantize reconstructs the float approximation.
+func (q *Q4) Dequantize() []float32 {
+	out := make([]float32, q.N)
+	for i := range out {
+		out[i] = q.At(i)
+	}
+	return out
+}
+
+// F16 is a half-precision array (the FP16C path of Section 4.1: data
+// held in 16 bits, arithmetic in 32).
+type F16 struct {
+	Data []uint16
+}
+
+// EncodeF16 converts floats to half precision (round-to-nearest-even,
+// matching VCVTPS2PH).
+func EncodeF16(xs []float32) *F16 {
+	out := &F16{Data: make([]uint16, len(xs))}
+	for i, x := range xs {
+		out.Data[i] = vm.F16FromF32(x)
+	}
+	return out
+}
+
+// Decode reconstructs the float32 values.
+func (h *F16) Decode() []float32 {
+	out := make([]float32, len(h.Data))
+	for i, v := range h.Data {
+		out[i] = vm.F32FromF16(v)
+	}
+	return out
+}
+
+// DotError bounds the acceptable relative error of a b-bit quantized
+// dot product of n elements — a coarse bound used by the tests.
+func DotError(bits, n int) float64 {
+	switch bits {
+	case 32:
+		return 1e-5
+	case 16:
+		return 1e-2
+	case 8:
+		return 0.05
+	case 4:
+		return 0.40
+	}
+	return 1
+}
+
+// Pad rounds n up to a multiple of step (the paper pads arrays to their
+// dot_ps_step).
+func Pad(n, step int) int {
+	if n%step == 0 {
+		return n
+	}
+	return n + step - n%step
+}
+
+// CheckBits validates a supported precision.
+func CheckBits(bits int) error {
+	switch bits {
+	case 32, 16, 8, 4:
+		return nil
+	default:
+		return fmt.Errorf("quant: unsupported precision %d (want 32, 16, 8 or 4)", bits)
+	}
+}

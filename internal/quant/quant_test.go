@@ -1,0 +1,180 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+func TestScale(t *testing.T) {
+	xs := []float32{0.5, -2, 1}
+	if got, want := Scale(xs, 8), float32(127)/2; got != want {
+		t.Errorf("Scale 8-bit = %v, want %v", got, want)
+	}
+	if got, want := Scale(xs, 4), float32(7)/2; got != want {
+		t.Errorf("Scale 4-bit = %v, want %v", got, want)
+	}
+	if Scale([]float32{0, 0}, 8) != 1 {
+		t.Error("zero vector must get unit scale")
+	}
+}
+
+func TestQ8RoundTripAccuracy(t *testing.T) {
+	rng := vm.NewXorshift(1)
+	xs := make([]float32, 500)
+	for i := range xs {
+		xs[i] = float32(rng.Uniform()*4 - 2)
+	}
+	q := QuantizeQ8(xs, rng)
+	back := q.Dequantize()
+	for i := range xs {
+		// Stochastic rounding error < 1/scale + one step.
+		if math.Abs(float64(back[i]-xs[i])) > 2/float64(q.Scale) {
+			t.Fatalf("x[%d]=%v dequantized to %v (scale %v)", i, xs[i], back[i], q.Scale)
+		}
+	}
+}
+
+func TestQ8ValuesInRange(t *testing.T) {
+	rng := vm.NewXorshift(2)
+	xs := []float32{-10, 10, -10, 10, 0}
+	q := QuantizeQ8(xs, rng)
+	for i, v := range q.Data {
+		if v > 127 || v < -127 {
+			t.Errorf("q[%d] = %d out of the symmetric 8-bit range", i, v)
+		}
+	}
+}
+
+func TestCode4RoundTrip(t *testing.T) {
+	for v := -7; v <= 7; v++ {
+		if got := Decode4(Code4(v)); got != v {
+			t.Errorf("Decode4(Code4(%d)) = %d", v, got)
+		}
+	}
+	// Sign-magnitude layout per the paper: "sign-bit followed by the
+	// base in binary format".
+	if Code4(-3) != 0xB || Code4(3) != 0x3 {
+		t.Errorf("codes: -3→%#x, 3→%#x", Code4(-3), Code4(3))
+	}
+}
+
+func TestQ4PackingLayout(t *testing.T) {
+	rng := vm.NewXorshift(3)
+	xs := []float32{1, -1, 0.5, -0.5, 0}
+	q := QuantizeQ4(xs, rng)
+	if len(q.Data) != 3 {
+		t.Fatalf("5 elements must pack into 3 bytes, got %d", len(q.Data))
+	}
+	// Element 0 in low nibble of byte 0, element 1 in high nibble.
+	lo := Decode4(q.Data[0] & 0xF)
+	hi := Decode4(q.Data[0] >> 4)
+	if lo <= 0 || hi >= 0 {
+		t.Errorf("packed signs wrong: lo=%d hi=%d", lo, hi)
+	}
+	back := q.Dequantize()
+	if len(back) != 5 {
+		t.Fatalf("dequantize length %d", len(back))
+	}
+	for i := range xs {
+		if math.Abs(float64(back[i]-xs[i])) > 2/float64(q.Scale) {
+			t.Errorf("x[%d]=%v → %v", i, xs[i], back[i])
+		}
+	}
+}
+
+func TestQuantizationIsStochastic(t *testing.T) {
+	// With µ ~ U(0,1), quantizing 0.5 (scale 1 ⇒ q ∈ {0, 1}) must hit
+	// both values.
+	rng := vm.NewXorshift(4)
+	xs := make([]float32, 200)
+	for i := range xs {
+		xs[i] = 3.5 // scale = 7/7 = ... use values mid-step
+	}
+	xs[0] = 7 // pins the scale to 127/7... use 8-bit
+	q := QuantizeQ8(xs, rng)
+	seen := map[int8]bool{}
+	for _, v := range q.Data[1:] {
+		seen[v] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("stochastic rounding produced a single value %v", q.Data[1])
+	}
+}
+
+func TestQuantizeQ8UnbiasedMean(t *testing.T) {
+	// Stochastic rounding is unbiased: E[q/s] = x.
+	rng := vm.NewXorshift(5)
+	const reps = 2000
+	x := float32(0.3)
+	var sum float64
+	for r := 0; r < reps; r++ {
+		q := QuantizeQ8([]float32{x, 1}, rng) // second element pins scale
+		sum += float64(q.Data[0]) / float64(q.Scale)
+	}
+	mean := sum / reps
+	if math.Abs(mean-float64(x)) > 0.01 {
+		t.Errorf("stochastic quantization biased: mean %v, want %v", mean, x)
+	}
+}
+
+func TestF16Codec(t *testing.T) {
+	xs := []float32{0, 1, -2.5, 65504, 0.000061}
+	h := EncodeF16(xs)
+	back := h.Decode()
+	for i := range xs {
+		rel := math.Abs(float64(back[i]-xs[i])) / (1e-9 + math.Abs(float64(xs[i])))
+		if xs[i] != 0 && rel > 1e-3 {
+			t.Errorf("f16 round trip of %v = %v", xs[i], back[i])
+		}
+	}
+}
+
+func TestPad(t *testing.T) {
+	if Pad(100, 32) != 128 || Pad(128, 32) != 128 || Pad(1, 128) != 128 {
+		t.Error("Pad broken")
+	}
+}
+
+func TestCheckBits(t *testing.T) {
+	for _, ok := range []int{32, 16, 8, 4} {
+		if err := CheckBits(ok); err != nil {
+			t.Errorf("CheckBits(%d): %v", ok, err)
+		}
+	}
+	for _, bad := range []int{0, 2, 12, 64} {
+		if err := CheckBits(bad); err == nil {
+			t.Errorf("CheckBits(%d) accepted", bad)
+		}
+	}
+}
+
+func TestQuickQ4CodesValid(t *testing.T) {
+	err := quick.Check(func(seed uint64, raw []float32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, x := range raw {
+			if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+				raw[i] = 0
+			}
+		}
+		q := QuantizeQ4(raw, vm.NewXorshift(seed))
+		for i := 0; i < q.N; i++ {
+			c := q.Data[i/2]
+			if i%2 == 1 {
+				c >>= 4
+			}
+			v := Decode4(c & 0xF)
+			if v < -7 || v > 7 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200})
+	if err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,51 @@
+package vm
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzF16RoundTrip: encoding any float32 to half and back must stay
+// within half-precision error bounds, and re-encoding the decoded value
+// must be a fixed point (decode∘encode is idempotent).
+func FuzzF16RoundTrip(f *testing.F) {
+	for _, seed := range []float32{0, 1, -1, 65504, 65520, 6e-5, 5.9e-8, 1e-9,
+		float32(math.Inf(1)), float32(math.NaN()), 0.333333, -2.5} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, x float32) {
+		h := F16FromF32(x)
+		back := F32FromF16(h)
+		if math.IsNaN(float64(x)) {
+			if !math.IsNaN(float64(back)) {
+				t.Fatalf("NaN %x lost through half: %v", math.Float32bits(x), back)
+			}
+			return
+		}
+		// Idempotence: the decoded value is exactly representable.
+		if h2 := F16FromF32(back); h2 != h {
+			t.Fatalf("decode∘encode not idempotent: %v → %#x → %v → %#x", x, h, back, h2)
+		}
+		// Sign preservation for every non-NaN value.
+		if math.Signbit(float64(x)) != math.Signbit(float64(back)) && back != 0 {
+			t.Fatalf("sign flipped: %v → %v", x, back)
+		}
+	})
+}
+
+// FuzzXorshiftUniform: the RDRAND substitute must emit values strictly
+// inside (0,1) for any seed.
+func FuzzXorshiftUniform(f *testing.F) {
+	f.Add(uint64(0))
+	f.Add(uint64(1))
+	f.Add(^uint64(0))
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		rng := NewXorshift(seed)
+		for i := 0; i < 64; i++ {
+			u := rng.Uniform()
+			if u <= 0 || u >= 1 {
+				t.Fatalf("Uniform() = %v with seed %d", u, seed)
+			}
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package vm
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cachesim"
+	"repro/internal/isa"
+)
+
+// Machine is one simulated CPU executing kernels: the feature set drives
+// availability checks, the RNG backs the RDRAND/RDSEED intrinsics, and
+// Counts accumulates dynamic instruction counts that the cost model
+// converts into cycles.
+type Machine struct {
+	Arch   *isa.Microarch
+	Rand   *Xorshift
+	Counts Counter
+	// Cache, when set, simulates the access stream through a real
+	// set-associative hierarchy — used to validate the analytical
+	// memory model. Nil by default (simulation costs time).
+	Cache *cachesim.Hierarchy
+}
+
+// Touch routes one memory access through the cache simulator, when
+// attached.
+func (m *Machine) Touch(b *Buffer, byteOff, size int) {
+	if m.Cache != nil {
+		m.Cache.Access(b.Base+uint64(byteOff), size)
+	}
+}
+
+// NewMachine creates a machine for the given microarchitecture with a
+// fixed RNG seed (the hardware RDRAND is substituted by a deterministic
+// xorshift so experiments replay exactly).
+func NewMachine(arch *isa.Microarch) *Machine {
+	return &Machine{Arch: arch, Rand: NewXorshift(0x9E3779B97F4A7C15), Counts: Counter{}}
+}
+
+// Counter counts dynamically executed operations by op name.
+type Counter map[string]int64
+
+// Add increments an op's count.
+func (c Counter) Add(op string, n int64) { c[op] += n }
+
+// Reset clears all counts.
+func (c Counter) Reset() {
+	for k := range c {
+		delete(c, k)
+	}
+}
+
+// Total sums every count.
+func (c Counter) Total() int64 {
+	var t int64
+	for _, n := range c {
+		t += n
+	}
+	return t
+}
+
+// Ops returns op names sorted for deterministic reporting.
+func (c Counter) Ops() []string {
+	out := make([]string, 0, len(c))
+	for k := range c {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Clone copies the counter.
+func (c Counter) Clone() Counter {
+	out := make(Counter, len(c))
+	for k, v := range c {
+		out[k] = v
+	}
+	return out
+}
+
+// Intrinsic is one executable intrinsic semantic.
+type Intrinsic struct {
+	Name string
+	// Fn evaluates the intrinsic. Void intrinsics return the zero Value.
+	Fn func(m *Machine, args []Value) (Value, error)
+}
+
+var registry = map[string]Intrinsic{}
+
+// register installs a semantic; duplicate registration is a programming
+// error caught at init.
+func register(name string, fn func(m *Machine, args []Value) (Value, error)) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("vm: duplicate intrinsic semantic %s", name))
+	}
+	registry[name] = Intrinsic{Name: name, Fn: fn}
+}
+
+// Lookup finds an intrinsic's executable semantic.
+func Lookup(name string) (Intrinsic, bool) {
+	in, ok := registry[name]
+	return in, ok
+}
+
+// Implemented reports whether the machine can execute the named
+// intrinsic.
+func Implemented(name string) bool {
+	_, ok := registry[name]
+	return ok
+}
+
+// ImplementedCount returns the number of intrinsics with executable
+// semantics.
+func ImplementedCount() int { return len(registry) }
+
+// ImplementedNames lists all executable intrinsics sorted by name.
+func ImplementedNames() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Call executes an intrinsic by name, counting it.
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	in, ok := registry[name]
+	if !ok {
+		return Value{}, fmt.Errorf("vm: intrinsic %s has no executable semantic", name)
+	}
+	m.Counts.Add(name, 1)
+	return in.Fn(m, args)
+}
+
+// --- argument helpers used by the semantics files ---------------------------
+
+func argVec(args []Value, i int) Vec { return args[i].V }
+
+func argInt(args []Value, i int) int { return int(args[i].AsInt()) }
+
+func argPtr(args []Value, i int) (*Buffer, int, error) {
+	if args[i].Mem == nil {
+		return nil, 0, fmt.Errorf("vm: argument %d is not a pointer", i)
+	}
+	return args[i].Mem, args[i].Off, nil
+}
+
+func vecResult(v Vec) (Value, error) { return VecValue(v), nil }
+
+func voidResult() (Value, error) { return Value{}, nil }

@@ -1,0 +1,45 @@
+package vm
+
+// Xorshift is the deterministic pseudo-random source standing in for the
+// RDRAND/RDSEED hardware generators (xorshift64*, Vigna 2016). The paper
+// uses RDRAND for stochastic quantization (Section 4); a seeded generator
+// preserves the code path while making experiments reproducible.
+type Xorshift struct {
+	state uint64
+}
+
+// NewXorshift seeds a generator; a zero seed is replaced (xorshift has a
+// zero fixed point).
+func NewXorshift(seed uint64) *Xorshift {
+	if seed == 0 {
+		seed = 0x2545F4914F6CDD1D
+	}
+	return &Xorshift{state: seed}
+}
+
+// Next64 returns the next 64 random bits.
+func (x *Xorshift) Next64() uint64 {
+	s := x.state
+	s ^= s >> 12
+	s ^= s << 25
+	s ^= s >> 27
+	x.state = s
+	return s * 0x2545F4914F6CDD1D
+}
+
+// Next32 returns 32 random bits.
+func (x *Xorshift) Next32() uint32 { return uint32(x.Next64() >> 32) }
+
+// Next16 returns 16 random bits.
+func (x *Xorshift) Next16() uint16 { return uint16(x.Next64() >> 48) }
+
+// Uniform returns a float64 uniformly distributed in (0, 1).
+func (x *Xorshift) Uniform() float64 {
+	// 53 random mantissa bits, then nudge off exact zero.
+	u := x.Next64() >> 11
+	f := float64(u) / (1 << 53)
+	if f == 0 {
+		return 0.5 / (1 << 53)
+	}
+	return f
+}

@@ -1,0 +1,806 @@
+package xmlspec
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Entry is a compact curated intrinsic description:
+// hand-verified signatures for the intrinsics this reproduction gives
+// executable semantics (internal/vm) and generated bindings
+// (internal/intrin). The full XML records (description, operation
+// pseudocode, instruction, header) are expanded from these by expand().
+type Entry struct {
+	Ret    string   // C return type
+	Name   string   // C intrinsic name
+	Params string   // "a:__m256d,b:__m256d"; "" for no parameters
+	CPUID  []string // one or more CPUID strings (first = primary family)
+	Cat    string   // vendor category name
+	Instr  string   // assembly mnemonic; "" = derive from the name
+}
+
+func e(ret, name, params, cpuid, cat string) Entry {
+	return Entry{Ret: ret, Name: name, Params: params, CPUID: strings.Split(cpuid, "+"), Cat: cat}
+}
+
+// suffixes used when stamping out regular op families.
+var intSuffixes = []string{"epi8", "epi16", "epi32", "epi64"}
+
+// CuratedEntries returns the curated intrinsic set. Regular families
+// (add/sub over every element width, FMA over every type×width) are
+// stamped out by loops; irregular intrinsics are listed explicitly. All
+// signatures follow the Intel Intrinsics Guide.
+func CuratedEntries() []Entry {
+	var out []Entry
+	add := func(es ...Entry) { out = append(out, es...) }
+
+	// ---- MMX (mmintrin.h) -------------------------------------------
+	for _, s := range []string{"pi8", "pi16", "pi32"} {
+		add(e("__m64", "_mm_add_"+s, "a:__m64,b:__m64", "MMX", "Arithmetic"))
+		add(e("__m64", "_mm_sub_"+s, "a:__m64,b:__m64", "MMX", "Arithmetic"))
+		add(e("__m64", "_mm_cmpeq_"+s, "a:__m64,b:__m64", "MMX", "Compare"))
+		add(e("__m64", "_mm_cmpgt_"+s, "a:__m64,b:__m64", "MMX", "Compare"))
+	}
+	add(
+		e("__m64", "_mm_and_si64", "a:__m64,b:__m64", "MMX", "Logical"),
+		e("__m64", "_mm_or_si64", "a:__m64,b:__m64", "MMX", "Logical"),
+		e("__m64", "_mm_xor_si64", "a:__m64,b:__m64", "MMX", "Logical"),
+		e("__m64", "_mm_andnot_si64", "a:__m64,b:__m64", "MMX", "Logical"),
+		e("__m64", "_mm_set1_pi8", "a:char", "MMX", "Set"),
+		e("__m64", "_mm_set1_pi16", "a:short", "MMX", "Set"),
+		e("__m64", "_mm_set1_pi32", "a:int", "MMX", "Set"),
+		e("__m64", "_mm_setzero_si64", "", "MMX", "Set"),
+		e("__m64", "_mm_madd_pi16", "a:__m64,b:__m64", "MMX", "Arithmetic"),
+		e("__m64", "_mm_mullo_pi16", "a:__m64,b:__m64", "MMX", "Arithmetic"),
+		e("__m64", "_mm_unpacklo_pi8", "a:__m64,b:__m64", "MMX", "Swizzle"),
+		e("__m64", "_mm_unpackhi_pi8", "a:__m64,b:__m64", "MMX", "Swizzle"),
+		e("int", "_mm_cvtsi64_si32", "a:__m64", "MMX", "Convert"),
+		e("__m64", "_mm_cvtsi32_si64", "a:int", "MMX", "Convert"),
+		e("void", "_mm_empty", "", "MMX", "General Support"),
+	)
+
+	// ---- SSE (xmmintrin.h): 4×f32 -----------------------------------
+	for _, op := range []string{"add", "sub", "mul", "div", "max", "min"} {
+		add(e("__m128", "_mm_"+op+"_ps", "a:__m128,b:__m128", "SSE", "Arithmetic"))
+		add(e("__m128", "_mm_"+op+"_ss", "a:__m128,b:__m128", "SSE", "Arithmetic"))
+	}
+	for _, op := range []string{"sqrt", "rcp", "rsqrt"} {
+		add(e("__m128", "_mm_"+op+"_ps", "a:__m128", "SSE", "Elementary Math Functions"))
+	}
+	for _, op := range []string{"and", "or", "xor", "andnot"} {
+		add(e("__m128", "_mm_"+op+"_ps", "a:__m128,b:__m128", "SSE", "Logical"))
+	}
+	for _, op := range []string{"cmpeq", "cmplt", "cmple", "cmpgt", "cmpge", "cmpneq"} {
+		add(e("__m128", "_mm_"+op+"_ps", "a:__m128,b:__m128", "SSE", "Compare"))
+	}
+	add(
+		e("__m128", "_mm_loadu_ps", "mem_addr:float const*", "SSE", "Load"),
+		e("__m128", "_mm_load_ps", "mem_addr:float const*", "SSE", "Load"),
+		e("__m128", "_mm_load_ss", "mem_addr:float const*", "SSE", "Load"),
+		e("__m128", "_mm_load_ps1", "mem_addr:float const*", "SSE", "Load"),
+		e("void", "_mm_storeu_ps", "mem_addr:float*,a:__m128", "SSE", "Store"),
+		e("void", "_mm_store_ps", "mem_addr:float*,a:__m128", "SSE", "Store"),
+		e("void", "_mm_store_ss", "mem_addr:float*,a:__m128", "SSE", "Store"),
+		e("void", "_mm_store_ps1", "mem_addr:float*,a:__m128", "SSE", "Store"),
+		e("__m128", "_mm_set1_ps", "a:float", "SSE", "Set"),
+		e("__m128", "_mm_set_ps", "e3:float,e2:float,e1:float,e0:float", "SSE", "Set"),
+		e("__m128", "_mm_set_ss", "a:float", "SSE", "Set"),
+		e("__m128", "_mm_setzero_ps", "", "SSE", "Set"),
+		e("__m128", "_mm_movehl_ps", "a:__m128,b:__m128", "SSE", "Move"),
+		e("__m128", "_mm_movelh_ps", "a:__m128,b:__m128", "SSE", "Move"),
+		e("__m128", "_mm_shuffle_ps", "a:__m128,b:__m128,imm8:unsigned int", "SSE", "Swizzle"),
+		e("__m128", "_mm_unpacklo_ps", "a:__m128,b:__m128", "SSE", "Swizzle"),
+		e("__m128", "_mm_unpackhi_ps", "a:__m128,b:__m128", "SSE", "Swizzle"),
+		e("float", "_mm_cvtss_f32", "a:__m128", "SSE", "Convert"),
+		e("int", "_mm_movemask_ps", "a:__m128", "SSE", "Miscellaneous"),
+		e("void", "_mm_prefetch", "p:char const*,i:int", "SSE", "Cacheability"),
+		e("void", "_mm_sfence", "", "SSE", "General Support"),
+		e("__m64", "_mm_avg_pu8", "a:__m64,b:__m64", "SSE", "Probability/Statistics"),
+		e("__m64", "_mm_avg_pu16", "a:__m64,b:__m64", "SSE", "Probability/Statistics"),
+	)
+
+	// ---- SSE2 (emmintrin.h): 2×f64 and 128-bit integers -------------
+	for _, op := range []string{"add", "sub", "mul", "div", "max", "min"} {
+		add(e("__m128d", "_mm_"+op+"_pd", "a:__m128d,b:__m128d", "SSE2", "Arithmetic"))
+		add(e("__m128d", "_mm_"+op+"_sd", "a:__m128d,b:__m128d", "SSE2", "Arithmetic"))
+	}
+	add(e("__m128d", "_mm_sqrt_pd", "a:__m128d", "SSE2", "Elementary Math Functions"))
+	for _, op := range []string{"and", "or", "xor", "andnot"} {
+		add(e("__m128d", "_mm_"+op+"_pd", "a:__m128d,b:__m128d", "SSE2", "Logical"))
+		add(e("__m128i", "_mm_"+op+"_si128", "a:__m128i,b:__m128i", "SSE2", "Logical"))
+	}
+	for _, op := range []string{"cmpeq", "cmplt", "cmple", "cmpgt", "cmpge", "cmpneq"} {
+		add(e("__m128d", "_mm_"+op+"_pd", "a:__m128d,b:__m128d", "SSE2", "Compare"))
+	}
+	for _, s := range intSuffixes {
+		add(e("__m128i", "_mm_add_"+s, "a:__m128i,b:__m128i", "SSE2", "Arithmetic"))
+		add(e("__m128i", "_mm_sub_"+s, "a:__m128i,b:__m128i", "SSE2", "Arithmetic"))
+	}
+	for _, s := range []string{"epi8", "epi16", "epi32"} {
+		add(e("__m128i", "_mm_cmpeq_"+s, "a:__m128i,b:__m128i", "SSE2", "Compare"))
+		add(e("__m128i", "_mm_cmpgt_"+s, "a:__m128i,b:__m128i", "SSE2", "Compare"))
+		add(e("__m128i", "_mm_cmplt_"+s, "a:__m128i,b:__m128i", "SSE2", "Compare"))
+	}
+	for _, s := range []string{"epi16", "epi32", "epi64"} {
+		add(e("__m128i", "_mm_slli_"+s, "a:__m128i,imm8:int", "SSE2", "Shift"))
+		add(e("__m128i", "_mm_srli_"+s, "a:__m128i,imm8:int", "SSE2", "Shift"))
+	}
+	for _, s := range []string{"epi16", "epi32"} {
+		add(e("__m128i", "_mm_srai_"+s, "a:__m128i,imm8:int", "SSE2", "Shift"))
+	}
+	for _, s := range []string{"epi8", "epi16", "epi32", "epi64"} {
+		add(e("__m128i", "_mm_unpacklo_"+s, "a:__m128i,b:__m128i", "SSE2", "Swizzle"))
+		add(e("__m128i", "_mm_unpackhi_"+s, "a:__m128i,b:__m128i", "SSE2", "Swizzle"))
+	}
+	add(
+		e("__m128i", "_mm_madd_epi16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_mullo_epi16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_mulhi_epi16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_mulhi_epu16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_mul_epu32", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_adds_epi8", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_adds_epi16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_adds_epu8", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_adds_epu16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_subs_epi8", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_subs_epi16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_subs_epu8", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_subs_epu16", "a:__m128i,b:__m128i", "SSE2", "Arithmetic"),
+		e("__m128i", "_mm_avg_epu8", "a:__m128i,b:__m128i", "SSE2", "Probability/Statistics"),
+		e("__m128i", "_mm_avg_epu16", "a:__m128i,b:__m128i", "SSE2", "Probability/Statistics"),
+		e("__m128i", "_mm_sad_epu8", "a:__m128i,b:__m128i", "SSE2", "Miscellaneous"),
+		e("__m128i", "_mm_max_epu8", "a:__m128i,b:__m128i", "SSE2", "Special Math Functions"),
+		e("__m128i", "_mm_min_epu8", "a:__m128i,b:__m128i", "SSE2", "Special Math Functions"),
+		e("__m128i", "_mm_max_epi16", "a:__m128i,b:__m128i", "SSE2", "Special Math Functions"),
+		e("__m128i", "_mm_min_epi16", "a:__m128i,b:__m128i", "SSE2", "Special Math Functions"),
+		e("__m128i", "_mm_packs_epi16", "a:__m128i,b:__m128i", "SSE2", "Miscellaneous"),
+		e("__m128i", "_mm_packus_epi16", "a:__m128i,b:__m128i", "SSE2", "Miscellaneous"),
+		e("__m128i", "_mm_packs_epi32", "a:__m128i,b:__m128i", "SSE2", "Miscellaneous"),
+		e("__m128i", "_mm_shuffle_epi32", "a:__m128i,imm8:int", "SSE2", "Swizzle"),
+		e("__m128i", "_mm_shufflehi_epi16", "a:__m128i,imm8:int", "SSE2", "Swizzle"),
+		e("__m128i", "_mm_shufflelo_epi16", "a:__m128i,imm8:int", "SSE2", "Swizzle"),
+		e("__m128i", "_mm_slli_si128", "a:__m128i,imm8:int", "SSE2", "Shift"),
+		e("__m128i", "_mm_srli_si128", "a:__m128i,imm8:int", "SSE2", "Shift"),
+		e("int", "_mm_movemask_epi8", "a:__m128i", "SSE2", "Miscellaneous"),
+		e("int", "_mm_movemask_pd", "a:__m128d", "SSE2", "Miscellaneous"),
+		e("__m128i", "_mm_loadu_si128", "mem_addr:__m128i const*", "SSE2", "Load"),
+		e("__m128i", "_mm_load_si128", "mem_addr:__m128i const*", "SSE2", "Load"),
+		e("__m128d", "_mm_loadu_pd", "mem_addr:double const*", "SSE2", "Load"),
+		e("__m128d", "_mm_load_pd", "mem_addr:double const*", "SSE2", "Load"),
+		e("void", "_mm_storeu_si128", "mem_addr:__m128i*,a:__m128i", "SSE2", "Store"),
+		e("void", "_mm_store_si128", "mem_addr:__m128i*,a:__m128i", "SSE2", "Store"),
+		e("void", "_mm_storeu_pd", "mem_addr:double*,a:__m128d", "SSE2", "Store"),
+		e("void", "_mm_store_pd", "mem_addr:double*,a:__m128d", "SSE2", "Store"),
+		e("void", "_mm_store_pd1", "mem_addr:double*,a:__m128d", "SSE2", "Store"),
+		e("void", "_mm_stream_si128", "mem_addr:__m128i*,a:__m128i", "SSE2", "Store"),
+		e("__m128i", "_mm_set1_epi8", "a:char", "SSE2", "Set"),
+		e("__m128i", "_mm_set1_epi16", "a:short", "SSE2", "Set"),
+		e("__m128i", "_mm_set1_epi32", "a:int", "SSE2", "Set"),
+		e("__m128i", "_mm_set1_epi64x", "a:__int64", "SSE2", "Set"),
+		e("__m128d", "_mm_set1_pd", "a:double", "SSE2", "Set"),
+		e("__m128d", "_mm_set_pd", "e1:double,e0:double", "SSE2", "Set"),
+		e("__m128i", "_mm_setzero_si128", "", "SSE2", "Set"),
+		e("__m128d", "_mm_setzero_pd", "", "SSE2", "Set"),
+		e("__m128d", "_mm_unpacklo_pd", "a:__m128d,b:__m128d", "SSE2", "Swizzle"),
+		e("__m128d", "_mm_unpackhi_pd", "a:__m128d,b:__m128d", "SSE2", "Swizzle"),
+		e("__m128d", "_mm_shuffle_pd", "a:__m128d,b:__m128d,imm8:int", "SSE2", "Swizzle"),
+		e("double", "_mm_cvtsd_f64", "a:__m128d", "SSE2", "Convert"),
+		e("__m128d", "_mm_cvtps_pd", "a:__m128", "SSE2", "Convert"),
+		e("__m128", "_mm_cvtpd_ps", "a:__m128d", "SSE2", "Convert"),
+		e("__m128", "_mm_cvtepi32_ps", "a:__m128i", "SSE2", "Convert"),
+		e("__m128i", "_mm_cvtps_epi32", "a:__m128", "SSE2", "Convert"),
+		e("__m128i", "_mm_cvttps_epi32", "a:__m128", "SSE2", "Convert"),
+		e("__m128d", "_mm_cvtepi32_pd", "a:__m128i", "SSE2", "Convert"),
+		e("int", "_mm_cvtsi128_si32", "a:__m128i", "SSE2", "Convert"),
+		e("__int64", "_mm_cvtsi128_si64", "a:__m128i", "SSE2", "Convert"),
+		e("__m128i", "_mm_cvtsi32_si128", "a:int", "SSE2", "Convert"),
+		e("__m128i", "_mm_cvtsi64_si128", "a:__int64", "SSE2", "Convert"),
+		e("__m128", "_mm_castpd_ps", "a:__m128d", "SSE2", "Cast"),
+		e("__m128d", "_mm_castps_pd", "a:__m128", "SSE2", "Cast"),
+		e("__m128i", "_mm_castps_si128", "a:__m128", "SSE2", "Cast"),
+		e("__m128", "_mm_castsi128_ps", "a:__m128i", "SSE2", "Cast"),
+		e("void", "_mm_lfence", "", "SSE2", "General Support"),
+		e("void", "_mm_mfence", "", "SSE2", "General Support"),
+	)
+
+	// ---- SSE3 (pmmintrin.h): the full 11-intrinsic family -----------
+	add(
+		e("__m128", "_mm_hadd_ps", "a:__m128,b:__m128", "SSE3", "Arithmetic"),
+		e("__m128", "_mm_hsub_ps", "a:__m128,b:__m128", "SSE3", "Arithmetic"),
+		e("__m128d", "_mm_hadd_pd", "a:__m128d,b:__m128d", "SSE3", "Arithmetic"),
+		e("__m128d", "_mm_hsub_pd", "a:__m128d,b:__m128d", "SSE3", "Arithmetic"),
+		e("__m128", "_mm_addsub_ps", "a:__m128,b:__m128", "SSE3", "Arithmetic"),
+		e("__m128d", "_mm_addsub_pd", "a:__m128d,b:__m128d", "SSE3", "Arithmetic"),
+		e("__m128", "_mm_movehdup_ps", "a:__m128", "SSE3", "Move"),
+		e("__m128", "_mm_moveldup_ps", "a:__m128", "SSE3", "Move"),
+		e("__m128d", "_mm_movedup_pd", "a:__m128d", "SSE3", "Move"),
+		e("__m128d", "_mm_loaddup_pd", "mem_addr:double const*", "SSE3", "Load"),
+		e("__m128i", "_mm_lddqu_si128", "mem_addr:__m128i const*", "SSE3", "Load"),
+	)
+
+	// ---- SSSE3 (tmmintrin.h) -----------------------------------------
+	for _, s := range []string{"epi8", "epi16", "epi32"} {
+		add(e("__m128i", "_mm_abs_"+s, "a:__m128i", "SSSE3", "Special Math Functions"))
+		add(e("__m128i", "_mm_sign_"+s, "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"))
+	}
+	add(
+		e("__m128i", "_mm_maddubs_epi16", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_mulhrs_epi16", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_hadd_epi16", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_hadd_epi32", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_hadds_epi16", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_hsub_epi16", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_hsub_epi32", "a:__m128i,b:__m128i", "SSSE3", "Arithmetic"),
+		e("__m128i", "_mm_shuffle_epi8", "a:__m128i,b:__m128i", "SSSE3", "Swizzle"),
+		e("__m128i", "_mm_alignr_epi8", "a:__m128i,b:__m128i,imm8:int", "SSSE3", "Miscellaneous"),
+	)
+
+	// ---- SSE4.1 (smmintrin.h) ----------------------------------------
+	for _, s := range []string{"epi8", "epu16", "epi32", "epu32"} {
+		add(e("__m128i", "_mm_max_"+s, "a:__m128i,b:__m128i", "SSE4.1", "Special Math Functions"))
+		add(e("__m128i", "_mm_min_"+s, "a:__m128i,b:__m128i", "SSE4.1", "Special Math Functions"))
+	}
+	add(
+		e("__m128", "_mm_dp_ps", "a:__m128,b:__m128,imm8:int", "SSE4.1", "Arithmetic"),
+		e("__m128d", "_mm_dp_pd", "a:__m128d,b:__m128d,imm8:int", "SSE4.1", "Arithmetic"),
+		e("__m128i", "_mm_mullo_epi32", "a:__m128i,b:__m128i", "SSE4.1", "Arithmetic"),
+		e("__m128i", "_mm_mul_epi32", "a:__m128i,b:__m128i", "SSE4.1", "Arithmetic"),
+		e("__m128", "_mm_blend_ps", "a:__m128,b:__m128,imm8:int", "SSE4.1", "Swizzle"),
+		e("__m128d", "_mm_blend_pd", "a:__m128d,b:__m128d,imm8:int", "SSE4.1", "Swizzle"),
+		e("__m128", "_mm_blendv_ps", "a:__m128,b:__m128,mask:__m128", "SSE4.1", "Swizzle"),
+		e("__m128d", "_mm_blendv_pd", "a:__m128d,b:__m128d,mask:__m128d", "SSE4.1", "Swizzle"),
+		e("__m128i", "_mm_blendv_epi8", "a:__m128i,b:__m128i,mask:__m128i", "SSE4.1", "Swizzle"),
+		e("__m128i", "_mm_cvtepi8_epi16", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepi8_epi32", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepu8_epi16", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepu8_epi32", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepi16_epi32", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepu16_epi32", "a:__m128i", "SSE4.1", "Convert"),
+		e("__m128i", "_mm_cvtepi32_epi64", "a:__m128i", "SSE4.1", "Convert"),
+		e("int", "_mm_extract_epi32", "a:__m128i,imm8:int", "SSE4.1", "Swizzle"),
+		e("int", "_mm_extract_epi8", "a:__m128i,imm8:int", "SSE4.1", "Swizzle"),
+		e("__m128i", "_mm_insert_epi32", "a:__m128i,i:int,imm8:int", "SSE4.1", "Swizzle"),
+		e("__m128", "_mm_round_ps", "a:__m128,rounding:int", "SSE4.1", "Special Math Functions"),
+		e("__m128d", "_mm_round_pd", "a:__m128d,rounding:int", "SSE4.1", "Special Math Functions"),
+		e("__m128", "_mm_floor_ps", "a:__m128", "SSE4.1", "Special Math Functions"),
+		e("__m128d", "_mm_floor_pd", "a:__m128d", "SSE4.1", "Special Math Functions"),
+		e("__m128", "_mm_ceil_ps", "a:__m128", "SSE4.1", "Special Math Functions"),
+		e("__m128d", "_mm_ceil_pd", "a:__m128d", "SSE4.1", "Special Math Functions"),
+		e("int", "_mm_testz_si128", "a:__m128i,b:__m128i", "SSE4.1", "Logical"),
+		e("int", "_mm_testc_si128", "a:__m128i,b:__m128i", "SSE4.1", "Logical"),
+		e("__m128i", "_mm_packus_epi32", "a:__m128i,b:__m128i", "SSE4.1", "Miscellaneous"),
+		e("__m128i", "_mm_minpos_epu16", "a:__m128i", "SSE4.1", "Miscellaneous"),
+		e("__m128i", "_mm_stream_load_si128", "mem_addr:__m128i*", "SSE4.1", "Load"),
+		e("__m128i", "_mm_cmpeq_epi64", "a:__m128i,b:__m128i", "SSE4.1", "Compare"),
+	)
+
+	// ---- SSE4.2 (nmmintrin.h) ----------------------------------------
+	add(
+		e("__m128i", "_mm_cmpgt_epi64", "a:__m128i,b:__m128i", "SSE4.2", "Compare"),
+		e("unsigned int", "_mm_crc32_u8", "crc:unsigned int,v:unsigned char", "SSE4.2", "Cryptography"),
+		e("unsigned int", "_mm_crc32_u16", "crc:unsigned int,v:unsigned short", "SSE4.2", "Cryptography"),
+		e("unsigned int", "_mm_crc32_u32", "crc:unsigned int,v:unsigned int", "SSE4.2", "Cryptography"),
+		e("unsigned __int64", "_mm_crc32_u64", "crc:unsigned __int64,v:unsigned __int64", "SSE4.2", "Cryptography"),
+		e("int", "_mm_cmpestri", "a:__m128i,la:int,b:__m128i,lb:int,imm8:int", "SSE4.2", "String Compare"),
+		e("__m128i", "_mm_cmpestrm", "a:__m128i,la:int,b:__m128i,lb:int,imm8:int", "SSE4.2", "String Compare"),
+		e("int", "_mm_cmpistri", "a:__m128i,b:__m128i,imm8:int", "SSE4.2", "String Compare"),
+		e("__m128i", "_mm_cmpistrm", "a:__m128i,b:__m128i,imm8:int", "SSE4.2", "String Compare"),
+		e("int", "_mm_cmpistrz", "a:__m128i,b:__m128i,imm8:int", "SSE4.2", "String Compare"),
+	)
+
+	// ---- AVX (immintrin.h): 256-bit float/double ---------------------
+	for _, t := range []struct{ v, s string }{{"__m256", "ps"}, {"__m256d", "pd"}} {
+		for _, op := range []string{"add", "sub", "mul", "div", "max", "min"} {
+			add(e(t.v, "_mm256_"+op+"_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Arithmetic"))
+		}
+		add(e(t.v, "_mm256_sqrt_"+t.s, "a:"+t.v, "AVX", "Elementary Math Functions"))
+		for _, op := range []string{"and", "or", "xor", "andnot"} {
+			add(e(t.v, "_mm256_"+op+"_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Logical"))
+		}
+		add(
+			e(t.v, "_mm256_hadd_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Arithmetic"),
+			e(t.v, "_mm256_hsub_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Arithmetic"),
+			e(t.v, "_mm256_addsub_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Arithmetic"),
+			e(t.v, "_mm256_unpacklo_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Swizzle"),
+			e(t.v, "_mm256_unpackhi_"+t.s, "a:"+t.v+",b:"+t.v, "AVX", "Swizzle"),
+			e(t.v, "_mm256_shuffle_"+t.s, "a:"+t.v+",b:"+t.v+",imm8:int", "AVX", "Swizzle"),
+			e(t.v, "_mm256_blend_"+t.s, "a:"+t.v+",b:"+t.v+",imm8:int", "AVX", "Swizzle"),
+			e(t.v, "_mm256_blendv_"+t.s, "a:"+t.v+",b:"+t.v+",mask:"+t.v, "AVX", "Swizzle"),
+			e(t.v, "_mm256_permute2f128_"+t.s, "a:"+t.v+",b:"+t.v+",imm8:int", "AVX", "Swizzle"),
+			e(t.v, "_mm256_round_"+t.s, "a:"+t.v+",rounding:int", "AVX", "Special Math Functions"),
+			e(t.v, "_mm256_floor_"+t.s, "a:"+t.v, "AVX", "Special Math Functions"),
+			e(t.v, "_mm256_ceil_"+t.s, "a:"+t.v, "AVX", "Special Math Functions"),
+			e(t.v, "_mm256_cmp_"+t.s, "a:"+t.v+",b:"+t.v+",imm8:int", "AVX", "Compare"),
+		)
+	}
+	add(
+		e("__m256", "_mm256_rcp_ps", "a:__m256", "AVX", "Elementary Math Functions"),
+		e("__m256", "_mm256_rsqrt_ps", "a:__m256", "AVX", "Elementary Math Functions"),
+		e("__m256", "_mm256_permute_ps", "a:__m256,imm8:int", "AVX", "Swizzle"),
+		e("__m256d", "_mm256_permute_pd", "a:__m256d,imm8:int", "AVX", "Swizzle"),
+		e("__m256i", "_mm256_permute2f128_si256", "a:__m256i,b:__m256i,imm8:int", "AVX", "Swizzle"),
+		e("__m256", "_mm256_permutevar_ps", "a:__m256,b:__m256i", "AVX", "Swizzle"),
+		e("__m256d", "_mm256_permutevar_pd", "a:__m256d,b:__m256i", "AVX", "Swizzle"),
+		e("__m256", "_mm256_loadu_ps", "mem_addr:float const*", "AVX", "Load"),
+		e("__m256", "_mm256_load_ps", "mem_addr:float const*", "AVX", "Load"),
+		e("__m256d", "_mm256_loadu_pd", "mem_addr:double const*", "AVX", "Load"),
+		e("__m256d", "_mm256_load_pd", "mem_addr:double const*", "AVX", "Load"),
+		e("__m256i", "_mm256_loadu_si256", "mem_addr:__m256i const*", "AVX", "Load"),
+		e("__m256i", "_mm256_load_si256", "mem_addr:__m256i const*", "AVX", "Load"),
+		e("__m256i", "_mm256_lddqu_si256", "mem_addr:__m256i const*", "AVX", "Load"),
+		e("void", "_mm256_storeu_ps", "mem_addr:float*,a:__m256", "AVX", "Store"),
+		e("void", "_mm256_store_ps", "mem_addr:float*,a:__m256", "AVX", "Store"),
+		e("void", "_mm256_storeu_pd", "mem_addr:double*,a:__m256d", "AVX", "Store"),
+		e("void", "_mm256_store_pd", "mem_addr:double*,a:__m256d", "AVX", "Store"),
+		e("void", "_mm256_storeu_si256", "mem_addr:__m256i*,a:__m256i", "AVX", "Store"),
+		e("void", "_mm256_store_si256", "mem_addr:__m256i*,a:__m256i", "AVX", "Store"),
+		e("void", "_mm256_stream_ps", "mem_addr:float*,a:__m256", "AVX", "Store"),
+		e("void", "_mm256_stream_pd", "mem_addr:double*,a:__m256d", "AVX", "Store"),
+		e("void", "_mm256_stream_si256", "mem_addr:__m256i*,a:__m256i", "AVX", "Store"),
+		e("__m256", "_mm256_maskload_ps", "mem_addr:float const*,mask:__m256i", "AVX", "Load"),
+		e("void", "_mm256_maskstore_ps", "mem_addr:float*,mask:__m256i,a:__m256", "AVX", "Store"),
+		e("__m256d", "_mm256_maskload_pd", "mem_addr:double const*,mask:__m256i", "AVX", "Load"),
+		e("void", "_mm256_maskstore_pd", "mem_addr:double*,mask:__m256i,a:__m256d", "AVX", "Store"),
+		e("__m256", "_mm256_broadcast_ss", "mem_addr:float const*", "AVX", "Load"),
+		e("__m256d", "_mm256_broadcast_sd", "mem_addr:double const*", "AVX", "Load"),
+		e("__m256", "_mm256_broadcast_ps", "mem_addr:__m128 const*", "AVX", "Load"),
+		e("__m256d", "_mm256_broadcast_pd", "mem_addr:__m128d const*", "AVX", "Load"),
+		e("__m256", "_mm256_set1_ps", "a:float", "AVX", "Set"),
+		e("__m256d", "_mm256_set1_pd", "a:double", "AVX", "Set"),
+		e("__m256i", "_mm256_set1_epi8", "a:char", "AVX", "Set"),
+		e("__m256i", "_mm256_set1_epi16", "a:short", "AVX", "Set"),
+		e("__m256i", "_mm256_set1_epi32", "a:int", "AVX", "Set"),
+		e("__m256i", "_mm256_set1_epi64x", "a:__int64", "AVX", "Set"),
+		e("__m256", "_mm256_set_ps", "e7:float,e6:float,e5:float,e4:float,e3:float,e2:float,e1:float,e0:float", "AVX", "Set"),
+		e("__m256d", "_mm256_set_pd", "e3:double,e2:double,e1:double,e0:double", "AVX", "Set"),
+		e("__m256", "_mm256_setzero_ps", "", "AVX", "Set"),
+		e("__m256d", "_mm256_setzero_pd", "", "AVX", "Set"),
+		e("__m256i", "_mm256_setzero_si256", "", "AVX", "Set"),
+		e("__m128", "_mm256_extractf128_ps", "a:__m256,imm8:int", "AVX", "Swizzle"),
+		e("__m128d", "_mm256_extractf128_pd", "a:__m256d,imm8:int", "AVX", "Swizzle"),
+		e("__m128i", "_mm256_extractf128_si256", "a:__m256i,imm8:int", "AVX", "Swizzle"),
+		e("__m256", "_mm256_insertf128_ps", "a:__m256,b:__m128,imm8:int", "AVX", "Swizzle"),
+		e("__m256d", "_mm256_insertf128_pd", "a:__m256d,b:__m128d,imm8:int", "AVX", "Swizzle"),
+		e("__m256i", "_mm256_insertf128_si256", "a:__m256i,b:__m128i,imm8:int", "AVX", "Swizzle"),
+		e("__m128", "_mm256_castps256_ps128", "a:__m256", "AVX", "Cast"),
+		e("__m256", "_mm256_castps128_ps256", "a:__m128", "AVX", "Cast"),
+		e("__m128d", "_mm256_castpd256_pd128", "a:__m256d", "AVX", "Cast"),
+		e("__m256d", "_mm256_castpd128_pd256", "a:__m128d", "AVX", "Cast"),
+		e("__m256d", "_mm256_castps_pd", "a:__m256", "AVX", "Cast"),
+		e("__m256", "_mm256_castpd_ps", "a:__m256d", "AVX", "Cast"),
+		e("__m256i", "_mm256_castps_si256", "a:__m256", "AVX", "Cast"),
+		e("__m256", "_mm256_castsi256_ps", "a:__m256i", "AVX", "Cast"),
+		e("__m128i", "_mm256_castsi256_si128", "a:__m256i", "AVX", "Cast"),
+		e("__m256i", "_mm256_castsi128_si256", "a:__m128i", "AVX", "Cast"),
+		e("__m256", "_mm256_cvtepi32_ps", "a:__m256i", "AVX", "Convert"),
+		e("__m256i", "_mm256_cvtps_epi32", "a:__m256", "AVX", "Convert"),
+		e("__m256i", "_mm256_cvttps_epi32", "a:__m256", "AVX", "Convert"),
+		e("__m128", "_mm256_cvtpd_ps", "a:__m256d", "AVX", "Convert"),
+		e("__m256d", "_mm256_cvtps_pd", "a:__m128", "AVX", "Convert"),
+		e("int", "_mm256_movemask_ps", "a:__m256", "AVX", "Miscellaneous"),
+		e("int", "_mm256_movemask_pd", "a:__m256d", "AVX", "Miscellaneous"),
+		e("int", "_mm256_testz_si256", "a:__m256i,b:__m256i", "AVX", "Logical"),
+		e("void", "_mm256_zeroall", "", "AVX", "General Support"),
+		e("void", "_mm256_zeroupper", "", "AVX", "General Support"),
+	)
+
+	// ---- AVX2 (immintrin.h): 256-bit integer -------------------------
+	for _, s := range intSuffixes {
+		add(e("__m256i", "_mm256_add_"+s, "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+		add(e("__m256i", "_mm256_sub_"+s, "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+		add(e("__m256i", "_mm256_cmpeq_"+s, "a:__m256i,b:__m256i", "AVX2", "Compare"))
+		add(e("__m256i", "_mm256_cmpgt_"+s, "a:__m256i,b:__m256i", "AVX2", "Compare"))
+		add(e("__m256i", "_mm256_unpacklo_"+s, "a:__m256i,b:__m256i", "AVX2", "Swizzle"))
+		add(e("__m256i", "_mm256_unpackhi_"+s, "a:__m256i,b:__m256i", "AVX2", "Swizzle"))
+	}
+	for _, s := range []string{"epi8", "epi16"} {
+		add(e("__m256i", "_mm256_adds_"+s, "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+		add(e("__m256i", "_mm256_subs_"+s, "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+		add(e("__m256i", "_mm256_adds_"+strings.Replace(s, "i", "u", 1), "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+		add(e("__m256i", "_mm256_subs_"+strings.Replace(s, "i", "u", 1), "a:__m256i,b:__m256i", "AVX2", "Arithmetic"))
+	}
+	for _, s := range []string{"epi8", "epu8", "epi16", "epu16", "epi32", "epu32"} {
+		add(e("__m256i", "_mm256_max_"+s, "a:__m256i,b:__m256i", "AVX2", "Special Math Functions"))
+		add(e("__m256i", "_mm256_min_"+s, "a:__m256i,b:__m256i", "AVX2", "Special Math Functions"))
+	}
+	for _, s := range []string{"epi16", "epi32", "epi64"} {
+		add(e("__m256i", "_mm256_slli_"+s, "a:__m256i,imm8:int", "AVX2", "Shift"))
+		add(e("__m256i", "_mm256_srli_"+s, "a:__m256i,imm8:int", "AVX2", "Shift"))
+	}
+	for _, s := range []string{"epi16", "epi32"} {
+		add(e("__m256i", "_mm256_srai_"+s, "a:__m256i,imm8:int", "AVX2", "Shift"))
+	}
+	add(
+		e("__m256i", "_mm256_and_si256", "a:__m256i,b:__m256i", "AVX2", "Logical"),
+		e("__m256i", "_mm256_or_si256", "a:__m256i,b:__m256i", "AVX2", "Logical"),
+		e("__m256i", "_mm256_xor_si256", "a:__m256i,b:__m256i", "AVX2", "Logical"),
+		e("__m256i", "_mm256_andnot_si256", "a:__m256i,b:__m256i", "AVX2", "Logical"),
+		e("__m256i", "_mm256_abs_epi8", "a:__m256i", "AVX2", "Special Math Functions"),
+		e("__m256i", "_mm256_abs_epi16", "a:__m256i", "AVX2", "Special Math Functions"),
+		e("__m256i", "_mm256_abs_epi32", "a:__m256i", "AVX2", "Special Math Functions"),
+		e("__m256i", "_mm256_sign_epi8", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_sign_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_sign_epi32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_madd_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_maddubs_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mullo_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mullo_epi32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mulhi_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mulhrs_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mul_epi32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_mul_epu32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_avg_epu8", "a:__m256i,b:__m256i", "AVX2", "Probability/Statistics"),
+		e("__m256i", "_mm256_avg_epu16", "a:__m256i,b:__m256i", "AVX2", "Probability/Statistics"),
+		e("__m256i", "_mm256_sad_epu8", "a:__m256i,b:__m256i", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_hadd_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_hadd_epi32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_hsub_epi16", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_hsub_epi32", "a:__m256i,b:__m256i", "AVX2", "Arithmetic"),
+		e("__m256i", "_mm256_shuffle_epi8", "a:__m256i,b:__m256i", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_shuffle_epi32", "a:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_shufflehi_epi16", "a:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_shufflelo_epi16", "a:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_alignr_epi8", "a:__m256i,b:__m256i,imm8:int", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_blend_epi16", "a:__m256i,b:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_blend_epi32", "a:__m256i,b:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_blendv_epi8", "a:__m256i,b:__m256i,mask:__m256i", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_packs_epi16", "a:__m256i,b:__m256i", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_packus_epi16", "a:__m256i,b:__m256i", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_packs_epi32", "a:__m256i,b:__m256i", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_packus_epi32", "a:__m256i,b:__m256i", "AVX2", "Miscellaneous"),
+		e("int", "_mm256_movemask_epi8", "a:__m256i", "AVX2", "Miscellaneous"),
+		e("__m256i", "_mm256_permute4x64_epi64", "a:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256d", "_mm256_permute4x64_pd", "a:__m256d,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_permute2x128_si256", "a:__m256i,b:__m256i,imm8:int", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_permutevar8x32_epi32", "a:__m256i,idx:__m256i", "AVX2", "Swizzle"),
+		e("__m256", "_mm256_permutevar8x32_ps", "a:__m256,idx:__m256i", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_bslli_epi128", "a:__m256i,imm8:int", "AVX2", "Shift"),
+		e("__m256i", "_mm256_bsrli_epi128", "a:__m256i,imm8:int", "AVX2", "Shift"),
+		e("__m256i", "_mm256_sllv_epi32", "a:__m256i,count:__m256i", "AVX2", "Shift"),
+		e("__m256i", "_mm256_srlv_epi32", "a:__m256i,count:__m256i", "AVX2", "Shift"),
+		e("__m256i", "_mm256_srav_epi32", "a:__m256i,count:__m256i", "AVX2", "Shift"),
+		e("__m256i", "_mm256_sllv_epi64", "a:__m256i,count:__m256i", "AVX2", "Shift"),
+		e("__m256i", "_mm256_srlv_epi64", "a:__m256i,count:__m256i", "AVX2", "Shift"),
+		e("__m256i", "_mm256_cvtepi8_epi16", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepi8_epi32", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepu8_epi16", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepu8_epi32", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepi16_epi32", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepu16_epi32", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_cvtepi32_epi64", "a:__m128i", "AVX2", "Convert"),
+		e("__m256i", "_mm256_i32gather_epi32", "base_addr:int const*,vindex:__m256i,scale:int", "AVX2", "Load"),
+		e("__m256", "_mm256_i32gather_ps", "base_addr:float const*,vindex:__m256i,scale:int", "AVX2", "Load"),
+		e("__m256d", "_mm256_i32gather_pd", "base_addr:double const*,vindex:__m128i,scale:int", "AVX2", "Load"),
+		e("__m256i", "_mm256_maskload_epi32", "mem_addr:int const*,mask:__m256i", "AVX2", "Load"),
+		e("void", "_mm256_maskstore_epi32", "mem_addr:int*,mask:__m256i,a:__m256i", "AVX2", "Store"),
+		e("__m256i", "_mm256_broadcastsi128_si256", "a:__m128i", "AVX2", "Swizzle"),
+		e("__m256", "_mm256_broadcastss_ps", "a:__m128", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_broadcastb_epi8", "a:__m128i", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_broadcastw_epi16", "a:__m128i", "AVX2", "Swizzle"),
+		e("__m256i", "_mm256_broadcastd_epi32", "a:__m128i", "AVX2", "Swizzle"),
+	)
+
+	// ---- FMA (immintrin.h): the full 32-intrinsic family -------------
+	for _, op := range []string{"fmadd", "fmsub", "fnmadd", "fnmsub", "fmaddsub", "fmsubadd"} {
+		for _, t := range []struct{ v, s string }{
+			{"__m128", "ps"}, {"__m128d", "pd"}, {"__m256", "ps"}, {"__m256d", "pd"},
+		} {
+			pfx := "_mm_"
+			if strings.HasPrefix(t.v, "__m256") {
+				pfx = "_mm256_"
+			}
+			add(e(t.v, pfx+op+"_"+t.s, "a:"+t.v+",b:"+t.v+",c:"+t.v, "FMA", "Arithmetic"))
+		}
+	}
+	for _, op := range []string{"fmadd", "fmsub", "fnmadd", "fnmsub"} {
+		add(e("__m128", "_mm_"+op+"_ss", "a:__m128,b:__m128,c:__m128", "FMA", "Arithmetic"))
+		add(e("__m128d", "_mm_"+op+"_sd", "a:__m128d,b:__m128d,c:__m128d", "FMA", "Arithmetic"))
+	}
+
+	// ---- FP16C: half-precision conversion -----------------------------
+	add(
+		e("__m128", "_mm_cvtph_ps", "a:__m128i", "FP16C", "Convert"),
+		e("__m256", "_mm256_cvtph_ps", "a:__m128i", "FP16C", "Convert"),
+		e("__m128i", "_mm_cvtps_ph", "a:__m128,rounding:int", "FP16C", "Convert"),
+		e("__m128i", "_mm256_cvtps_ph", "a:__m256,rounding:int", "FP16C", "Convert"),
+	)
+
+	// ---- RDRAND / RDSEED ----------------------------------------------
+	add(
+		e("int", "_rdrand16_step", "val:unsigned short*", "RDRAND", "Random"),
+		e("int", "_rdrand32_step", "val:unsigned int*", "RDRAND", "Random"),
+		e("int", "_rdrand64_step", "val:unsigned __int64*", "RDRAND", "Random"),
+		e("int", "_rdseed16_step", "val:unsigned short*", "RDSEED", "Random"),
+		e("int", "_rdseed32_step", "val:unsigned int*", "RDSEED", "Random"),
+		e("int", "_rdseed64_step", "val:unsigned __int64*", "RDSEED", "Random"),
+	)
+
+	// ---- Small scalar extensions ---------------------------------------
+	add(
+		e("int", "_mm_popcnt_u32", "a:unsigned int", "POPCNT", "Bit Manipulation"),
+		e("__int64", "_mm_popcnt_u64", "a:unsigned __int64", "POPCNT", "Bit Manipulation"),
+		e("unsigned int", "_lzcnt_u32", "a:unsigned int", "LZCNT", "Bit Manipulation"),
+		e("unsigned __int64", "_lzcnt_u64", "a:unsigned __int64", "LZCNT", "Bit Manipulation"),
+		e("unsigned int", "_tzcnt_u32", "a:unsigned int", "BMI1", "Bit Manipulation"),
+		e("unsigned __int64", "_tzcnt_u64", "a:unsigned __int64", "BMI1", "Bit Manipulation"),
+		e("unsigned int", "_blsr_u32", "a:unsigned int", "BMI1", "Bit Manipulation"),
+		e("unsigned int", "_pext_u32", "a:unsigned int,mask:unsigned int", "BMI2", "Bit Manipulation"),
+		e("unsigned int", "_pdep_u32", "a:unsigned int,mask:unsigned int", "BMI2", "Bit Manipulation"),
+		e("unsigned __int64", "_rdtsc", "", "TSC", "General Support"),
+		e("__m128i", "_mm_aesdec_si128", "a:__m128i,RoundKey:__m128i", "AES", "Cryptography"),
+		e("__m128i", "_mm_aesenc_si128", "a:__m128i,RoundKey:__m128i", "AES", "Cryptography"),
+		e("__m128i", "_mm_sha1msg1_epu32", "a:__m128i,b:__m128i", "SHA", "Cryptography"),
+		e("__m128i", "_mm_sha256msg1_epu32", "a:__m128i,b:__m128i", "SHA", "Cryptography"),
+		e("__m128i", "_mm_clmulepi64_si128", "a:__m128i,b:__m128i,imm8:int", "PCLMULQDQ", "Application-Targeted"),
+	)
+
+	// ---- SVML (curated slice) ------------------------------------------
+	for _, t := range []struct{ v, s string }{
+		{"__m128", "ps"}, {"__m128d", "pd"}, {"__m256", "ps"}, {"__m256d", "pd"},
+	} {
+		pfx := "_mm_"
+		if strings.HasPrefix(t.v, "__m256") {
+			pfx = "_mm256_"
+		}
+		for _, op := range []string{"sin", "cos", "exp", "log", "pow2o3"} {
+			cat := "Trigonometry"
+			if op == "exp" || op == "log" || op == "pow2o3" {
+				cat = "Elementary Math Functions"
+			}
+			add(e(t.v, pfx+op+"_"+t.s, "a:"+t.v, "SVML", cat))
+		}
+		add(e(t.v, pfx+"cdfnorm_"+t.s, "a:"+t.v, "SVML", "Probability/Statistics"))
+		add(e(t.v, pfx+"svml_sqrt_"+t.s, "a:"+t.v, "SVML", "Elementary Math Functions"))
+		add(e(t.v, pfx+"invsqrt_"+t.s, "a:"+t.v, "SVML", "Elementary Math Functions"))
+	}
+	add(
+		e("__m128i", "_mm_div_epi32", "a:__m128i,b:__m128i", "SVML", "Arithmetic"),
+		e("__m256i", "_mm256_div_epi32", "a:__m256i,b:__m256i", "SVML", "Arithmetic"),
+		e("__m128i", "_mm_rem_epi32", "a:__m128i,b:__m128i", "SVML", "Arithmetic"),
+		e("__m256i", "_mm256_rem_epi32", "a:__m256i,b:__m256i", "SVML", "Arithmetic"),
+	)
+
+	// ---- AVX-512 (curated slice; remainder synthesized) ----------------
+	for _, t := range []struct{ v, s string }{{"__m512", "ps"}, {"__m512d", "pd"}} {
+		for _, op := range []string{"add", "sub", "mul", "div", "max", "min"} {
+			add(e(t.v, "_mm512_"+op+"_"+t.s, "a:"+t.v+",b:"+t.v, "AVX-512", "Arithmetic"))
+		}
+		add(e(t.v, "_mm512_fmadd_"+t.s, "a:"+t.v+",b:"+t.v+",c:"+t.v, "AVX-512", "Arithmetic"))
+		add(e(t.v, "_mm512_sqrt_"+t.s, "a:"+t.v, "AVX-512", "Elementary Math Functions"))
+		add(e(t.v, "_mm512_set1_"+t.s[len(t.s)-2:], "a:"+map[string]string{"ps": "float", "pd": "double"}[t.s], "AVX-512", "Set"))
+	}
+	add(
+		e("__m512", "_mm512_loadu_ps", "mem_addr:float const*", "AVX-512", "Load"),
+		e("void", "_mm512_storeu_ps", "mem_addr:float*,a:__m512", "AVX-512", "Store"),
+		e("__m512d", "_mm512_loadu_pd", "mem_addr:double const*", "AVX-512", "Load"),
+		e("void", "_mm512_storeu_pd", "mem_addr:double*,a:__m512d", "AVX-512", "Store"),
+		e("__m512i", "_mm512_loadu_si512", "mem_addr:void const*", "AVX-512", "Load"),
+		e("void", "_mm512_storeu_si512", "mem_addr:void*,a:__m512i", "AVX-512", "Store"),
+		e("__m512", "_mm512_setzero_ps", "", "AVX-512", "Set"),
+		e("__m512d", "_mm512_setzero_pd", "", "AVX-512", "Set"),
+		e("__m512i", "_mm512_setzero_si512", "", "AVX-512", "Set"),
+		e("float", "_mm512_reduce_add_ps", "a:__m512", "AVX-512", "Arithmetic"),
+		e("double", "_mm512_reduce_add_pd", "a:__m512d", "AVX-512", "Arithmetic"),
+		e("__m512i", "_mm512_add_epi32", "a:__m512i,b:__m512i", "AVX-512", "Arithmetic"),
+		e("__m512i", "_mm512_sub_epi32", "a:__m512i,b:__m512i", "AVX-512", "Arithmetic"),
+		e("__m512i", "_mm512_and_si512", "a:__m512i,b:__m512i", "AVX-512", "Logical"),
+		e("__m512i", "_mm512_or_si512", "a:__m512i,b:__m512i", "AVX-512", "Logical"),
+		e("__m512i", "_mm512_rol_epi32", "a:__m512i,imm8:int", "AVX-512", "Shift"),
+		e("__mmask16", "_mm512_cmpeq_epi32_mask", "a:__m512i,b:__m512i", "AVX-512", "Compare"),
+		e("__mmask8", "_mm_cmp_epi16_mask", "a:__m128i,b:__m128i,imm8:int", "AVX-512", "Compare"),
+		e("__m512", "_mm512_mask_add_ps", "src:__m512,k:__mmask16,a:__m512,b:__m512", "AVX-512", "Arithmetic"),
+	)
+	// The paper's Table 1a cites _mm512_storenrngo_pd (a KNC-shared
+	// no-read-no-globally-ordered store).
+	add(Entry{Ret: "void", Name: "_mm512_storenrngo_pd",
+		Params: "mv:void*,v:__m512d", CPUID: []string{"AVX-512", "KNCNI"}, Cat: "Store"})
+
+	// ---- KNC (curated slice) --------------------------------------------
+	add(
+		e("__m512", "_mm512_extload_ps", "mt:void const*,conv:int,bc:int,hint:int", "KNCNI", "Load"),
+		e("void", "_mm512_extstore_ps", "mt:void*,v:__m512,conv:int,hint:int", "KNCNI", "Store"),
+		e("__m512i", "_mm512_fmadd233_epi32", "a:__m512i,b:__m512i", "KNCNI", "Arithmetic"),
+		e("float", "_mm512_reduce_gmax_ps", "a:__m512", "KNCNI", "Arithmetic"),
+		e("__m512i", "_mm512_swizzle_epi32", "v:__m512i,s:int", "KNCNI", "Swizzle"),
+	)
+
+	return out
+}
+
+// expandEntry turns a compact Entry into a full XML Intrinsic record,
+// synthesising the description/operation boilerplate the way the vendor
+// file phrases it.
+func expandEntry(en Entry) Intrinsic {
+	in := Intrinsic{
+		Name:    en.Name,
+		RetType: en.Ret,
+		CPUID:   en.CPUID,
+	}
+	if en.Cat != "" {
+		in.Category = []string{en.Cat}
+	}
+	if en.Params != "" {
+		for _, p := range strings.Split(en.Params, ",") {
+			nv := strings.SplitN(p, ":", 2)
+			in.Params = append(in.Params, Param{VarName: nv[0], Type: nv[1]})
+		}
+	} else {
+		in.Params = []Param{{VarName: "", Type: "void"}}
+	}
+	in.Types = []string{typeClass(en)}
+	in.Description = describe(en)
+	in.Operation = operationPseudo(en)
+	mn := en.Instr
+	if mn == "" {
+		mn = deriveMnemonic(en.Name)
+	}
+	in.Instruction = []Instruction{{Name: mn, Form: deriveForm(en)}}
+	in.Header = headerFor(en.CPUID[0])
+	return in
+}
+
+func typeClass(en Entry) string {
+	n := en.Name
+	switch {
+	case strings.Contains(n, "_ps") || strings.Contains(n, "_pd") ||
+		strings.Contains(n, "_ss") || strings.Contains(n, "_sd"):
+		return "Floating Point"
+	case strings.Contains(n, "_epi") || strings.Contains(n, "_epu") ||
+		strings.Contains(n, "_si") || strings.Contains(n, "_pi") ||
+		strings.Contains(n, "_u8") || strings.Contains(n, "_u16") ||
+		strings.Contains(n, "_u32") || strings.Contains(n, "_u64"):
+		return "Integer"
+	default:
+		return "Other"
+	}
+}
+
+func describe(en Entry) string {
+	op := opToken(en.Name)
+	width := elementPhrase(en.Name)
+	return fmt.Sprintf("%s %s, and store the results in \"dst\".",
+		strings.Title(verbFor(en.Cat, op)), width)
+}
+
+func verbFor(cat, op string) string {
+	switch cat {
+	case "Load":
+		return "load " + op
+	case "Store":
+		return "store " + op
+	case "Set":
+		return "broadcast or set " + op
+	case "Compare":
+		return "compare (" + op + ")"
+	case "Convert", "Cast":
+		return "convert (" + op + ")"
+	default:
+		return op
+	}
+}
+
+func opToken(name string) string {
+	t := strings.TrimPrefix(name, "_mm512_")
+	t = strings.TrimPrefix(t, "_mm256_")
+	t = strings.TrimPrefix(t, "_mm_")
+	t = strings.TrimPrefix(t, "_m_")
+	t = strings.TrimPrefix(t, "_")
+	if i := strings.LastIndexByte(t, '_'); i > 0 {
+		t = t[:i]
+	}
+	return t
+}
+
+func elementPhrase(name string) string {
+	switch {
+	case strings.HasSuffix(name, "_pd") || strings.HasSuffix(name, "_sd"):
+		return "packed double-precision (64-bit) floating-point elements in \"a\" and \"b\""
+	case strings.HasSuffix(name, "_ps") || strings.HasSuffix(name, "_ss"):
+		return "packed single-precision (32-bit) floating-point elements in \"a\" and \"b\""
+	case strings.Contains(name, "epi8") || strings.Contains(name, "epu8"):
+		return "packed 8-bit integers in \"a\" and \"b\""
+	case strings.Contains(name, "epi16") || strings.Contains(name, "epu16"):
+		return "packed 16-bit integers in \"a\" and \"b\""
+	case strings.Contains(name, "epi32") || strings.Contains(name, "epu32"):
+		return "packed 32-bit integers in \"a\" and \"b\""
+	case strings.Contains(name, "epi64") || strings.Contains(name, "epu64"):
+		return "packed 64-bit integers in \"a\" and \"b\""
+	default:
+		return "the source operands"
+	}
+}
+
+func operationPseudo(en Entry) string {
+	bits := 128
+	switch {
+	case strings.HasPrefix(en.Ret, "__m256") || strings.Contains(en.Params, "__m256"):
+		bits = 256
+	case strings.HasPrefix(en.Ret, "__m512") || strings.Contains(en.Params, "__m512"):
+		bits = 512
+	case strings.HasPrefix(en.Ret, "__m64") || strings.Contains(en.Params, "__m64"):
+		bits = 64
+	}
+	step := 32
+	lanes := bits / step
+	return fmt.Sprintf("FOR j := 0 to %d\n\ti := j*%d\n\tdst[i+%d:i] := OP(a[i+%d:i], b[i+%d:i])\nENDFOR\ndst[MAX:%d] := 0",
+		lanes-1, step, step-1, step-1, step-1, bits)
+}
+
+// deriveMnemonic guesses the assembly mnemonic from the intrinsic name,
+// following Intel's conventions (AVX-era instructions carry a "v" prefix;
+// the type suffix folds into the mnemonic: add+ps → [v]addps).
+func deriveMnemonic(name string) string {
+	op := opToken(name)
+	suffix := ""
+	if i := strings.LastIndexByte(name, '_'); i >= 0 {
+		suffix = name[i+1:]
+	}
+	v := ""
+	if strings.HasPrefix(name, "_mm256_") || strings.HasPrefix(name, "_mm512_") {
+		v = "v"
+	}
+	switch suffix {
+	case "ps", "pd", "ss", "sd":
+		return v + op[:min(len(op), 10)] + suffix
+	case "epi8", "epu8":
+		return v + "p" + op + "b"
+	case "epi16", "epu16":
+		return v + "p" + op + "w"
+	case "epi32", "epu32":
+		return v + "p" + op + "d"
+	case "epi64", "epu64":
+		return v + "p" + op + "q"
+	default:
+		return v + op
+	}
+}
+
+func deriveForm(en Entry) string {
+	reg := map[int]string{64: "mm", 128: "xmm", 256: "ymm", 512: "zmm"}
+	bits := 128
+	switch {
+	case strings.HasPrefix(en.Ret, "__m256"):
+		bits = 256
+	case strings.HasPrefix(en.Ret, "__m512"):
+		bits = 512
+	case strings.HasPrefix(en.Ret, "__m64"):
+		bits = 64
+	}
+	n := len(strings.Split(en.Params, ","))
+	if en.Params == "" {
+		n = 0
+	}
+	parts := make([]string, 0, n+1)
+	for i := 0; i <= n && i < 3; i++ {
+		parts = append(parts, reg[bits])
+	}
+	return strings.Join(parts, ", ")
+}
+
+func headerFor(cpuid string) string {
+	switch strings.ToUpper(cpuid) {
+	case "MMX":
+		return "mmintrin.h"
+	case "SSE":
+		return "xmmintrin.h"
+	case "SSE2":
+		return "emmintrin.h"
+	case "SSE3":
+		return "pmmintrin.h"
+	case "SSSE3":
+		return "tmmintrin.h"
+	case "SSE4.1":
+		return "smmintrin.h"
+	case "SSE4.2":
+		return "nmmintrin.h"
+	default:
+		return "immintrin.h"
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,53 @@
+package xmlspec
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTyp: the type resolver must never panic and must round-trip
+// what it accepts.
+func FuzzParseTyp(f *testing.F) {
+	for _, seed := range []string{
+		"__m256d", "float const*", "unsigned __int64", "void*", "__m128i const*",
+		"int", "char", "", "const", "*", "float**", "__m4096z",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		typ, err := ParseTyp(s)
+		if err != nil {
+			return
+		}
+		// Accepted spellings produce a printable C name that reparses to
+		// an equivalent type.
+		back, err := ParseTyp(typ.CName())
+		if err != nil {
+			t.Fatalf("CName %q of accepted %q does not reparse: %v", typ.CName(), s, err)
+		}
+		if back.CName() != typ.CName() {
+			t.Fatalf("round trip %q → %q → %q", s, typ.CName(), back.CName())
+		}
+	})
+}
+
+// FuzzParseDocument: arbitrary XML documents must never panic the parser
+// or the resolver.
+func FuzzParseDocument(f *testing.F) {
+	f.Add(`<intrinsics_list version="1"><intrinsic rettype="__m128" name="_mm_x_ps">
+<CPUID>SSE</CPUID><category>Arithmetic</category>
+<parameter varname="a" type="__m128"/></intrinsic></intrinsics_list>`)
+	f.Add(`<intrinsics_list></intrinsics_list>`)
+	f.Add(`garbage`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		file, err := Parse(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		rs, _ := Resolve(file)
+		for _, r := range rs {
+			_ = r.PrimaryFamily()
+			_ = r.ReadsMem
+		}
+	})
+}

@@ -1,0 +1,171 @@
+// Package xmlspec models the Intel Intrinsics Guide XML specification that
+// the paper's eDSL generator consumes (Section 3.2, Figure 2), including a
+// parser for the historic schema versions of Table 3 and a semantic layer
+// that resolves C type spellings against the isa package.
+//
+// The vendor file (data-3.3.16.xml) is proprietary and unavailable offline;
+// see synth.go for the synthetic specification generator that reproduces
+// the vendor file's shape and the per-ISA counts of Table 1b.
+package xmlspec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// File is the root element of an intrinsics specification file. The
+// vendor schema names it <intrinsics_list> and stamps it with a version
+// and a date attribute.
+type File struct {
+	XMLName    xml.Name    `xml:"intrinsics_list"`
+	Version    string      `xml:"version,attr"`
+	Date       string      `xml:"date,attr,omitempty"`
+	Intrinsics []Intrinsic `xml:"intrinsic"`
+}
+
+// Intrinsic is one <intrinsic> element: one C intrinsic function.
+type Intrinsic struct {
+	Name        string        `xml:"name,attr"`
+	RetType     string        `xml:"rettype,attr"`
+	Tech        string        `xml:"tech,attr,omitempty"` // added in schema 3.4
+	Types       []string      `xml:"type"`
+	CPUID       []string      `xml:"CPUID"`
+	Category    []string      `xml:"category"`
+	Params      []Param       `xml:"parameter"`
+	Description string        `xml:"description"`
+	Operation   string        `xml:"operation"`
+	Instruction []Instruction `xml:"instruction"`
+	Header      string        `xml:"header"`
+}
+
+// Param is one <parameter> element: an argument of the intrinsic.
+type Param struct {
+	VarName string `xml:"varname,attr"`
+	Type    string `xml:"type,attr"`
+}
+
+// Instruction is one <instruction> element: the assembly instruction the
+// intrinsic maps to and its operand form.
+type Instruction struct {
+	Name string `xml:"name,attr"`
+	Form string `xml:"form,attr,omitempty"`
+}
+
+// Typ is a resolved intrinsic operand or return type: either a vector
+// register type, a scalar primitive, or a pointer to a primitive
+// (Array[T] ↔ T* in Table 2's mapping).
+type Typ struct {
+	Vec  isa.VecKind // set when the type is a SIMD register
+	Prim isa.Prim    // element/scalar primitive
+	Ptr  bool        // true for T* / void*
+}
+
+// IsVec reports whether the type is a SIMD register type.
+func (t Typ) IsVec() bool { return t.Vec != isa.VecNone }
+
+// IsVoid reports whether the type is void (and not void*).
+func (t Typ) IsVoid() bool {
+	return !t.Ptr && t.Vec == isa.VecNone && t.Prim == isa.PrimVoid
+}
+
+// CName returns the C spelling of the resolved type.
+func (t Typ) CName() string {
+	switch {
+	case t.IsVec():
+		return t.Vec.String()
+	case t.Ptr:
+		return t.Prim.CName() + "*"
+	default:
+		return t.Prim.CName()
+	}
+}
+
+// String returns the C spelling.
+func (t Typ) String() string { return t.CName() }
+
+// ParseTyp resolves a C type spelling from the XML ("__m256d",
+// "unsigned short", "float const *", "void*") into a Typ.
+func ParseTyp(s string) (Typ, error) {
+	t := strings.TrimSpace(s)
+	// Pointers: strip one level of '*' plus const qualifiers.
+	if i := strings.IndexByte(t, '*'); i >= 0 {
+		base := strings.TrimSpace(t[:i])
+		base = strings.TrimSuffix(strings.TrimSpace(base), "const")
+		base = strings.TrimSpace(base)
+		if v, ok := isa.ParseVecKind(base); ok {
+			// Pointer to a vector type, used by aligned loads: keep
+			// the vector kind and flag the pointer.
+			return Typ{Vec: v, Ptr: true}, nil
+		}
+		p, ok := isa.ParsePrimC(base)
+		if !ok {
+			return Typ{}, fmt.Errorf("xmlspec: unknown pointee type %q", base)
+		}
+		return Typ{Prim: p, Ptr: true}, nil
+	}
+	if v, ok := isa.ParseVecKind(t); ok {
+		return Typ{Vec: v}, nil
+	}
+	if p, ok := isa.ParsePrimC(t); ok {
+		return Typ{Prim: p}, nil
+	}
+	return Typ{}, fmt.Errorf("xmlspec: unknown type %q", t)
+}
+
+// Resolved is the semantic view of an Intrinsic after type resolution and
+// CPUID/category parsing. This is the record the binding generator and
+// the effect-inference heuristic work from.
+type Resolved struct {
+	Name       string
+	Ret        Typ
+	Params     []ResolvedParam
+	Families   []isa.Family
+	Categories []isa.Category
+	// ReadsMem/WritesMem are the inferred effects (Section 3.2,
+	// "Infer intrinsic mutability"): conservative per-category plus a
+	// name-based refinement for gathers/scatters/masked memory ops.
+	ReadsMem  bool
+	WritesMem bool
+	Header    string
+	Sequence  bool // true when the "instruction" is a sequence
+	Raw       *Intrinsic
+}
+
+// ResolvedParam is a resolved parameter.
+type ResolvedParam struct {
+	Name string
+	Typ  Typ
+}
+
+// PrimaryFamily returns the first CPUID family, which is how Table 1b
+// attributes each intrinsic to a single ISA (the 338 intrinsics shared
+// between AVX-512 and KNC count under AVX-512).
+func (r *Resolved) PrimaryFamily() isa.Family {
+	if len(r.Families) == 0 {
+		return isa.FamilyNone
+	}
+	return r.Families[0]
+}
+
+// HasFamily reports whether the intrinsic belongs to family f.
+func (r *Resolved) HasFamily(f isa.Family) bool {
+	for _, g := range r.Families {
+		if g == f {
+			return true
+		}
+	}
+	return false
+}
+
+// HasCategory reports whether the intrinsic carries category c.
+func (r *Resolved) HasCategory(c isa.Category) bool {
+	for _, d := range r.Categories {
+		if d == c {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package xmlspec
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Parse reads an intrinsics specification file. It tolerates the schema
+// drift between the versions of Table 3: singular vs repeated <category>
+// and <CPUID> elements, the 3.4 "tech" attribute, and unknown categories
+// or CPUID strings in future versions (reported in Stats, not fatal).
+func Parse(r io.Reader) (*File, error) {
+	dec := xml.NewDecoder(r)
+	var f File
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("xmlspec: decode: %w", err)
+	}
+	if len(f.Intrinsics) == 0 {
+		return nil, fmt.Errorf("xmlspec: specification %q contains no intrinsics", f.Version)
+	}
+	return &f, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (*File, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ResolveError records one intrinsic the resolver had to skip and why.
+// The paper's generator must be "robust towards minor changes on the XML
+// specifications": unknown spellings degrade to skips, never to failure.
+type ResolveError struct {
+	Name string
+	Err  error
+}
+
+func (e ResolveError) Error() string { return fmt.Sprintf("%s: %v", e.Name, e.Err) }
+
+// Resolve performs type and CPUID resolution on every intrinsic in the
+// file, returning the semantic records plus the list of skipped entries.
+func Resolve(f *File) ([]*Resolved, []ResolveError) {
+	out := make([]*Resolved, 0, len(f.Intrinsics))
+	var errs []ResolveError
+	for i := range f.Intrinsics {
+		in := &f.Intrinsics[i]
+		r, err := ResolveOne(in)
+		if err != nil {
+			errs = append(errs, ResolveError{Name: in.Name, Err: err})
+			continue
+		}
+		out = append(out, r)
+	}
+	return out, errs
+}
+
+// ResolveOne resolves a single intrinsic element.
+func ResolveOne(in *Intrinsic) (*Resolved, error) {
+	if in.Name == "" {
+		return nil, fmt.Errorf("missing name attribute")
+	}
+	ret, err := ParseTyp(in.RetType)
+	if err != nil {
+		return nil, fmt.Errorf("return type: %w", err)
+	}
+	r := &Resolved{Name: in.Name, Ret: ret, Header: in.Header, Raw: in}
+	for _, p := range in.Params {
+		t, err := ParseTyp(p.Type)
+		if err != nil {
+			return nil, fmt.Errorf("parameter %q: %w", p.VarName, err)
+		}
+		if t.IsVoid() && !t.Ptr {
+			// `void` as a lone parameter means "no parameters"
+			// (e.g. _mm256_setzero_ps (void)).
+			continue
+		}
+		r.Params = append(r.Params, ResolvedParam{Name: p.VarName, Typ: t})
+	}
+	for _, c := range in.CPUID {
+		f, ok := isa.ParseFamily(c)
+		if !ok {
+			// Future ISA: keep the intrinsic but record no family;
+			// the caller decides whether to bind it.
+			continue
+		}
+		r.Families = append(r.Families, f)
+	}
+	for _, c := range in.Category {
+		r.Categories = append(r.Categories, isa.ParseCategory(c))
+	}
+	if len(r.Categories) == 0 {
+		r.Categories = []isa.Category{isa.CatOther}
+	}
+	r.ReadsMem, r.WritesMem = inferEffects(r)
+	for _, ins := range in.Instruction {
+		if strings.EqualFold(ins.Name, "sequence") {
+			r.Sequence = true
+		}
+	}
+	return r, nil
+}
+
+// inferEffects implements the paper's conservative mutability heuristic:
+// load-category intrinsics read every pointer argument, store-category
+// intrinsics write every pointer argument. A name-based refinement covers
+// the memory intrinsics whose category is not Load/Store (gather, scatter,
+// maskload/maskstore, stream, prefetch, rdrand-style out-parameters).
+func inferEffects(r *Resolved) (reads, writes bool) {
+	hasPtr := false
+	for _, p := range r.Params {
+		if p.Typ.Ptr {
+			hasPtr = true
+			break
+		}
+	}
+	for _, c := range r.Categories {
+		rd, wr := c.MemoryCategory()
+		reads = reads || rd
+		writes = writes || wr
+	}
+	n := r.Name
+	switch {
+	case strings.Contains(n, "gather") || strings.Contains(n, "maskload") ||
+		strings.Contains(n, "lddqu") || strings.Contains(n, "expandloadu"):
+		reads = true
+	case strings.Contains(n, "scatter") || strings.Contains(n, "maskstore") ||
+		strings.Contains(n, "stream") || strings.Contains(n, "compressstoreu"):
+		writes = true
+	case strings.Contains(n, "load"):
+		reads = true
+	case strings.Contains(n, "store"):
+		writes = true
+	}
+	// Out-parameters (e.g. _rdrand16_step(unsigned short* val)) write
+	// through their pointer even though the category is Random.
+	if hasPtr && !reads && !writes {
+		writes = true
+	}
+	if !hasPtr && r.Ret.Ptr {
+		reads = true
+	}
+	if !hasPtr && !r.Ret.Ptr {
+		// Pure value intrinsic: no memory effects regardless of category
+		// (defensive: a miscategorised arithmetic op must stay pure).
+		return false, false
+	}
+	return reads, writes
+}
+
+// Index provides name-based lookup over resolved intrinsics.
+type Index struct {
+	byName map[string]*Resolved
+	all    []*Resolved
+}
+
+// NewIndex builds an index; duplicate names keep the first occurrence and
+// report the duplicates.
+func NewIndex(rs []*Resolved) (*Index, []string) {
+	ix := &Index{byName: make(map[string]*Resolved, len(rs))}
+	var dups []string
+	for _, r := range rs {
+		if _, ok := ix.byName[r.Name]; ok {
+			dups = append(dups, r.Name)
+			continue
+		}
+		ix.byName[r.Name] = r
+		ix.all = append(ix.all, r)
+	}
+	return ix, dups
+}
+
+// Lookup finds an intrinsic by its C name.
+func (ix *Index) Lookup(name string) (*Resolved, bool) {
+	r, ok := ix.byName[name]
+	return r, ok
+}
+
+// All returns every indexed intrinsic sorted by name.
+func (ix *Index) All() []*Resolved {
+	out := make([]*Resolved, len(ix.all))
+	copy(out, ix.all)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of distinct intrinsics.
+func (ix *Index) Len() int { return len(ix.all) }
+
+// ForFamily returns the intrinsics whose primary family is f, sorted by
+// name (this is the Table 1b attribution rule).
+func (ix *Index) ForFamily(f isa.Family) []*Resolved {
+	var out []*Resolved
+	for _, r := range ix.all {
+		if r.PrimaryFamily() == f {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,99 @@
+package xmlspec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Stats aggregates a resolved specification the way the paper reports it:
+// intrinsic counts per ISA (Table 1b), per category (Table 1a's taxonomy),
+// and the AVX-512/KNC sharing figure.
+type Stats struct {
+	Version      string
+	Total        int
+	PerFamily    map[isa.Family]int
+	PerCategory  map[isa.Category]int
+	SharedAVXKNC int // intrinsics carrying both AVX-512 and KNC CPUIDs
+	MemReads     int
+	MemWrites    int
+	Skipped      int
+}
+
+// Table1bTotal sums the counts of the 13 families Table 1b reports
+// (5912 in data-3.3.16.xml); the small extension sets and any
+// unrecognised future ISAs are excluded, matching the paper's accounting.
+func (st *Stats) Table1bTotal() int {
+	total := 0
+	for _, f := range isa.Table1bFamilies() {
+		total += st.PerFamily[f]
+	}
+	return total
+}
+
+// ComputeStats aggregates resolved intrinsics. skipped is the number of
+// entries the resolver rejected (schema drift), recorded for Table 3.
+func ComputeStats(version string, rs []*Resolved, skipped int) *Stats {
+	st := &Stats{
+		Version:     version,
+		Total:       len(rs),
+		PerFamily:   make(map[isa.Family]int),
+		PerCategory: make(map[isa.Category]int),
+		Skipped:     skipped,
+	}
+	for _, r := range rs {
+		st.PerFamily[r.PrimaryFamily()]++
+		for _, c := range r.Categories {
+			st.PerCategory[c]++
+		}
+		if r.HasFamily(isa.AVX512) && r.HasFamily(isa.KNC) {
+			st.SharedAVXKNC++
+		}
+		if r.ReadsMem {
+			st.MemReads++
+		}
+		if r.WritesMem {
+			st.MemWrites++
+		}
+	}
+	return st
+}
+
+// Table1b renders the per-ISA counts in the paper's Table 1b layout.
+func (st *Stats) Table1b() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %6s\n", "ISA", "Count")
+	for _, f := range isa.Table1bFamilies() {
+		fmt.Fprintf(&b, "%-8s %6d\n", f.String(), st.PerFamily[f])
+	}
+	fmt.Fprintf(&b, "%-8s %6d\n", "Total", st.Table1bTotal())
+	fmt.Fprintf(&b, "(%d shared between AVX-512 and KNC)\n", st.SharedAVXKNC)
+	return b.String()
+}
+
+// CategoryTable renders counts per category sorted descending, the
+// classification view of Table 1a.
+func (st *Stats) CategoryTable() string {
+	type kv struct {
+		c isa.Category
+		n int
+	}
+	var rows []kv
+	for c, n := range st.PerCategory {
+		rows = append(rows, kv{c, n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].n != rows[j].n {
+			return rows[i].n > rows[j].n
+		}
+		return rows[i].c.String() < rows[j].c.String()
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %6s\n", "Category", "Count")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-28s %6d\n", r.c.String(), r.n)
+	}
+	return b.String()
+}

@@ -1,0 +1,439 @@
+package xmlspec
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// The vendor's data-*.xml files are proprietary downloads and unavailable
+// offline, so this reproduction synthesises them: each version of Table 3
+// is regenerated with the curated (hand-verified, real) intrinsics first
+// and programmatically synthesised entries after, until the per-ISA counts
+// match the published figures (Table 1b for data-3.3.16.xml). Synthesised
+// names follow Intel's naming grammar (prefix by register width, masked
+// variants, element-type suffixes), so the entire generator pipeline —
+// parse → resolve types → infer effects → emit bindings — runs the same
+// code path it would on the vendor file.
+
+// VersionInfo describes one historic specification release (Table 3).
+type VersionInfo struct {
+	Version string
+	Date    string // dd.mm.yyyy as the paper prints it
+	// Counts gives the per-family intrinsic count (attribution by
+	// primary CPUID). Families absent from the map are absent from the
+	// release.
+	Counts map[isa.Family]int
+	// SharedAVXKNC is the number of AVX-512 intrinsics that also carry
+	// the KNCNI CPUID in this release.
+	SharedAVXKNC int
+	// TechAttr is the 3.4 schema drift: intrinsics carry a tech="..."
+	// attribute naming their ISA group.
+	TechAttr bool
+	// FutureEntries counts intrinsics with CPUID strings unknown to
+	// this reproduction (exercises forward compatibility).
+	FutureEntries int
+}
+
+// table1bCounts are the published per-ISA counts of Table 1b.
+var table1bCounts = map[isa.Family]int{
+	isa.MMX: 124, isa.SSE: 154, isa.SSE2: 236, isa.SSE3: 11,
+	isa.SSSE3: 32, isa.SSE41: 61, isa.SSE42: 19, isa.AVX: 188,
+	isa.AVX2: 191, isa.AVX512: 3857, isa.FMA: 32, isa.KNC: 601,
+	isa.SVML: 406,
+}
+
+// Table1bCounts returns a copy of the published Table 1b counts.
+func Table1bCounts() map[isa.Family]int {
+	out := make(map[isa.Family]int, len(table1bCounts))
+	for k, v := range table1bCounts {
+		out[k] = v
+	}
+	return out
+}
+
+func withAVX512(n int) map[isa.Family]int {
+	m := Table1bCounts()
+	m[isa.AVX512] = n
+	return m
+}
+
+// Versions returns the six releases of Table 3 in chronological order.
+// AVX-512 coverage is what grew between releases; the pre-AVX ISAs were
+// stable over the period.
+func Versions() []VersionInfo {
+	return []VersionInfo{
+		{Version: "3.2.2", Date: "03.09.2014", Counts: withAVX512(0), SharedAVXKNC: 0},
+		{Version: "3.3.1", Date: "17.10.2014", Counts: withAVX512(1624), SharedAVXKNC: 338},
+		{Version: "3.3.11", Date: "27.07.2015", Counts: withAVX512(3082), SharedAVXKNC: 338},
+		{Version: "3.3.14", Date: "12.01.2016", Counts: withAVX512(3705), SharedAVXKNC: 338},
+		{Version: "3.3.16", Date: "26.01.2016", Counts: Table1bCounts(), SharedAVXKNC: 338},
+		{Version: "3.4", Date: "07.09.2017", Counts: Table1bCounts(), SharedAVXKNC: 338,
+			TechAttr: true, FutureEntries: 15},
+	}
+}
+
+// LookupVersion finds a release by version string.
+func LookupVersion(v string) (VersionInfo, error) {
+	for _, vi := range Versions() {
+		if vi.Version == v {
+			return vi, nil
+		}
+	}
+	return VersionInfo{}, fmt.Errorf("xmlspec: unknown specification version %q", v)
+}
+
+// Latest returns the release the paper generates from (data-3.3.16.xml).
+func Latest() VersionInfo {
+	vs := Versions()
+	for _, v := range vs {
+		if v.Version == "3.3.16" {
+			return v
+		}
+	}
+	return vs[len(vs)-1]
+}
+
+// Generate synthesises the specification file for a release.
+func Generate(vi VersionInfo) *File {
+	f := &File{Version: vi.Version, Date: vi.Date}
+
+	// Curated entries first, capped per family at the release's count
+	// (AVX-512 entries are absent from 3.2.2, which predates it).
+	curated := CuratedEntries()
+	perFam := map[isa.Family]int{}
+	famOf := func(cpuid string) isa.Family {
+		fam, _ := isa.ParseFamily(cpuid)
+		return fam
+	}
+	taken := map[string]bool{}
+	curatedShared := 0
+	for _, en := range curated {
+		fam := famOf(en.CPUID[0])
+		// Families absent from the Counts map are the small extension
+		// sets (FP16C, RDRAND, POPCNT, …): Table 1b does not count
+		// them, but the spec carries them in every release.
+		limit, counted := vi.Counts[fam]
+		if (counted && perFam[fam] >= limit) || taken[en.Name] {
+			continue
+		}
+		perFam[fam]++
+		taken[en.Name] = true
+		if fam == isa.AVX512 && len(en.CPUID) > 1 {
+			curatedShared++
+		}
+		f.Intrinsics = append(f.Intrinsics, expandEntry(en))
+	}
+
+	// Synthesised entries fill each family to its published count.
+	fams := make([]isa.Family, 0, len(vi.Counts))
+	for fam := range vi.Counts {
+		fams = append(fams, fam)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i] < fams[j] })
+	for _, fam := range fams {
+		need := vi.Counts[fam] - perFam[fam]
+		if need <= 0 {
+			continue
+		}
+		shared := 0
+		if fam == isa.AVX512 {
+			shared = vi.SharedAVXKNC - curatedShared
+			if shared < 0 {
+				shared = 0
+			}
+		}
+		for _, en := range synthEntries(fam, need, shared, taken) {
+			in := expandEntry(en)
+			if vi.TechAttr {
+				in.Tech = techName(fam)
+			}
+			f.Intrinsics = append(f.Intrinsics, in)
+		}
+	}
+
+	// Forward-compatibility probes: intrinsics whose CPUID this
+	// reproduction does not know (schema 3.4 added post-paper ISAs).
+	for i := 0; i < vi.FutureEntries; i++ {
+		in := expandEntry(Entry{
+			Ret:    "__m512i",
+			Name:   fmt.Sprintf("_tile_dpbusd_probe%d_epi32", i),
+			Params: "src:__m512i,a:__m512i,b:__m512i",
+			CPUID:  []string{"AMX_TILE_FUTURE"},
+			Cat:    "Arithmetic",
+		})
+		if vi.TechAttr {
+			in.Tech = "AVX-512"
+		}
+		f.Intrinsics = append(f.Intrinsics, in)
+	}
+	return f
+}
+
+func techName(f isa.Family) string {
+	switch f {
+	case isa.MMX:
+		return "MMX"
+	case isa.SSE, isa.SSE2, isa.SSE3, isa.SSSE3, isa.SSE41, isa.SSE42:
+		return "SSE"
+	case isa.AVX, isa.AVX2, isa.FMA:
+		return "AVX"
+	case isa.AVX512:
+		return "AVX-512"
+	case isa.KNC:
+		return "KNC"
+	case isa.SVML:
+		return "SVML"
+	default:
+		return "Other"
+	}
+}
+
+// synthOp is one operation template used to stamp out synthetic names.
+type synthOp struct {
+	op  string
+	cat string
+	// arity: 1 or 2 vector inputs; imm adds a trailing immediate.
+	arity int
+	imm   bool
+}
+
+var synthOps = []synthOp{
+	{"add", "Arithmetic", 2, false}, {"sub", "Arithmetic", 2, false},
+	{"mul", "Arithmetic", 2, false}, {"mullo", "Arithmetic", 2, false},
+	{"mulhi", "Arithmetic", 2, false}, {"div", "Arithmetic", 2, false},
+	{"adds", "Arithmetic", 2, false}, {"subs", "Arithmetic", 2, false},
+	{"abs", "Special Math Functions", 1, false},
+	{"max", "Special Math Functions", 2, false},
+	{"min", "Special Math Functions", 2, false},
+	{"and", "Logical", 2, false}, {"or", "Logical", 2, false},
+	{"xor", "Logical", 2, false}, {"andnot", "Logical", 2, false},
+	{"sll", "Shift", 2, false}, {"srl", "Shift", 2, false},
+	{"sra", "Shift", 2, false},
+	{"slli", "Shift", 1, true}, {"srli", "Shift", 1, true},
+	{"srai", "Shift", 1, true},
+	{"rol", "Shift", 1, true}, {"ror", "Shift", 1, true},
+	{"rolv", "Shift", 2, false}, {"rorv", "Shift", 2, false},
+	{"cmpeq", "Compare", 2, false}, {"cmpgt", "Compare", 2, false},
+	{"cmplt", "Compare", 2, false}, {"cmple", "Compare", 2, false},
+	{"cmpge", "Compare", 2, false}, {"cmpneq", "Compare", 2, false},
+	{"unpacklo", "Swizzle", 2, false}, {"unpackhi", "Swizzle", 2, false},
+	{"shuffle", "Swizzle", 1, true}, {"permutex", "Swizzle", 1, true},
+	{"permutexvar", "Swizzle", 2, false},
+	{"broadcast", "Swizzle", 1, false},
+	{"blend", "Swizzle", 1, true},
+	{"compress", "Swizzle", 1, false}, {"expand", "Swizzle", 1, false},
+	{"ternarylogic", "Logical", 2, true},
+	{"conflict", "Miscellaneous", 1, false},
+	{"lzcnt", "Bit Manipulation", 1, false},
+	{"popcnt", "Bit Manipulation", 1, false},
+	{"madd", "Arithmetic", 2, false},
+	{"dpwssd", "Arithmetic", 2, false},
+	{"avg", "Probability/Statistics", 2, false},
+	{"sad", "Miscellaneous", 2, false},
+	{"sqrt", "Elementary Math Functions", 1, false},
+	{"rsqrt14", "Elementary Math Functions", 1, false},
+	{"rcp14", "Elementary Math Functions", 1, false},
+	{"scalef", "Arithmetic", 2, false},
+	{"getexp", "Miscellaneous", 1, false},
+	{"getmant", "Miscellaneous", 1, true},
+	{"reduce", "Special Math Functions", 1, true},
+	{"roundscale", "Special Math Functions", 1, true},
+	{"fixupimm", "Miscellaneous", 2, true},
+	{"range", "Special Math Functions", 2, true},
+	{"alignr", "Miscellaneous", 2, true},
+	{"mov", "Move", 1, false},
+	{"movedup", "Move", 1, false},
+	{"cvt", "Convert", 1, false},
+	{"cvtt", "Convert", 1, false},
+	{"load", "Load", 0, false},
+	{"loadu", "Load", 0, false},
+	{"store", "Store", 0, false},
+	{"storeu", "Store", 0, false},
+	{"gather", "Load", 0, false},
+	{"scatter", "Store", 0, false},
+	{"test", "Logical", 2, false},
+	{"sin", "Trigonometry", 1, false}, {"cos", "Trigonometry", 1, false},
+	{"tan", "Trigonometry", 1, false}, {"asin", "Trigonometry", 1, false},
+	{"acos", "Trigonometry", 1, false}, {"atan", "Trigonometry", 1, false},
+	{"sinh", "Trigonometry", 1, false}, {"cosh", "Trigonometry", 1, false},
+	{"exp", "Elementary Math Functions", 1, false},
+	{"exp2", "Elementary Math Functions", 1, false},
+	{"log", "Elementary Math Functions", 1, false},
+	{"log2", "Elementary Math Functions", 1, false},
+	{"log10", "Elementary Math Functions", 1, false},
+	{"cbrt", "Elementary Math Functions", 1, false},
+	{"erf", "Probability/Statistics", 1, false},
+	{"erfc", "Probability/Statistics", 1, false},
+	{"cdfnorminv", "Probability/Statistics", 1, false},
+}
+
+// famShape describes how a family's synthetic names are built.
+type famShape struct {
+	prefixes []string // name prefixes in priority order
+	suffixes []string // element-type suffixes
+	vec      string   // register type for vector operands
+	scalar   bool     // family operates on scalars, not registers
+}
+
+func shapeFor(f isa.Family) famShape {
+	switch f {
+	case isa.MMX:
+		return famShape{prefixes: []string{"_mm_", "_m_p"}, suffixes: []string{"pi8", "pi16", "pi32", "pu8", "pu16", "si64"}, vec: "__m64"}
+	case isa.SSE:
+		return famShape{prefixes: []string{"_mm_"}, suffixes: []string{"ps", "ss", "pi16", "pu16"}, vec: "__m128"}
+	case isa.SSE2:
+		return famShape{prefixes: []string{"_mm_"}, suffixes: []string{"pd", "sd", "epi8", "epi16", "epi32", "epi64", "epu8", "epu16", "epu32", "si128"}, vec: "__m128i"}
+	case isa.SSE3:
+		return famShape{prefixes: []string{"_mm_"}, suffixes: []string{"ps", "pd"}, vec: "__m128"}
+	case isa.SSSE3:
+		return famShape{prefixes: []string{"_mm_", "_mm_x"}, suffixes: []string{"pi8", "pi16", "pi32", "epi8x"}, vec: "__m64"}
+	case isa.SSE41:
+		return famShape{prefixes: []string{"_mm_"}, suffixes: []string{"epi64", "epu64", "ps1", "pd1"}, vec: "__m128i"}
+	case isa.SSE42:
+		return famShape{prefixes: []string{"_mm_cmpestr", "_mm_cmpistr"}, suffixes: []string{"a", "c", "o", "s", "z"}, vec: "__m128i"}
+	case isa.AVX:
+		return famShape{prefixes: []string{"_mm256_"}, suffixes: []string{"ps", "pd", "si256"}, vec: "__m256"}
+	case isa.AVX2:
+		return famShape{prefixes: []string{"_mm256_"}, suffixes: []string{"epi8", "epi16", "epi32", "epi64", "epu8", "epu16", "epu32", "epu64", "si256"}, vec: "__m256i"}
+	case isa.AVX512:
+		return famShape{
+			prefixes: []string{"_mm512_", "_mm512_mask_", "_mm512_maskz_",
+				"_mm256_mask_", "_mm256_maskz_", "_mm_mask_", "_mm_maskz_",
+				"_mm512_mask2_", "_mm512_mask3_"},
+			suffixes: []string{"ps", "pd", "epi8", "epi16", "epi32", "epi64",
+				"epu8", "epu16", "epu32", "epu64", "si512", "sd", "ss", "ph"},
+			vec: "__m512",
+		}
+	case isa.FMA:
+		return famShape{prefixes: []string{"_mm_", "_mm256_"}, suffixes: []string{"ps", "pd"}, vec: "__m256"}
+	case isa.KNC:
+		return famShape{
+			prefixes: []string{"_mm512_kn_", "_mm512_mask_kn_", "_mm512_ext_", "_mm512_mask_ext_"},
+			suffixes: []string{"ps", "pd", "epi32", "epi64", "epu32", "si512"},
+			vec:      "__m512i",
+		}
+	case isa.SVML:
+		return famShape{
+			prefixes: []string{"_mm_svml_", "_mm256_svml_", "_mm512_svml_", "_mm_", "_mm256_", "_mm512_"},
+			suffixes: []string{"ps", "pd", "epi32", "epu32", "epi64"},
+			vec:      "__m256",
+		}
+	default:
+		return famShape{prefixes: []string{"_"}, suffixes: []string{"u32"}, scalar: true}
+	}
+}
+
+func vecForSuffix(sh famShape, prefix, suffix string) string {
+	width := "__m128"
+	switch {
+	case strings.Contains(prefix, "512"):
+		width = "__m512"
+	case strings.Contains(prefix, "256"):
+		width = "__m256"
+	case sh.vec == "__m64":
+		width = "__m64"
+	}
+	switch {
+	case width == "__m64":
+		return "__m64"
+	case strings.HasPrefix(suffix, "ep") || strings.HasPrefix(suffix, "si"):
+		return width + "i"
+	case suffix == "pd" || suffix == "sd":
+		return width + "d"
+	default:
+		return width
+	}
+}
+
+// synthEntries stamps out `need` unique synthetic intrinsics for family f.
+// The first `shared` of them also carry the KNCNI CPUID (the AVX-512/KNC
+// overlap the paper reports). Names already in `taken` are skipped;
+// generation is deterministic.
+func synthEntries(f isa.Family, need, shared int, taken map[string]bool) []Entry {
+	sh := shapeFor(f)
+	cpuid := f.String()
+	if f == isa.KNC {
+		cpuid = "KNCNI"
+	}
+	var out []Entry
+	// Iterate prefixes outermost so masked variants appear once the
+	// plain family is exhausted, matching how the real set is dominated
+	// by _mm512_mask_* names.
+	for round := 0; len(out) < need && round < 4; round++ {
+		for _, prefix := range sh.prefixes {
+			for _, op := range synthOps {
+				for _, suffix := range sh.suffixes {
+					if len(out) >= need {
+						return out
+					}
+					opName := op.op
+					if round > 0 {
+						// Later rounds add width/variant decorations
+						// (e.g. add2, add4) to widen the namespace.
+						opName = fmt.Sprintf("%s%d", op.op, round*2)
+					}
+					name := prefix + opName + "_" + suffix
+					if taken[name] {
+						continue
+					}
+					taken[name] = true
+					vec := vecForSuffix(sh, prefix, suffix)
+					en := Entry{Ret: vec, Name: name, Cat: op.cat,
+						CPUID: []string{cpuid}}
+					if len(out) < shared && f == isa.AVX512 {
+						en.CPUID = append(en.CPUID, "KNCNI")
+					}
+					masked := strings.Contains(prefix, "mask")
+					var params []string
+					if masked {
+						params = append(params, "src:"+vec, "k:__mmask16")
+					}
+					switch op.cat {
+					case "Load":
+						en.Ret = vec
+						params = append(params, "mem_addr:void const*")
+					case "Store":
+						en.Ret = "void"
+						params = append(params, "mem_addr:void*", "a:"+vec)
+					default:
+						params = append(params, "a:"+vec)
+						if op.arity == 2 {
+							params = append(params, "b:"+vec)
+						}
+						if op.imm {
+							params = append(params, "imm8:int")
+						}
+					}
+					en.Params = strings.Join(params, ",")
+					out = append(out, en)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Marshal renders a specification file as XML (the synthetic analog of
+// data-<version>.xml).
+func Marshal(f *File) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(xml.Header)
+	enc := xml.NewEncoder(&buf)
+	enc.Indent("", "  ")
+	if err := enc.Encode(f); err != nil {
+		return nil, fmt.Errorf("xmlspec: marshal: %w", err)
+	}
+	buf.WriteByte('\n')
+	return buf.Bytes(), nil
+}
+
+// GenerateXML synthesises a release and renders it as an XML document,
+// round-tripping through the same parser the generator uses.
+func GenerateXML(vi VersionInfo) ([]byte, error) {
+	return Marshal(Generate(vi))
+}

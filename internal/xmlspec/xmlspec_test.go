@@ -1,0 +1,294 @@
+package xmlspec
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func resolveLatest(t *testing.T) (*File, []*Resolved, *Stats) {
+	t.Helper()
+	f := Generate(Latest())
+	rs, errs := Resolve(f)
+	for _, e := range errs {
+		t.Errorf("resolve error: %v", e)
+	}
+	return f, rs, ComputeStats(f.Version, rs, len(errs))
+}
+
+func TestTable1bCounts(t *testing.T) {
+	_, _, st := resolveLatest(t)
+	want := Table1bCounts()
+	total := 0
+	for _, fam := range isa.Table1bFamilies() {
+		if got := st.PerFamily[fam]; got != want[fam] {
+			t.Errorf("%s: got %d intrinsics, want %d (Table 1b)", fam, got, want[fam])
+		}
+		total += want[fam]
+	}
+	if total != 5912 {
+		t.Fatalf("published counts sum to %d, want 5912", total)
+	}
+	if st.Table1bTotal() != 5912 {
+		t.Errorf("Table 1b total = %d, want 5912", st.Table1bTotal())
+	}
+	if st.Total < 5912 {
+		t.Errorf("spec total = %d, must include the 5912 Table 1b intrinsics", st.Total)
+	}
+	if st.SharedAVXKNC != 338 {
+		t.Errorf("shared AVX-512/KNC = %d, want 338", st.SharedAVXKNC)
+	}
+}
+
+func TestVersionsTable3(t *testing.T) {
+	vs := Versions()
+	if len(vs) != 6 {
+		t.Fatalf("got %d versions, want 6 (Table 3)", len(vs))
+	}
+	wantDates := map[string]string{
+		"3.2.2": "03.09.2014", "3.3.1": "17.10.2014", "3.3.11": "27.07.2015",
+		"3.3.14": "12.01.2016", "3.3.16": "26.01.2016", "3.4": "07.09.2017",
+	}
+	for _, v := range vs {
+		if wantDates[v.Version] != v.Date {
+			t.Errorf("version %s: date %s, want %s", v.Version, v.Date, wantDates[v.Version])
+		}
+	}
+}
+
+func TestGenerateAllVersionsRoundTrip(t *testing.T) {
+	for _, vi := range Versions() {
+		vi := vi
+		t.Run(vi.Version, func(t *testing.T) {
+			xmlBytes, err := GenerateXML(vi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := Parse(strings.NewReader(string(xmlBytes)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if f.Version != vi.Version {
+				t.Errorf("round-trip version = %q, want %q", f.Version, vi.Version)
+			}
+			rs, errs := Resolve(f)
+			if len(errs) > 0 {
+				t.Errorf("resolver rejected %d entries; first: %v", len(errs), errs[0])
+			}
+			st := ComputeStats(vi.Version, rs, len(errs))
+			for fam, want := range vi.Counts {
+				if got := st.PerFamily[fam]; got != want {
+					t.Errorf("%s: %d intrinsics, want %d", fam, got, want)
+				}
+			}
+			if st.PerFamily[isa.FamilyNone] != vi.FutureEntries {
+				t.Errorf("future entries = %d, want %d",
+					st.PerFamily[isa.FamilyNone], vi.FutureEntries)
+			}
+		})
+	}
+}
+
+func TestNoAVX512Before33(t *testing.T) {
+	vi, err := LookupVersion("3.2.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Generate(vi)
+	for _, in := range f.Intrinsics {
+		for _, c := range in.CPUID {
+			if fam, _ := isa.ParseFamily(c); fam == isa.AVX512 {
+				t.Fatalf("version 3.2.2 contains AVX-512 intrinsic %s", in.Name)
+			}
+		}
+	}
+}
+
+func TestCuratedEntriesUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, en := range CuratedEntries() {
+		if seen[en.Name] {
+			t.Errorf("duplicate curated intrinsic %s", en.Name)
+		}
+		seen[en.Name] = true
+		in := expandEntry(en)
+		r, err := ResolveOne(&in)
+		if err != nil {
+			t.Errorf("%s: %v", en.Name, err)
+			continue
+		}
+		if len(r.Families) == 0 {
+			t.Errorf("%s: no resolvable CPUID in %v", en.Name, en.CPUID)
+		}
+	}
+	if len(seen) < 300 {
+		t.Errorf("curated set has %d intrinsics; expected at least 300", len(seen))
+	}
+}
+
+func TestEffectInference(t *testing.T) {
+	_, rs, _ := resolveLatest(t)
+	ix, dups := NewIndex(rs)
+	if len(dups) > 0 {
+		t.Fatalf("duplicate intrinsic names in spec: %v", dups[:min(len(dups), 5)])
+	}
+	cases := []struct {
+		name          string
+		reads, writes bool
+	}{
+		{"_mm256_loadu_ps", true, false},
+		{"_mm256_storeu_ps", false, true},
+		{"_mm256_add_pd", false, false},
+		{"_mm256_fmadd_ps", false, false},
+		{"_mm256_i32gather_epi32", true, false},
+		{"_mm256_maskstore_ps", false, true},
+		{"_mm256_maskload_ps", true, false},
+		{"_mm256_stream_ps", false, true},
+		{"_rdrand16_step", false, true}, // writes its out-parameter
+		{"_mm_lddqu_si128", true, false},
+		{"_mm512_storenrngo_pd", false, true},
+	}
+	for _, c := range cases {
+		r, ok := ix.Lookup(c.name)
+		if !ok {
+			t.Errorf("%s: not in spec", c.name)
+			continue
+		}
+		if r.ReadsMem != c.reads || r.WritesMem != c.writes {
+			t.Errorf("%s: effects (read=%v write=%v), want (read=%v write=%v)",
+				c.name, r.ReadsMem, r.WritesMem, c.reads, c.writes)
+		}
+	}
+}
+
+func TestParseTyp(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ptr  bool
+	}{
+		{"__m256d", "__m256d", false},
+		{"float const*", "float*", true},
+		{"const float *", "float*", true},
+		{"unsigned short", "uint16_t", false},
+		{"unsigned __int64", "uint64_t", false},
+		{"void*", "void*", true},
+		{"__m128i const*", "__m128i", true},
+		{"double", "double", false},
+	}
+	for _, c := range cases {
+		typ, err := ParseTyp(c.in)
+		if err != nil {
+			t.Errorf("ParseTyp(%q): %v", c.in, err)
+			continue
+		}
+		if typ.Ptr != c.ptr {
+			t.Errorf("ParseTyp(%q).Ptr = %v, want %v", c.in, typ.Ptr, c.ptr)
+		}
+		if !typ.Ptr && typ.CName() != c.want {
+			t.Errorf("ParseTyp(%q) = %s, want %s", c.in, typ.CName(), c.want)
+		}
+	}
+	if _, err := ParseTyp("__fancy_future_t"); err == nil {
+		t.Error("ParseTyp accepted an unknown type")
+	}
+}
+
+func TestParseRejectsEmptySpec(t *testing.T) {
+	if _, err := ParseString(`<intrinsics_list version="0"></intrinsics_list>`); err == nil {
+		t.Error("Parse accepted a specification with no intrinsics")
+	}
+	if _, err := ParseString(`not xml at all`); err == nil {
+		t.Error("Parse accepted a non-XML document")
+	}
+}
+
+func TestParsePaperExample(t *testing.T) {
+	// The exact XML from Figure 2 of the paper.
+	doc := `<intrinsics_list version="3.3.16">
+<intrinsic rettype='__m256d' name='_mm256_add_pd'>
+	<type>Floating Point</type>
+	<CPUID>AVX</CPUID>
+	<category>Arithmetic</category>
+	<parameter varname='a' type='__m256d'/>
+	<parameter varname='b' type='__m256d'/>
+	<description>Add packed double-precision (64-bit) floating-point
+	elements in "a" and "b", and store the results in "dst".</description>
+	<operation>
+FOR j := 0 to 3
+	i := j*64
+	dst[i+63:i] := a[i+63:i] + b[i+63:i]
+ENDFOR
+dst[MAX:256] := 0
+	</operation>
+	<instruction name='vaddpd' form='ymm, ymm, ymm'/>
+	<header>immintrin.h</header>
+</intrinsic>
+</intrinsics_list>`
+	f, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, errs := Resolve(f)
+	if len(errs) != 0 {
+		t.Fatalf("resolve errors: %v", errs)
+	}
+	r := rs[0]
+	if r.Name != "_mm256_add_pd" {
+		t.Errorf("name = %s", r.Name)
+	}
+	if r.Ret.Vec != isa.M256d {
+		t.Errorf("ret = %v, want __m256d", r.Ret)
+	}
+	if len(r.Params) != 2 || r.Params[0].Name != "a" || r.Params[1].Name != "b" {
+		t.Errorf("params = %+v", r.Params)
+	}
+	if r.PrimaryFamily() != isa.AVX {
+		t.Errorf("family = %v, want AVX", r.PrimaryFamily())
+	}
+	if !r.HasCategory(isa.CatArithmetic) {
+		t.Errorf("categories = %v, want Arithmetic", r.Categories)
+	}
+	if r.ReadsMem || r.WritesMem {
+		t.Error("_mm256_add_pd must be pure")
+	}
+	if r.Raw.Instruction[0].Name != "vaddpd" {
+		t.Errorf("instruction = %v", r.Raw.Instruction)
+	}
+}
+
+func TestIndexForFamily(t *testing.T) {
+	_, rs, _ := resolveLatest(t)
+	ix, _ := NewIndex(rs)
+	sse3 := ix.ForFamily(isa.SSE3)
+	if len(sse3) != 11 {
+		t.Fatalf("SSE3 family has %d intrinsics, want 11", len(sse3))
+	}
+	for i := 1; i < len(sse3); i++ {
+		if sse3[i-1].Name >= sse3[i].Name {
+			t.Fatalf("ForFamily not sorted: %s >= %s", sse3[i-1].Name, sse3[i].Name)
+		}
+	}
+}
+
+func TestFutureCPUIDTolerated(t *testing.T) {
+	vi, err := LookupVersion("3.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := Generate(vi)
+	rs, errs := Resolve(f)
+	if len(errs) != 0 {
+		t.Fatalf("3.4 resolve errors: %v", errs[0])
+	}
+	future := 0
+	for _, r := range rs {
+		if r.PrimaryFamily() == isa.FamilyNone {
+			future++
+		}
+	}
+	if future != vi.FutureEntries {
+		t.Errorf("future-CPUID intrinsics = %d, want %d", future, vi.FutureEntries)
+	}
+}
