@@ -1,0 +1,29 @@
+# Developer entry points. `make ci` is the full gate: formatting, vet,
+# build, tests, and the race detector over the concurrency-bearing
+# packages (compile cache, parallel sweeps, pooled interpreter frames).
+
+GO ?= go
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc
+
+.PHONY: ci fmt vet build test race bench
+
+ci: fmt vet build test race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .

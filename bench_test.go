@@ -548,3 +548,67 @@ func BenchmarkCgenEmit(b *testing.B) {
 	}
 	b.ReportMetric(float64(bytes), "C-bytes")
 }
+
+// --- Execution pipeline: compile cache and call overhead ---------------------
+
+// BenchmarkCompileCacheCold forces every compile through the full
+// pipeline (fresh cache per iteration) — the baseline the memoized path
+// is measured against.
+func BenchmarkCompileCacheCold(b *testing.B) {
+	rt := core.DefaultRuntime()
+	k := kernels.StagedSaxpy(rt.Arch.Features)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rt.Cache = core.NewCompileCache()
+		if _, err := rt.Compile(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompileCache recompiles a structurally identical kernel
+// against a warm cache — the sweep steady state. The acceptance bar is
+// ≥5× over BenchmarkCompileCacheCold.
+func BenchmarkCompileCache(b *testing.B) {
+	rt := core.DefaultRuntime()
+	k := kernels.StagedSaxpy(rt.Arch.Features)
+	if _, err := rt.Compile(k); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rt.Compile(k); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := rt.CacheStats()
+	if st.Hits < int64(b.N) {
+		b.Fatalf("expected %d cache hits, got %d", b.N, st.Hits)
+	}
+}
+
+// BenchmarkKernelCallOverhead measures the managed→native boundary at a
+// tiny size, where argument boxing and pinning dominate: the reusable
+// conversion buffers keep the steady state allocation-free apart from
+// the per-element copy-in/copy-back.
+func BenchmarkKernelCallOverhead(b *testing.B) {
+	rt := core.DefaultRuntime()
+	kn, err := rt.Compile(kernels.StagedSaxpy(rt.Arch.Features))
+	if err != nil {
+		b.Fatal(err)
+	}
+	xs := make([]float32, 64)
+	ys := make([]float32, 64)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = float32(64 - i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := kn.Call(xs, ys, float32(2.5), len(xs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/internal/bench"
 	"repro/internal/cachesim"
@@ -36,20 +38,56 @@ func main() {
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
+	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(cmd, *quick); err != nil {
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	err := run(cmd, *quick, *workers)
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.WriteHeapProfile(f); merr != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
+	if err != nil {
+		if *cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
 		fmt.Fprintln(os.Stderr, "ngen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, quick bool) error {
+func run(cmd string, quick bool, workers int) error {
 	s := bench.NewSuite()
+	s.Workers = workers
 	if quick {
 		s.MaxRunLinear = 1 << 11
 		s.MaxRunCubic = 32

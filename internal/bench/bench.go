@@ -23,7 +23,6 @@ import (
 	"repro/internal/hotspot"
 	"repro/internal/ir"
 	"repro/internal/isa"
-	"repro/internal/machine"
 	"repro/internal/vm"
 )
 
@@ -74,6 +73,15 @@ type Suite struct {
 	// Reps is the ScalaMeter-style repetition count; the median
 	// estimate is reported.
 	Reps int
+	// Workers bounds how many size points a sweep measures
+	// concurrently, each on a private forked runtime. 1 (the default)
+	// measures serially; either way results are deterministic and
+	// identical.
+	Workers int
+	// SweepCounts accumulates every worker's raw instruction counts,
+	// merged after each sweep's barrier. Totals are independent of
+	// Workers.
+	SweepCounts vm.Counter
 }
 
 // NewSuite builds the default Haswell suite.
@@ -84,6 +92,8 @@ func NewSuite() *Suite {
 		MaxRunLinear: 1 << 14,
 		MaxRunCubic:  64,
 		Reps:         3,
+		Workers:      1,
+		SweepCounts:  vm.Counter{},
 	}
 }
 
@@ -105,50 +115,6 @@ func scaleCounts(c vm.Counter, factor float64) vm.Counter {
 func median(xs []float64) float64 {
 	sort.Float64s(xs)
 	return xs[len(xs)/2]
-}
-
-// measureStaged runs a staged kernel at runN, scales to n, and returns
-// the modeled performance.
-func (s *Suite) measureStaged(kn *core.Kernel, n, runN int, flops func(int) int64,
-	footprint int, run func(runN int) error) (Point, error) {
-	var perfs []float64
-	var rep machine.Report
-	est := machine.NewEstimator(s.RT.Arch)
-	for r := 0; r < s.Reps; r++ {
-		s.RT.Machine.Counts.Reset()
-		if err := run(runN); err != nil {
-			return Point{}, err
-		}
-		counts := s.RT.Machine.Counts
-		if runN != n {
-			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
-		}
-		rep = est.Estimate(kn.Func(), counts, footprint)
-		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
-	}
-	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
-}
-
-// measureJava runs a HotSpot method at C2 steady state (the paper
-// excludes warm-up) at runN, scales to n, and returns the modeled
-// performance.
-func (s *Suite) measureJava(m *hotspot.Method, n, runN int, flops func(int) int64,
-	footprint int, run func(runN int) error) (Point, error) {
-	var perfs []float64
-	var rep machine.Report
-	for r := 0; r < s.Reps; r++ {
-		s.JVM.Machine.Counts.Reset()
-		if err := run(runN); err != nil {
-			return Point{}, err
-		}
-		counts := s.JVM.Machine.Counts
-		if runN != n {
-			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
-		}
-		rep = m.Estimate(hotspot.TierC2, counts, footprint)
-		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
-	}
-	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
 }
 
 // loadJava loads a scalar method into the simulated JVM.

@@ -3,7 +3,9 @@ package bench
 import (
 	"fmt"
 
+	"repro/internal/dsl"
 	"repro/internal/hotspot"
+	"repro/internal/ir"
 	"repro/internal/kernels"
 	"repro/internal/quant"
 	"repro/internal/vm"
@@ -27,50 +29,76 @@ func capSize(n, max int) int {
 	return n
 }
 
+// Each figure below splits into two stages. Input setup stays serial —
+// it is cheap, and the quantized Figure 7 inputs consume a per-series
+// RNG whose draw order must not depend on scheduling. Measurement fans
+// out over forEachPoint: each size point runs on a checked-out worker
+// and writes its Point into a pre-sized slot, so the emitted series are
+// bit-identical at every worker count.
+
 // Fig6a regenerates Figure 6a: SAXPY performance, Java vs LMS-generated,
 // in flops/cycle over the given sizes (default 2^6..2^22).
 func (s *Suite) Fig6a(sizes []int) ([]Series, error) {
 	if sizes == nil {
 		sizes = Pow2Sizes(6, 22)
 	}
-	staged := Series{Name: "LMS generated SAXPY"}
-	java := Series{Name: "Java SAXPY"}
+	staged := Series{Name: "LMS generated SAXPY", Points: make([]Point, len(sizes))}
+	java := Series{Name: "Java SAXPY", Points: make([]Point, len(sizes))}
 
-	kn, err := s.RT.Compile(kernels.StagedSaxpy(s.RT.Arch.Features))
-	if err != nil {
-		return nil, err
+	type job struct {
+		n, runN   int
+		a, b      *vm.Buffer
+		footprint int
 	}
-	jm, err := s.loadJava(kernels.JavaSaxpy(s.RT.Arch.Features))
-	if err != nil {
-		return nil, err
-	}
-
-	for _, n := range sizes {
+	jobs := make([]job, len(sizes))
+	for i, n := range sizes {
 		runN := capSize(n, s.MaxRunLinear)
-		a := vm.PinF32(randSlice(runN, 1))
-		b := vm.PinF32(randSlice(runN, 2))
-		footprint := 8 * n // two float arrays
+		jobs[i] = job{n: n, runN: runN,
+			a:         vm.PinF32(randSlice(runN, 1)),
+			b:         vm.PinF32(randSlice(runN, 2)),
+			footprint: 8 * n, // two float arrays
+		}
+	}
 
-		p, err := s.measureStaged(kn, n, runN, kernels.SaxpyFlops, footprint,
+	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+		jb := jobs[i]
+		kn, err := w.kernel("saxpy", func() (*dsl.Kernel, error) {
+			return kernels.StagedSaxpy(s.RT.Arch.Features), nil
+		})
+		if err != nil {
+			return err
+		}
+		jm, err := w.method("java-saxpy", func() (*ir.Func, error) {
+			return kernels.JavaSaxpy(s.RT.Arch.Features), nil
+		})
+		if err != nil {
+			return err
+		}
+
+		p, err := w.measureStaged(kn, jb.n, jb.runN, kernels.SaxpyFlops, jb.footprint,
 			func(rn int) error {
-				_, err := kn.Call(a, b, float32(2.5), rn)
+				_, err := kn.Call(jb.a, jb.b, float32(2.5), rn)
 				return err
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		staged.Points = append(staged.Points, p)
+		staged.Points[i] = p
 
-		q, err := s.measureJava(jm, n, runN, kernels.SaxpyFlops, footprint,
+		q, err := w.measureJava(jm, jb.n, jb.runN, kernels.SaxpyFlops, jb.footprint,
 			func(rn int) error {
-				_, err := jm.InvokeAt(hotspot.TierC2, vm.PtrValue(a, 0),
-					vm.PtrValue(b, 0), vm.F32Value(2.5), vm.IntValue(rn))
+				_, err := jm.InvokeAt(hotspot.TierC2, vm.PtrValue(jb.a, 0),
+					vm.PtrValue(jb.b, 0), vm.F32Value(2.5), vm.IntValue(rn))
 				return err
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		java.Points = append(java.Points, q)
+		java.Points[i] = q
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Series{java, staged}, nil
 }
@@ -81,55 +109,76 @@ func (s *Suite) Fig6b(sizes []int) ([]Series, error) {
 	if sizes == nil {
 		sizes = MMMSizes()
 	}
-	staged := Series{Name: "LMS generated MMM"}
-	triple := Series{Name: "Java MMM (triple loop)"}
-	blocked := Series{Name: "Java MMM"}
+	staged := Series{Name: "LMS generated MMM", Points: make([]Point, len(sizes))}
+	triple := Series{Name: "Java MMM (triple loop)", Points: make([]Point, len(sizes))}
+	blocked := Series{Name: "Java MMM", Points: make([]Point, len(sizes))}
 
-	kn, err := s.RT.Compile(kernels.StagedMMM(s.RT.Arch.Features))
-	if err != nil {
-		return nil, err
+	type job struct {
+		n, runN   int
+		a, b, c   *vm.Buffer
+		footprint int
 	}
-	jt, err := s.loadJava(kernels.JavaMMMTriple(s.RT.Arch.Features))
-	if err != nil {
-		return nil, err
-	}
-	jb, err := s.loadJava(kernels.JavaMMMBlocked(s.RT.Arch.Features))
-	if err != nil {
-		return nil, err
-	}
-
-	for _, n := range sizes {
+	jobs := make([]job, len(sizes))
+	for i, n := range sizes {
 		runN := capSize(n, s.MaxRunCubic)
-		a := vm.PinF32(randSlice(runN*runN, 3))
-		b := vm.PinF32(randSlice(runN*runN, 4))
-		c := vm.PinF32(make([]float32, runN*runN))
-		footprint := 12 * n * n // three float matrices
+		jobs[i] = job{n: n, runN: runN,
+			a:         vm.PinF32(randSlice(runN*runN, 3)),
+			b:         vm.PinF32(randSlice(runN*runN, 4)),
+			c:         vm.PinF32(make([]float32, runN*runN)),
+			footprint: 12 * n * n, // three float matrices
+		}
+	}
 
-		p, err := s.measureStaged(kn, n, runN, kernels.MMMFlops, footprint,
+	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+		jb := jobs[i]
+		kn, err := w.kernel("mmm", func() (*dsl.Kernel, error) {
+			return kernels.StagedMMM(s.RT.Arch.Features), nil
+		})
+		if err != nil {
+			return err
+		}
+		jt, err := w.method("java-mmm-triple", func() (*ir.Func, error) {
+			return kernels.JavaMMMTriple(s.RT.Arch.Features), nil
+		})
+		if err != nil {
+			return err
+		}
+		jbm, err := w.method("java-mmm-blocked", func() (*ir.Func, error) {
+			return kernels.JavaMMMBlocked(s.RT.Arch.Features), nil
+		})
+		if err != nil {
+			return err
+		}
+
+		p, err := w.measureStaged(kn, jb.n, jb.runN, kernels.MMMFlops, jb.footprint,
 			func(rn int) error {
-				_, err := kn.Call(a, b, c, rn)
+				_, err := kn.Call(jb.a, jb.b, jb.c, rn)
 				return err
 			})
 		if err != nil {
-			return nil, err
+			return err
 		}
-		staged.Points = append(staged.Points, p)
+		staged.Points[i] = p
 
 		for _, jv := range []struct {
 			m   *hotspot.Method
 			ser *Series
-		}{{jt, &triple}, {jb, &blocked}} {
-			q, err := s.measureJava(jv.m, n, runN, kernels.MMMFlops, footprint,
+		}{{jt, &triple}, {jbm, &blocked}} {
+			q, err := w.measureJava(jv.m, jb.n, jb.runN, kernels.MMMFlops, jb.footprint,
 				func(rn int) error {
-					_, err := jv.m.InvokeAt(hotspot.TierC2, vm.PtrValue(a, 0),
-						vm.PtrValue(b, 0), vm.PtrValue(c, 0), vm.IntValue(rn))
+					_, err := jv.m.InvokeAt(hotspot.TierC2, vm.PtrValue(jb.a, 0),
+						vm.PtrValue(jb.b, 0), vm.PtrValue(jb.c, 0), vm.IntValue(rn))
 					return err
 				})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			jv.ser.Points = append(jv.ser.Points, q)
+			jv.ser.Points[i] = q
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return []Series{triple, blocked, staged}, nil
 }
@@ -141,20 +190,80 @@ func (s *Suite) Fig7(sizes []int) ([]Series, error) {
 	if sizes == nil {
 		sizes = Pow2Sizes(7, 26)
 	}
-	var out []Series
-	for _, bits := range []int{32, 16, 8, 4} {
-		j, err := s.fig7Java(bits, sizes)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, j)
+	bitsList := []int{32, 16, 8, 4}
+	out := make([]Series, 2*len(bitsList))
+
+	type job struct {
+		series, point int
+		bits          int
+		java          bool
+		n, runN       int
+		data          dotData
 	}
-	for _, bits := range []int{32, 16, 8, 4} {
-		l, err := s.fig7Staged(bits, sizes)
-		if err != nil {
-			return nil, err
+	var jobs []job
+	// Java series occupy out[0..3], staged out[4..7] — the serial
+	// emission order. Each series owns a fresh RNG consumed across its
+	// sizes in order, so quantization draws are scheduling-independent.
+	for si, bits := range bitsList {
+		out[si] = Series{Name: fmt.Sprintf("Java %d-bit", bits),
+			Points: make([]Point, len(sizes))}
+		rng := vm.NewXorshift(4321)
+		for pi, n := range sizes {
+			runN := capSize(n, s.MaxRunLinear)
+			jobs = append(jobs, job{series: si, point: pi, bits: bits, java: true,
+				n: n, runN: runN, data: makeJavaDotData(bits, runN, rng)})
 		}
-		out = append(out, l)
+	}
+	for si, bits := range bitsList {
+		out[len(bitsList)+si] = Series{Name: fmt.Sprintf("LMS generated %d-bit", bits),
+			Points: make([]Point, len(sizes))}
+		rng := vm.NewXorshift(1234)
+		for pi, n := range sizes {
+			runN := capSize(n, s.MaxRunLinear)
+			jobs = append(jobs, job{series: len(bitsList) + si, point: pi, bits: bits,
+				n: n, runN: runN, data: makeDotData(bits, runN, rng)})
+		}
+	}
+
+	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+		jb := jobs[i]
+		if jb.java {
+			m, err := w.method(fmt.Sprintf("java-dot-%d", jb.bits), func() (*ir.Func, error) {
+				return kernels.JavaDot(jb.bits, s.RT.Arch.Features)
+			})
+			if err != nil {
+				return err
+			}
+			p, err := w.measureJava(m, jb.n, jb.runN, kernels.DotOps,
+				dotFootprint(jb.bits, jb.n), func(rn int) error {
+					_, err := m.InvokeAt(hotspot.TierC2, jb.data.args(rn)...)
+					return err
+				})
+			if err != nil {
+				return err
+			}
+			out[jb.series].Points[jb.point] = p
+			return nil
+		}
+		kn, err := w.kernel(fmt.Sprintf("dot-%d", jb.bits), func() (*dsl.Kernel, error) {
+			return kernels.StagedDot(jb.bits, s.RT.Arch.Features)
+		})
+		if err != nil {
+			return err
+		}
+		p, err := w.measureStaged(kn, jb.n, jb.runN, kernels.DotOps,
+			dotFootprint(jb.bits, jb.n), func(rn int) error {
+				_, err := kn.CallValues(jb.data.args(rn)...)
+				return err
+			})
+		if err != nil {
+			return err
+		}
+		out[jb.series].Points[jb.point] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -212,7 +321,7 @@ func makeDotData(bits, runN int, rng *vm.Xorshift) dotData {
 	}
 }
 
-// javaDotArgs adapts dot data to the Java kernels' signatures (the
+// makeJavaDotData adapts dot data to the Java kernels' signatures (the
 // 16-bit Java path uses quantized shorts, and the 4-bit path has no
 // LUT parameter).
 func makeJavaDotData(bits, runN int, rng *vm.Xorshift) dotData {
@@ -242,58 +351,4 @@ func makeJavaDotData(bits, runN int, rng *vm.Xorshift) dotData {
 			return []vm.Value{vm.PtrValue(ab, 0), vm.PtrValue(bb, 0), inv, vm.IntValue(rn)}
 		}}
 	}
-}
-
-func (s *Suite) fig7Staged(bits int, sizes []int) (Series, error) {
-	ser := Series{Name: fmt.Sprintf("LMS generated %d-bit", bits)}
-	k, err := kernels.StagedDot(bits, s.RT.Arch.Features)
-	if err != nil {
-		return ser, err
-	}
-	kn, err := s.RT.Compile(k)
-	if err != nil {
-		return ser, err
-	}
-	rng := vm.NewXorshift(1234)
-	for _, n := range sizes {
-		runN := capSize(n, s.MaxRunLinear)
-		data := makeDotData(bits, runN, rng)
-		p, err := s.measureStaged(kn, n, runN, kernels.DotOps, dotFootprint(bits, n),
-			func(rn int) error {
-				_, err := kn.CallValues(data.args(rn)...)
-				return err
-			})
-		if err != nil {
-			return ser, err
-		}
-		ser.Points = append(ser.Points, p)
-	}
-	return ser, nil
-}
-
-func (s *Suite) fig7Java(bits int, sizes []int) (Series, error) {
-	ser := Series{Name: fmt.Sprintf("Java %d-bit", bits)}
-	f, err := kernels.JavaDot(bits, s.RT.Arch.Features)
-	if err != nil {
-		return ser, err
-	}
-	m, err := s.loadJava(f)
-	if err != nil {
-		return ser, err
-	}
-	rng := vm.NewXorshift(4321)
-	for _, n := range sizes {
-		runN := capSize(n, s.MaxRunLinear)
-		data := makeJavaDotData(bits, runN, rng)
-		p, err := s.measureJava(m, n, runN, kernels.DotOps, dotFootprint(bits, n),
-			func(rn int) error {
-				_, err := m.InvokeAt(hotspot.TierC2, data.args(rn)...)
-				return err
-			})
-		if err != nil {
-			return ser, err
-		}
-		ser.Points = append(ser.Points, p)
-	}
-	return ser, nil
 }

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/dsl"
+	"repro/internal/hotspot"
+	"repro/internal/ir"
+	"repro/internal/machine"
+	"repro/internal/vm"
+)
+
+// sweepWorker is one lane of a parallel sweep. Each worker owns a
+// forked runtime (private vm.Machine and counter, shared compile cache)
+// and a private simulated JVM, so size points measured concurrently
+// never race on counters. Kernels and Java methods are memoized per
+// worker: the first point a worker measures compiles them (a cache hit
+// on the shared CompileCache for all but the first worker), later
+// points reuse them — mirroring the one-compile-per-figure structure of
+// the serial harness.
+type sweepWorker struct {
+	s       *Suite
+	rt      *core.Runtime
+	jvm     *hotspot.VM
+	total   vm.Counter
+	kernels map[string]*core.Kernel
+	methods map[string]*hotspot.Method
+}
+
+func (s *Suite) newWorker() *sweepWorker {
+	return &sweepWorker{
+		s:       s,
+		rt:      s.RT.Fork(),
+		jvm:     hotspot.NewVM(s.JVM.Arch),
+		total:   vm.Counter{},
+		kernels: map[string]*core.Kernel{},
+		methods: map[string]*hotspot.Method{},
+	}
+}
+
+// kernel memoizes a compiled staged kernel under name for this worker.
+func (w *sweepWorker) kernel(name string, stage func() (*dsl.Kernel, error)) (*core.Kernel, error) {
+	if kn, ok := w.kernels[name]; ok {
+		return kn, nil
+	}
+	k, err := stage()
+	if err != nil {
+		return nil, err
+	}
+	kn, err := w.rt.Compile(k)
+	if err != nil {
+		return nil, err
+	}
+	w.kernels[name] = kn
+	return kn, nil
+}
+
+// method memoizes a loaded Java method under name for this worker.
+func (w *sweepWorker) method(name string, build func() (*ir.Func, error)) (*hotspot.Method, error) {
+	if m, ok := w.methods[name]; ok {
+		return m, nil
+	}
+	f, err := build()
+	if err != nil {
+		return nil, err
+	}
+	m, err := w.jvm.Load(f)
+	if err != nil {
+		return nil, err
+	}
+	w.methods[name] = m
+	return m, nil
+}
+
+// measureStaged runs a staged kernel at runN on this worker's machine,
+// scales to n, and returns the modeled performance. Raw (unscaled)
+// counts accumulate into the worker total for the post-sweep merge.
+func (w *sweepWorker) measureStaged(kn *core.Kernel, n, runN int, flops func(int) int64,
+	footprint int, run func(runN int) error) (Point, error) {
+	var perfs []float64
+	var rep machine.Report
+	est := machine.NewEstimator(w.rt.Arch)
+	for r := 0; r < w.s.Reps; r++ {
+		w.rt.Machine.Counts.Reset()
+		if err := run(runN); err != nil {
+			return Point{}, err
+		}
+		counts := w.rt.Machine.Counts
+		w.total.Merge(counts)
+		if runN != n {
+			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+		}
+		rep = est.Estimate(kn.Func(), counts, footprint)
+		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
+	}
+	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
+}
+
+// measureJava runs a HotSpot method at C2 steady state on this worker's
+// JVM, scales to n, and returns the modeled performance.
+func (w *sweepWorker) measureJava(m *hotspot.Method, n, runN int, flops func(int) int64,
+	footprint int, run func(runN int) error) (Point, error) {
+	var perfs []float64
+	var rep machine.Report
+	for r := 0; r < w.s.Reps; r++ {
+		w.jvm.Machine.Counts.Reset()
+		if err := run(runN); err != nil {
+			return Point{}, err
+		}
+		counts := w.jvm.Machine.Counts
+		w.total.Merge(counts)
+		if runN != n {
+			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+		}
+		rep = m.Estimate(hotspot.TierC2, counts, footprint)
+		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
+	}
+	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
+}
+
+// forEachPoint fans points out over min(Workers, points) sweep workers.
+// fn(i, w) measures point i on worker w and must write its result into
+// a slot addressed by i only — that is what keeps the output
+// deterministic regardless of scheduling. The pool is a semaphore
+// channel carrying the workers themselves: a goroutine per point checks
+// a worker out, measures, and returns it. After the barrier every
+// worker's raw counter total merges into Suite.SweepCounts, so the
+// merged counts match a serial run exactly. The single-worker path runs
+// inline through the same worker code, guaranteeing -j 1 and -j N
+// produce identical output.
+func (s *Suite) forEachPoint(points int, fn func(i int, w *sweepWorker) error) error {
+	nw := s.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	if nw > points {
+		nw = points
+	}
+	if points == 0 {
+		return nil
+	}
+	workers := make([]*sweepWorker, nw)
+	for i := range workers {
+		workers[i] = s.newWorker()
+	}
+	defer func() {
+		if s.SweepCounts == nil {
+			s.SweepCounts = vm.Counter{}
+		}
+		for _, w := range workers {
+			s.SweepCounts.Merge(w.total)
+		}
+	}()
+
+	if nw == 1 {
+		w := workers[0]
+		for i := 0; i < points; i++ {
+			if err := fn(i, w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	pool := make(chan *sweepWorker, nw)
+	for _, w := range workers {
+		pool <- w
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		failed   atomic.Bool
+	)
+	for i := 0; i < points; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := <-pool
+			defer func() { pool <- w }()
+			if failed.Load() {
+				return
+			}
+			if err := fn(i, w); err != nil {
+				failed.Store(true)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}

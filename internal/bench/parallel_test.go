@@ -1,0 +1,89 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+)
+
+// runAll measures small versions of all three figures on one suite and
+// returns their formatted tables concatenated.
+func runAll(t *testing.T, workers int) (string, vm.Counter) {
+	t.Helper()
+	s := quickSuite()
+	s.Workers = workers
+	out := ""
+	f6a, err := s.Fig6a([]int{64, 256, 1024, 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += Format("Figure 6a — SAXPY", "flops/cycle", f6a)
+	f6b, err := s.Fig6b([]int{8, 16, 32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += Format("Figure 6b — MMM", "flops/cycle", f6b)
+	f7, err := s.Fig7([]int{128, 512, 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out += Format("Figure 7 — dot products", "ops/cycle", f7)
+	return out, s.SweepCounts
+}
+
+// TestParallelSweepDeterminism is the tentpole guarantee: any worker
+// count produces byte-identical figure tables, and the merged sweep
+// counters equal the serial totals.
+func TestParallelSweepDeterminism(t *testing.T) {
+	serialOut, serialCounts := runAll(t, 1)
+	for _, workers := range []int{2, 8} {
+		out, counts := runAll(t, workers)
+		if out != serialOut {
+			t.Fatalf("-j %d output differs from serial:\nserial:\n%s\nparallel:\n%s",
+				workers, serialOut, out)
+		}
+		if !reflect.DeepEqual(counts, serialCounts) {
+			t.Fatalf("-j %d merged counters differ from serial totals\nserial:   %v\nparallel: %v",
+				workers, serialCounts, counts)
+		}
+	}
+	if len(serialCounts) == 0 {
+		t.Fatal("sweeps must accumulate merged counters")
+	}
+}
+
+// TestSweepSharesCompileCache: workers fork the suite runtime, so a
+// multi-worker sweep compiles each distinct kernel once and hits the
+// shared cache for every other (worker, size) pair.
+func TestSweepSharesCompileCache(t *testing.T) {
+	s := quickSuite()
+	s.Workers = 4
+	if _, err := s.Fig6a([]int{64, 128, 256, 512, 1024}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.RT.CacheStats()
+	if st.Entries != 1 {
+		t.Errorf("Fig6a compiles one staged kernel, cache holds %d entries", st.Entries)
+	}
+	// Each worker compiles once (memoized per worker); concurrent first
+	// compiles may race to a miss, but never more than one per worker.
+	if total := st.Hits + st.Misses; total < 1 || total > 4 {
+		t.Errorf("expected 1–4 compile calls across 4 workers, got %d hits + %d misses",
+			st.Hits, st.Misses)
+	}
+}
+
+// TestWorkersZeroAndExcess: degenerate worker counts normalize instead
+// of deadlocking — 0 runs serially, more workers than points is capped.
+func TestWorkersZeroAndExcess(t *testing.T) {
+	s := quickSuite()
+	s.Workers = 0
+	if _, err := s.Fig6a([]int{64}); err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 64
+	if _, err := s.Fig6a([]int{64, 128}); err != nil {
+		t.Fatal(err)
+	}
+}

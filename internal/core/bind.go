@@ -37,18 +37,18 @@ func Bind(kn *Kernel, fnPtr any) error {
 		return fmt.Errorf("core: Bind needs a pointer to a func variable, got %T", fnPtr)
 	}
 	ft := pv.Elem().Type()
-	params := kn.k.F.Params
+	params := kn.art.f.Params
 	if ft.NumIn() != len(params) {
 		return fmt.Errorf("core: placeholder has %d parameters, staged %s has %d",
-			ft.NumIn(), kn.k.Name(), len(params))
+			ft.NumIn(), kn.art.f.Name, len(params))
 	}
 	for i := 0; i < ft.NumIn(); i++ {
 		if err := checkParam(ft.In(i), params[i].Typ); err != nil {
-			return fmt.Errorf("core: %s parameter %d: %w", kn.k.Name(), i, err)
+			return fmt.Errorf("core: %s parameter %d: %w", kn.art.f.Name, i, err)
 		}
 	}
-	if err := checkResult(ft, kn.k.F.G.Root().Result); err != nil {
-		return fmt.Errorf("core: %s: %w", kn.k.Name(), err)
+	if err := checkResult(ft, kn.art.f.G.Root().Result); err != nil {
+		return fmt.Errorf("core: %s: %w", kn.art.f.Name, err)
 	}
 
 	impl := reflect.MakeFunc(ft, func(in []reflect.Value) []reflect.Value {
@@ -58,7 +58,7 @@ func Bind(kn *Kernel, fnPtr any) error {
 		}
 		out, err := kn.Call(args...)
 		if err != nil {
-			panic(fmt.Sprintf("core: %s: %v", kn.k.Name(), err))
+			panic(fmt.Sprintf("core: %s: %v", kn.art.f.Name, err))
 		}
 		if ft.NumOut() == 0 {
 			return nil

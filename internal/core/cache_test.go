@@ -1,0 +1,164 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/cgen"
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+// stageSumSquares stages a scalar kernel every microarchitecture can
+// compile (no SIMD), so cache tests can span feature sets.
+func stageSumSquares(rt *Runtime) *dsl.Kernel {
+	k := rt.NewKernel("sum_squares")
+	n := k.ParamInt()
+	sum := k.ForAccInt(k.ConstInt(0), n, 1, k.ConstInt(0),
+		func(i dsl.Int, acc dsl.Int) dsl.Int {
+			return acc.Add(i.Mul(i))
+		})
+	k.Return(sum)
+	return k
+}
+
+func TestCompileCacheHitMissAccounting(t *testing.T) {
+	rt := DefaultRuntime()
+	kn1, err := rt.Compile(stageSumSquares(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.CacheStats(); st.Hits != 0 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after first compile: %+v, want 0 hits / 1 miss / 1 entry", st)
+	}
+	kn2, err := rt.Compile(stageSumSquares(rt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.CacheStats(); st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("after recompile: %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if kn1.Source() != kn2.Source() {
+		t.Error("cache hit must return the identical generated source")
+	}
+	if kn1.CompileCommand() != kn2.CompileCommand() {
+		t.Error("cache hit must return the identical compile command")
+	}
+
+	// A structurally different kernel misses.
+	other := rt.NewKernel("sum_squares")
+	n := other.ParamInt()
+	other.Return(other.ForAccInt(other.ConstInt(0), n, 1, other.ConstInt(0),
+		func(i dsl.Int, acc dsl.Int) dsl.Int {
+			return acc.Add(i) // sum, not sum of squares
+		}))
+	if _, err := rt.Compile(other); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.CacheStats(); st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("different graph, same name must miss: %+v", st)
+	}
+}
+
+func TestCompileCacheCrossMicroarchIsolation(t *testing.T) {
+	rt1 := DefaultRuntime()
+	rt2, err := NewRuntime(isa.Nehalem, cgen.HostEnvironment)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.Cache = rt1.Cache // one shared cache, two microarchitectures
+
+	if _, err := rt1.Compile(stageSumSquares(rt1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt2.Compile(stageSumSquares(rt2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt1.CacheStats(); st.Hits != 0 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("same kernel on two arches must occupy two entries: %+v", st)
+	}
+	// Each runtime hits only its own entry on recompile.
+	if _, err := rt2.Compile(stageSumSquares(rt2)); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt1.CacheStats(); st.Hits != 1 || st.Entries != 2 {
+		t.Fatalf("recompile on the second arch must hit its own entry: %+v", st)
+	}
+}
+
+func TestCompileCacheDisabled(t *testing.T) {
+	rt := DefaultRuntime()
+	rt.Cache = nil
+	if _, err := rt.Compile(stageSumSquares(rt)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Compile(stageSumSquares(rt)); err != nil {
+		t.Fatal(err)
+	}
+	if st := rt.CacheStats(); st != (CacheStats{}) {
+		t.Errorf("disabled cache must report zeros: %+v", st)
+	}
+}
+
+// TestCompileCacheConcurrent hammers one shared cache from forked
+// runtimes; run with -race. Every Compile is one lookup, so hits+misses
+// must equal the call count, and racing first compiles collapse to one
+// live entry.
+func TestCompileCacheConcurrent(t *testing.T) {
+	rt := DefaultRuntime()
+	const goroutines = 16
+	const perG = 8
+	kernels := make([]*Kernel, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			fork := rt.Fork()
+			for r := 0; r < perG; r++ {
+				kn, err := fork.Compile(stageSumSquares(fork))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				kernels[g] = kn
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := rt.CacheStats()
+	if st.Hits+st.Misses != goroutines*perG {
+		t.Errorf("hits %d + misses %d != %d compiles", st.Hits, st.Misses, goroutines*perG)
+	}
+	if st.Entries != 1 {
+		t.Errorf("racing first compiles must collapse to 1 entry, got %d", st.Entries)
+	}
+	if st.Hits == 0 {
+		t.Error("repeat compiles must hit")
+	}
+	// All kernels share the winning artifact's source.
+	for g := 1; g < goroutines; g++ {
+		if kernels[g].Source() != kernels[0].Source() {
+			t.Fatalf("goroutine %d saw a different artifact", g)
+		}
+	}
+
+	// Forked machines stay private: running on one fork must not touch
+	// the parent's counters.
+	forked := rt.Fork()
+	kn, err := forked.Compile(stageSumSquares(forked))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Machine.Counts.Reset()
+	if _, err := kn.Call(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.Machine.Counts[JNICall]; got != 0 {
+		t.Errorf("fork execution leaked %d JNI counts into the parent", got)
+	}
+	if got := forked.Machine.Counts[JNICall]; got != 1 {
+		t.Errorf("fork counted %d JNI calls, want 1", got)
+	}
+}

@@ -8,11 +8,18 @@
 // In this reproduction the generated C is retained for inspection while
 // execution goes through internal/kernelc over the software SIMD machine
 // — see DESIGN.md's substitution table.
+//
+// Compilation is memoized: artifacts are cached under the canonical
+// structural hash of the staged graph (ir.Hash) plus the kernel name,
+// microarchitecture, and toolchain, so sweeps that re-stage the same
+// kernel at every size point pay for one compile, not dozens.
 package core
 
 import (
 	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/cgen"
 	"repro/internal/dsl"
@@ -30,6 +37,9 @@ type Runtime struct {
 	Arch      *isa.Microarch
 	Toolchain cgen.Toolchain
 	Machine   *vm.Machine
+	// Cache memoizes compiled artifacts. Forked runtimes share it; set
+	// it to nil to force every Compile through the full pipeline.
+	Cache *CompileCache
 }
 
 // NewRuntime inspects the (simulated) system: CPUID via the
@@ -39,7 +49,8 @@ func NewRuntime(arch *isa.Microarch, env cgen.Environment) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Runtime{Arch: arch, Toolchain: tc, Machine: vm.NewMachine(arch)}, nil
+	return &Runtime{Arch: arch, Toolchain: tc, Machine: vm.NewMachine(arch),
+		Cache: NewCompileCache()}, nil
 }
 
 // DefaultRuntime builds the paper's testbed: Haswell with gcc and icc
@@ -52,29 +63,160 @@ func DefaultRuntime() *Runtime {
 	return rt
 }
 
+// Fork returns a runtime sharing this one's architecture, toolchain and
+// compile cache but owning a private machine (counter, RNG, cache sim).
+// Parallel sweep workers each fork the suite runtime so their counts
+// never race while compiled artifacts are still shared.
+func (rt *Runtime) Fork() *Runtime {
+	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
+		Machine: vm.NewMachine(rt.Arch), Cache: rt.Cache}
+}
+
 // NewKernel starts staging a kernel against this runtime's detected
 // features.
 func (rt *Runtime) NewKernel(name string) *dsl.Kernel {
 	return dsl.NewKernel(name, rt.Arch.Features)
 }
 
-// Kernel is a compiled, callable kernel.
-type Kernel struct {
-	rt      *Runtime
-	k       *dsl.Kernel
+// --- compile cache ----------------------------------------------------------
+
+// cacheKey identifies one compiled artifact: the structural graph hash
+// plus everything else that shapes the output — kernel name (embedded in
+// the C translation unit and link command), microarchitecture (flags,
+// feature checks) and toolchain (command line).
+type cacheKey struct {
+	hash      uint64
+	name      string
+	arch      string
+	toolchain string
+}
+
+// artifact is the immutable, machine-independent product of one compile:
+// the staged function actually lowered, its executable program, the
+// generated C, and the native compile command. Kernels wrap an artifact
+// together with a runtime, so one artifact serves many machines.
+type artifact struct {
+	f       *ir.Func
 	prog    *kernelc.Program
 	source  string
 	command string
 }
 
+// CompileCache memoizes compile artifacts across runtimes.
+type CompileCache struct {
+	mu      sync.RWMutex
+	entries map[cacheKey]*artifact
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewCompileCache creates an empty cache.
+func NewCompileCache() *CompileCache {
+	return &CompileCache{entries: map[cacheKey]*artifact{}}
+}
+
+// lookup returns the cached artifact for key, counting a hit or miss.
+func (c *CompileCache) lookup(key cacheKey) (*artifact, bool) {
+	c.mu.RLock()
+	art, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return art, ok
+}
+
+// insert stores art under key unless another goroutine won the compile
+// race, in which case the first-stored artifact is kept and returned so
+// every caller shares one program.
+func (c *CompileCache) insert(key cacheKey, art *artifact) *artifact {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, ok := c.entries[key]; ok {
+		return prev
+	}
+	c.entries[key] = art
+	return art
+}
+
+// CacheStats is a point-in-time view of cache effectiveness.
+type CacheStats struct {
+	Hits    int64
+	Misses  int64
+	Entries int
+}
+
+// Stats returns hit/miss counters and the live entry count.
+func (c *CompileCache) Stats() CacheStats {
+	c.mu.RLock()
+	n := len(c.entries)
+	c.mu.RUnlock()
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+}
+
+// CacheStats reports the runtime's compile-cache effectiveness. A
+// runtime with the cache disabled reports zeros.
+func (rt *Runtime) CacheStats() CacheStats {
+	if rt.Cache == nil {
+		return CacheStats{}
+	}
+	return rt.Cache.Stats()
+}
+
+// Kernel is a compiled, callable kernel. The zero-allocation Call path
+// reuses per-kernel conversion scratch, so a Kernel must not be Called
+// from multiple goroutines at once — compile (cheap on cache hits) one
+// Kernel per goroutine instead. CallValues has no such restriction.
+type Kernel struct {
+	rt  *Runtime
+	art *artifact
+
+	// Reused argument-conversion state for Call: value boxes, pin
+	// records, and one pinned buffer per argument position.
+	vals    []vm.Value
+	pins    []pinnedArg
+	argBufs []*vm.Buffer
+}
+
 // Compile runs the full pipeline on a staged kernel: ISA validation, C
 // generation with JNI binding, (simulated) native compilation, and
-// executable lowering.
+// executable lowering. Results are memoized on (graph hash, name,
+// microarch, toolchain); repeat compiles of a structurally identical
+// kernel return a fresh Kernel wrapping the cached artifact.
 func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 	if miss := k.MissingISAs(); len(miss) > 0 {
 		return nil, fmt.Errorf("core: %s uses unavailable ISAs:\n  %s",
 			k.Name(), strings.Join(miss, "\n  "))
 	}
+	if rt.Cache == nil {
+		art, err := rt.build(k)
+		if err != nil {
+			return nil, err
+		}
+		return &Kernel{rt: rt, art: art}, nil
+	}
+	key := cacheKey{
+		hash:      ir.Hash(k.F),
+		name:      k.Name(),
+		arch:      rt.Arch.Name,
+		toolchain: rt.Toolchain.Name + " " + rt.Toolchain.Version,
+	}
+	art, ok := rt.Cache.lookup(key)
+	if !ok {
+		var err error
+		art, err = rt.build(k)
+		if err != nil {
+			return nil, err
+		}
+		art = rt.Cache.insert(key, art)
+	}
+	return &Kernel{rt: rt, art: art}, nil
+}
+
+// build runs the uncached pipeline.
+func (rt *Runtime) build(k *dsl.Kernel) (*artifact, error) {
 	src, err := cgen.Emit(k.F, cgen.Options{JNI: true, Package: "ch.ethz.acl.ngen", Class: "NKernel"})
 	if err != nil {
 		return nil, err
@@ -84,9 +226,8 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 		return nil, err
 	}
 	lib := "lib" + k.Name() + ".so"
-	return &Kernel{
-		rt:      rt,
-		k:       k,
+	return &artifact{
+		f:       k.F,
 		prog:    prog,
 		source:  src,
 		command: rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib),
@@ -94,67 +235,105 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 }
 
 // Source returns the generated C translation unit.
-func (kn *Kernel) Source() string { return kn.source }
+func (kn *Kernel) Source() string { return kn.art.source }
 
 // CompileCommand returns the (simulated) native compiler invocation.
-func (kn *Kernel) CompileCommand() string { return kn.command }
+func (kn *Kernel) CompileCommand() string { return kn.art.command }
 
-// Func exposes the staged function (for the cost model's chain
-// analysis).
-func (kn *Kernel) Func() *ir.Func { return kn.k.F }
+// Func exposes the staged function that was lowered (for the cost
+// model's chain analysis). On cache hits this is the first-compiled
+// structurally identical instance, keeping its symbol ids consistent
+// with the cached program's internal counters.
+func (kn *Kernel) Func() *ir.Func { return kn.art.f }
+
+// pinnedArg records one pinned slice argument so results copy back to
+// the caller on exit. Exactly one slice field is set.
+type pinnedArg struct {
+	buf *vm.Buffer
+	f32 []float32
+	f64 []float64
+	i8  []int8
+	u8  []uint8
+	i16 []int16
+	u16 []uint16
+	i32 []int32
+}
+
+func (p *pinnedArg) copyBack() {
+	switch {
+	case p.f32 != nil:
+		p.buf.UnpinF32(p.f32)
+	case p.f64 != nil:
+		p.buf.UnpinF64(p.f64)
+	case p.i8 != nil:
+		for j := range p.i8 {
+			p.i8[j] = int8(p.buf.Data[j])
+		}
+	case p.u8 != nil:
+		copy(p.u8, p.buf.Data)
+	case p.i16 != nil:
+		for j := range p.i16 {
+			p.i16[j] = int16(p.buf.IntAt(j))
+		}
+	case p.u16 != nil:
+		for j := range p.u16 {
+			p.u16[j] = uint16(p.buf.IntAt(j))
+		}
+	case p.i32 != nil:
+		p.buf.UnpinI32(p.i32)
+	}
+}
 
 // Call invokes the kernel with Go values. Slices pin into vm buffers on
 // entry and copy back on exit — the GetPrimitiveArrayCritical behaviour
-// of Section 3.5 — and each invocation counts one JNI crossing.
+// of Section 3.5 — and each invocation counts one JNI crossing. The
+// value boxes and pinned buffers are owned by the Kernel and reused
+// across calls, so steady-state invocation does not allocate.
 func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 	m := kn.rt.Machine
-	vals := make([]vm.Value, len(args))
-	type pinned struct {
-		buf  *vm.Buffer
-		back func()
+	if cap(kn.vals) < len(args) {
+		kn.vals = make([]vm.Value, len(args))
+		kn.pins = make([]pinnedArg, 0, len(args))
+		kn.argBufs = make([]*vm.Buffer, len(args))
 	}
-	var pins []pinned
+	vals := kn.vals[:len(args)]
+	kn.pins = kn.pins[:0]
 	for i, a := range args {
 		switch x := a.(type) {
 		case []float32:
-			buf := vm.PinF32(x)
-			pins = append(pins, pinned{buf, func() { buf.UnpinF32(x) }})
+			buf := vm.RepinF32(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, f32: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []float64:
-			buf := vm.PinF64(x)
-			pins = append(pins, pinned{buf, func() { buf.UnpinF64(x) }})
+			buf := vm.RepinF64(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, f64: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []int8:
-			buf := vm.PinI8(x)
-			pins = append(pins, pinned{buf, func() {
-				for j := range x {
-					x[j] = int8(buf.Data[j])
-				}
-			}})
+			buf := vm.RepinI8(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, i8: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []uint8:
-			buf := vm.PinU8(x)
-			pins = append(pins, pinned{buf, func() { copy(x, buf.Data) }})
+			buf := vm.RepinU8(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, u8: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []int16:
-			buf := vm.PinI16(x)
-			pins = append(pins, pinned{buf, func() {
-				for j := range x {
-					x[j] = int16(buf.IntAt(j))
-				}
-			}})
+			buf := vm.RepinI16(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, i16: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []uint16:
-			buf := vm.PinU16(x)
-			pins = append(pins, pinned{buf, func() {
-				for j := range x {
-					x[j] = uint16(buf.IntAt(j))
-				}
-			}})
+			buf := vm.RepinU16(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, u16: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case []int32:
-			buf := vm.PinI32(x)
-			pins = append(pins, pinned{buf, func() { buf.UnpinI32(x) }})
+			buf := vm.RepinI32(kn.argBufs[i], x)
+			kn.argBufs[i] = buf
+			kn.pins = append(kn.pins, pinnedArg{buf: buf, i32: x})
 			vals[i] = vm.PtrValue(buf, 0)
 		case *vm.Buffer:
 			vals[i] = vm.PtrValue(x, 0)
@@ -175,9 +354,9 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 		}
 	}
 	m.Counts.Add(JNICall, 1)
-	out, err := kn.prog.Run(m, vals...)
-	for _, p := range pins {
-		p.back()
+	out, err := kn.art.prog.Run(m, vals...)
+	for i := range kn.pins {
+		kn.pins[i].copyBack()
 	}
 	return out, err
 }
@@ -187,7 +366,7 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 // repetitions). One JNI crossing is still counted per invocation.
 func (kn *Kernel) CallValues(args ...vm.Value) (vm.Value, error) {
 	kn.rt.Machine.Counts.Add(JNICall, 1)
-	return kn.prog.Run(kn.rt.Machine, args...)
+	return kn.art.prog.Run(kn.rt.Machine, args...)
 }
 
 // MustCall is Call that panics on error (examples and benchmarks).

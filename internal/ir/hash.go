@@ -1,0 +1,143 @@
+package ir
+
+import "math"
+
+// Structural hashing: a canonical 64-bit fingerprint of a staged
+// function's computation graph. Two functions that stage the same ops,
+// constants, types, blocks and effects hash identically even when their
+// Sym numbering differs (re-staging a kernel allocates fresh ids), so
+// the runtime's compile cache can recognise a graph it has already
+// lowered. Everything that influences the compiled artifact is folded
+// in: op names, argument structure, constant values, result wiring,
+// effect annotations, and staged comment text (comments survive into
+// the generated C).
+
+// Hash returns the canonical structural hash of f. The function name is
+// deliberately excluded — callers that key artifacts by name combine it
+// with the hash themselves.
+func Hash(f *Func) uint64 {
+	h := hasher{h: fnvOffset, canon: make(map[int]uint64, f.G.NumNodes())}
+	h.u64(uint64(len(f.Params)))
+	for _, p := range f.Params {
+		h.canonOf(p)
+		h.typ(p.Typ)
+		if f.G.IsMutable(p) {
+			h.u64(1)
+		} else {
+			h.u64(0)
+		}
+	}
+	h.block(f, f.G.Root())
+	return h.h
+}
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+type hasher struct {
+	h     uint64
+	canon map[int]uint64 // sym id → canonical id, in first-visit order
+	next  uint64
+}
+
+func (h *hasher) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.h = (h.h ^ (v & 0xff)) * fnvPrime
+		v >>= 8
+	}
+}
+
+func (h *hasher) str(s string) {
+	for i := 0; i < len(s); i++ {
+		h.h = (h.h ^ uint64(s[i])) * fnvPrime
+	}
+	h.h = (h.h ^ 0xff) * fnvPrime // terminator: "ab","c" ≠ "a","bc"
+}
+
+// canonOf returns the canonical id of a symbol, assigning the next one
+// on first encounter. Visit order is emission order, which is identical
+// for structurally identical graphs.
+func (h *hasher) canonOf(s Sym) uint64 {
+	if id, ok := h.canon[s.ID]; ok {
+		return id
+	}
+	id := h.next
+	h.next++
+	h.canon[s.ID] = id
+	return id
+}
+
+func (h *hasher) typ(t Type) {
+	h.u64(uint64(t.Kind)<<32 | uint64(t.Elem)<<16 | uint64(t.Vec))
+}
+
+func (h *hasher) exp(e Exp) {
+	switch x := e.(type) {
+	case nil:
+		h.u64(0)
+	case Sym:
+		h.u64(1)
+		h.u64(h.canonOf(x))
+		h.typ(x.Typ)
+	case Const:
+		h.u64(2)
+		h.typ(x.Typ)
+		h.u64(uint64(x.I))
+		h.u64(x.U)
+		h.u64(math.Float64bits(x.F))
+		if x.B {
+			h.u64(1)
+		} else {
+			h.u64(0)
+		}
+	default:
+		h.u64(3)
+		h.str(e.String())
+	}
+}
+
+func (h *hasher) effect(e Effect) {
+	h.u64(uint64(e.Kind))
+	h.u64(uint64(len(e.Reads)))
+	for _, s := range e.Reads {
+		h.u64(h.canonOf(s))
+	}
+	h.u64(uint64(len(e.Writes)))
+	for _, s := range e.Writes {
+		h.u64(h.canonOf(s))
+	}
+}
+
+func (h *hasher) block(f *Func, b *Block) {
+	h.u64(uint64(len(b.Params)))
+	for _, p := range b.Params {
+		h.u64(h.canonOf(p))
+		h.typ(p.Typ)
+	}
+	h.u64(uint64(len(b.Nodes)))
+	for _, n := range b.Nodes {
+		d := n.Def
+		h.str(d.Op)
+		h.typ(d.Typ)
+		h.u64(uint64(len(d.Args)))
+		for _, a := range d.Args {
+			h.exp(a)
+		}
+		// Staged comments carry their text in a side table; the C
+		// unparser emits the text, so it is part of the identity.
+		if d.Op == OpComment {
+			if c, ok := d.Args[0].(Const); ok {
+				h.str(f.G.CommentText(int(c.I)))
+			}
+		}
+		h.effect(d.Effect)
+		h.u64(uint64(len(d.Blocks)))
+		for _, blk := range d.Blocks {
+			h.block(f, blk)
+		}
+		h.u64(h.canonOf(n.Sym))
+	}
+	h.exp(b.Result)
+}

@@ -1,0 +1,90 @@
+package ir
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// buildAffine stages `(a op b) + c` with an optional comment, after
+// burning `shift` symbol ids so two stagings of the same structure get
+// different symbol numbering.
+func buildAffine(shift int, op string, c int, comment string) *Func {
+	g := NewGraph()
+	for i := 0; i < shift; i++ {
+		g.Fresh(TI32)
+	}
+	a := g.Fresh(TI32)
+	b := g.Fresh(TI32)
+	if comment != "" {
+		g.Comment(comment)
+	}
+	var m Exp
+	switch op {
+	case OpMul:
+		m = g.Mul(a, b)
+	default:
+		m = g.Add(a, b)
+	}
+	g.Root().Result = g.Add(m, ConstInt(c))
+	return &Func{Name: "affine", Params: []Sym{a, b}, G: g}
+}
+
+// buildLoop stages a counted loop over a pointer parameter, exercising
+// nested blocks, block parameters, and the mutability flag.
+func buildLoop(shift int, mutable bool) *Func {
+	g := NewGraph()
+	for i := 0; i < shift; i++ {
+		g.Fresh(TI32)
+	}
+	p := g.Fresh(PtrType(isa.PrimF32))
+	if mutable {
+		g.MarkMutable(p)
+	}
+	n := g.Fresh(TI32)
+	g.Loop(ConstInt(0), n, ConstInt(1), func(i Sym) {
+		g.Mul(i, i)
+	})
+	return &Func{Name: "loopy", Params: []Sym{p, n}, G: g}
+}
+
+func TestHashStableUnderRenumbering(t *testing.T) {
+	if Hash(buildAffine(0, OpMul, 3, "")) != Hash(buildAffine(5, OpMul, 3, "")) {
+		t.Error("hash must not depend on symbol numbering (scalar func)")
+	}
+	if Hash(buildLoop(0, true)) != Hash(buildLoop(7, true)) {
+		t.Error("hash must not depend on symbol numbering (loop func)")
+	}
+}
+
+func TestHashDistinguishesStructure(t *testing.T) {
+	base := Hash(buildAffine(0, OpMul, 3, ""))
+	cases := map[string]uint64{
+		"different op":       Hash(buildAffine(0, OpAdd, 3, "")),
+		"different constant": Hash(buildAffine(0, OpMul, 4, "")),
+		"added comment":      Hash(buildAffine(0, OpMul, 3, "note")),
+	}
+	for name, h := range cases {
+		if h == base {
+			t.Errorf("%s must change the hash", name)
+		}
+	}
+	if Hash(buildAffine(0, OpMul, 3, "a")) == Hash(buildAffine(0, OpMul, 3, "b")) {
+		t.Error("comment text must be hashed (comments survive into generated C)")
+	}
+}
+
+func TestHashSeesMutability(t *testing.T) {
+	if Hash(buildLoop(0, true)) == Hash(buildLoop(0, false)) {
+		t.Error("parameter mutability must change the hash")
+	}
+}
+
+func TestHashIgnoresName(t *testing.T) {
+	f := buildAffine(0, OpMul, 3, "")
+	g := buildAffine(0, OpMul, 3, "")
+	g.Name = "other"
+	if Hash(f) != Hash(g) {
+		t.Error("function name is part of the cache key, not the graph hash")
+	}
+}

@@ -63,9 +63,9 @@ func TestConvKinds(t *testing.T) {
 		to   ir.Type
 		want int64
 	}{
-		{vm.F64Value(300.7), ir.TI8, 44},     // 300 wraps into int8
-		{vm.F64Value(-1.9), ir.TI32, -1},     // trunc toward zero
-		{vm.IntValue(-1), ir.TU16, 65535},    // sign wrap
+		{vm.F64Value(300.7), ir.TI8, 44},  // 300 wraps into int8
+		{vm.F64Value(-1.9), ir.TI32, -1},  // trunc toward zero
+		{vm.IntValue(-1), ir.TU16, 65535}, // sign wrap
 		{vm.F32Value(float32(1e18)), ir.TI8, int64(int8(int64(999999984306749440) & 0xFF))},
 	}
 	for _, c := range cases {

@@ -1,0 +1,120 @@
+package kernelc
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// saxpyInputs builds one SAXPY call's buffers and argument list.
+func saxpyInputs(n int) (*vm.Buffer, []vm.Value) {
+	av := make([]float32, n)
+	bv := make([]float32, n)
+	for i := range av {
+		av[i] = float32(i) * 0.25
+		bv[i] = float32(n - i)
+	}
+	aBuf, bBuf := vm.PinF32(av), vm.PinF32(bv)
+	return aBuf, []vm.Value{vm.PtrValue(aBuf, 0), vm.PtrValue(bBuf, 0),
+		vm.F32Value(1.5), vm.IntValue(n)}
+}
+
+// TestFusionPreservesSemantics compares the fused program against a
+// fusion-disabled compile of the same graph: identical results,
+// identical memory contents, identical instruction counters.
+func TestFusionPreservesSemantics(t *testing.T) {
+	k := stageSaxpy(t)
+	fused, err := compileWith(k.F, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := compileWith(k.F, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fused.FusedOps() == 0 {
+		t.Fatal("SAXPY must fuse at least one load→op or op→store pair")
+	}
+	if plain.FusedOps() != 0 {
+		t.Fatalf("fusion-disabled compile reports %d fused ops", plain.FusedOps())
+	}
+
+	for _, n := range []int{8, 37, 256} {
+		aF, argsF := saxpyInputs(n)
+		aP, argsP := saxpyInputs(n)
+		mF, mP := haswell(), haswell()
+		if _, err := fused.Run(mF, argsF...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := plain.Run(mP, argsP...); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aF.Data, aP.Data) {
+			t.Fatalf("n=%d: fused and unfused programs disagree on memory", n)
+		}
+		if !reflect.DeepEqual(mF.Counts, mP.Counts) {
+			t.Fatalf("n=%d: counters diverge\nfused:   %v\nunfused: %v",
+				n, mF.Counts, mP.Counts)
+		}
+	}
+}
+
+// TestFrameReuseIsClean runs one program repeatedly and concurrently:
+// pooled register frames must never leak state between runs.
+func TestFrameReuseIsClean(t *testing.T) {
+	k := stageSaxpy(t)
+	p, err := Compile(k.F)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 37
+	aBuf, args := saxpyInputs(n)
+	if _, err := p.Run(haswell(), args...); err != nil {
+		t.Fatal(err)
+	}
+	want := append([]byte(nil), aBuf.Data...)
+
+	// Sequential reuse: identical fresh inputs, identical outputs.
+	for r := 0; r < 4; r++ {
+		aBuf2, args2 := saxpyInputs(n)
+		if _, err := p.Run(haswell(), args2...); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(aBuf2.Data, want) {
+			t.Fatalf("rep %d: pooled frame leaked state into the result", r)
+		}
+	}
+
+	// Concurrent reuse: one Program, many machines (run with -race).
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for g := range errs {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < 16; r++ {
+				aBufG, argsG := saxpyInputs(n)
+				if _, err := p.Run(vm.NewMachine(isa.Haswell), argsG...); err != nil {
+					errs[g] = err
+					return
+				}
+				if !bytes.Equal(aBufG.Data, want) {
+					errs[g] = errors.New("concurrent run produced wrong output")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", g, err)
+		}
+	}
+}

@@ -11,11 +11,27 @@
 // counts (per intrinsic name, plus scalar.* pseudo-ops for the host-
 // language constructs) accumulate in the machine's Counter, which the
 // analytical cost model converts to cycles.
+//
+// Three compile-time optimisations keep the interpreter off the profile
+// without changing any observable count or result:
+//
+//   - Static count batching: the per-op increments inside a straight-line
+//     block are a fixed multiset, so loops add (key, n·iters) once per
+//     loop execution instead of per iteration.
+//   - Superinstruction fusion: a value produced by one node and consumed
+//     exactly once by the immediately following node (load→op, op→store
+//     and friends) is passed directly instead of through a register,
+//     collapsing two closure dispatches into one.
+//   - Frame pooling: register frames and intrinsic-argument scratch are
+//     recycled through a sync.Pool, so steady-state Run does not
+//     allocate. Programs are safe to Run concurrently; each Run owns a
+//     private frame.
 package kernelc
 
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -45,19 +61,75 @@ const (
 
 // Program is a compiled kernel.
 type Program struct {
-	F      *ir.Func
-	nRegs  int
-	params []int // register slot per parameter
-	ops    []op
-	result *argRef
+	F          *ir.Func
+	nRegs      int
+	scratchLen int   // intrinsic-argument scratch, one region per call site
+	params     []int // register slot per parameter
+	ops        []op
+	rootCounts []countDelta // static op counts of the root block
+	result     *argRef
+	fused      int // superinstructions formed
+	pool       sync.Pool
 }
 
+// FusedOps returns how many producer nodes were fused into their
+// consumers (for tests and diagnostics).
+func (p *Program) FusedOps() int { return p.fused }
+
 type frame struct {
-	regs []vm.Value
-	m    *vm.Machine
+	regs    []vm.Value
+	scratch []vm.Value
+	m       *vm.Machine
 }
 
 type op func(fr *frame) error
+
+// evalFn produces one node's value (the zero Value for void nodes).
+type evalFn func(fr *frame) (vm.Value, error)
+
+// countDelta is one entry of a block's static count vector: executing
+// the block's straight-line ops once adds n to key.
+type countDelta struct {
+	key string
+	n   int64
+}
+
+// inline requests that a fused producer's evaluator replace the
+// consumer's argument at position pos.
+type inline struct {
+	pos  int
+	eval evalFn
+}
+
+// valNode is a compiled simple (non-control) node, held back briefly by
+// compileBlock so the next node may fuse it.
+type valNode struct {
+	eval   evalFn
+	void   bool
+	dst    int
+	counts []countDelta
+	sym    ir.Sym
+}
+
+// asOp finalises a node that was not fused away.
+func (v *valNode) asOp() op {
+	eval := v.eval
+	if v.void {
+		return func(fr *frame) error {
+			_, err := eval(fr)
+			return err
+		}
+	}
+	dst := v.dst
+	return func(fr *frame) error {
+		out, err := eval(fr)
+		if err != nil {
+			return err
+		}
+		fr.regs[dst] = out
+		return nil
+	}
+}
 
 // argRef locates an operand at run time: a constant materialised at
 // compile time or a register slot.
@@ -82,6 +154,12 @@ type compiler struct {
 	// loopIVs is the stack of enclosing loop variables; the innermost
 	// drives stride classification of scalar loads.
 	loopIVs []ir.Sym
+	// uses counts, per symbol, every reference from kept nodes' args,
+	// block results and effect annotations; fusion requires exactly one.
+	uses        map[int]int
+	scratchNext int
+	fuse        bool
+	fused       int
 }
 
 // strided reports whether an index expression strides by the innermost
@@ -124,17 +202,24 @@ func (c *compiler) strided(idx ir.Exp) bool {
 // Compile lowers a staged function to an executable program. Staging
 // errors surface here: intrinsics without executable semantics, unbound
 // symbols, unsupported ops.
-func Compile(f *ir.Func) (*Program, error) {
-	c := &compiler{f: f, sched: ir.Schedule(f), slots: map[int]int{}}
+func Compile(f *ir.Func) (*Program, error) { return compileWith(f, true) }
+
+// compileWith exposes the fusion switch so tests can compare fused and
+// unfused programs op-for-op.
+func compileWith(f *ir.Func, fuse bool) (*Program, error) {
+	c := &compiler{f: f, sched: ir.Schedule(f), slots: map[int]int{},
+		uses: map[int]int{}, fuse: fuse}
+	c.countUses(f.G.Root())
 	p := &Program{F: f}
 	for _, prm := range f.Params {
 		p.params = append(p.params, c.slot(prm))
 	}
-	ops, err := c.compileBlock(f.G.Root())
+	ops, counts, err := c.compileBlock(f.G.Root())
 	if err != nil {
 		return nil, fmt.Errorf("kernelc: %s: %w", f.Name, err)
 	}
 	p.ops = ops
+	p.rootCounts = counts
 	if r := f.G.Root().Result; r != nil {
 		ref, err := c.ref(r)
 		if err != nil {
@@ -143,7 +228,38 @@ func Compile(f *ir.Func) (*Program, error) {
 		p.result = &ref
 	}
 	p.nRegs = c.next
+	p.scratchLen = c.scratchNext
+	p.fused = c.fused
+	p.pool.New = func() any {
+		return &frame{
+			regs:    make([]vm.Value, p.nRegs),
+			scratch: make([]vm.Value, p.scratchLen),
+		}
+	}
 	return p, nil
+}
+
+// countUses tallies every symbol reference reachable from the schedule.
+func (c *compiler) countUses(b *ir.Block) {
+	if s, ok := b.Result.(ir.Sym); ok {
+		c.uses[s.ID]++
+	}
+	for _, n := range c.sched.Keep[b] {
+		for _, a := range n.Def.Args {
+			if s, ok := a.(ir.Sym); ok {
+				c.uses[s.ID]++
+			}
+		}
+		for _, s := range n.Def.Effect.Reads {
+			c.uses[s.ID]++
+		}
+		for _, s := range n.Def.Effect.Writes {
+			c.uses[s.ID]++
+		}
+		for _, blk := range n.Def.Blocks {
+			c.countUses(blk)
+		}
+	}
 }
 
 func (c *compiler) slot(s ir.Sym) int {
@@ -186,44 +302,129 @@ func constValue(cst ir.Const) vm.Value {
 	return v
 }
 
-func (c *compiler) compileBlock(b *ir.Block) ([]op, error) {
-	var ops []op
-	for _, n := range c.sched.Keep[b] {
-		o, err := c.compileNode(n)
-		if err != nil {
-			return nil, err
-		}
-		if o != nil {
-			ops = append(ops, o)
+// fusablePos returns the argument position of d that references s, or -1
+// when d cannot absorb an inlined producer. Any single position is safe
+// for the whitelisted shapes because their remaining operands are pure
+// register/constant reads: running the producer at consumer entry is
+// observationally the same as running it immediately before (which is
+// where it sat in the schedule).
+func fusablePos(d *ir.Def, s ir.Sym) int {
+	switch d.Op {
+	case ir.OpSel:
+		// Select evaluates only one of its value operands; inlining an
+		// unconditionally-executed producer would skip it on the other
+		// path and break the static count vector.
+		return -1
+	}
+	pos := -1
+	for i, a := range d.Args {
+		if as, ok := a.(ir.Sym); ok && as.ID == s.ID {
+			if pos >= 0 {
+				return -1
+			}
+			pos = i
 		}
 	}
-	return ops, nil
+	return pos
 }
 
-func (c *compiler) compileNode(n *ir.Node) (op, error) {
-	d := n.Def
-	switch d.Op {
-	case ir.OpComment, ir.OpParam:
-		return nil, nil
-	case ir.OpLoop:
-		return c.compileLoop(n)
-	case ir.OpIf:
-		return c.compileIf(n)
+// compileBlock lowers one block's kept nodes to ops plus the block's
+// static count vector. A just-compiled simple node is held pending for
+// one step so the next node may fuse it.
+func (c *compiler) compileBlock(b *ir.Block) ([]op, []countDelta, error) {
+	var ops []op
+	var counts []countDelta
+	var pending *valNode
+	flush := func() {
+		if pending != nil {
+			ops = append(ops, pending.asOp())
+			counts = append(counts, pending.counts...)
+			pending = nil
+		}
+	}
+	for _, n := range c.sched.Keep[b] {
+		d := n.Def
+		switch d.Op {
+		case ir.OpComment, ir.OpParam:
+			continue
+		case ir.OpLoop:
+			flush()
+			o, err := c.compileLoop(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops = append(ops, o)
+		case ir.OpIf:
+			flush()
+			o, err := c.compileIf(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			ops = append(ops, o)
+			counts = append(counts, countDelta{OpBranch, 1})
+		default:
+			var inl *inline
+			var prodCounts []countDelta
+			if c.fuse && pending != nil && !pending.void && c.uses[pending.sym.ID] == 1 {
+				if pos := fusablePos(d, pending.sym); pos >= 0 {
+					inl = &inline{pos: pos, eval: pending.eval}
+					prodCounts = pending.counts
+					pending = nil
+					c.fused++
+				}
+			}
+			flush()
+			vn, err := c.compileSimple(n, inl)
+			if err != nil {
+				return nil, nil, err
+			}
+			if inl != nil {
+				vn.counts = append(append([]countDelta{}, prodCounts...), vn.counts...)
+			}
+			pending = vn
+		}
+	}
+	flush()
+	return ops, mergeCounts(counts), nil
+}
+
+// mergeCounts folds duplicate keys, preserving first-appearance order.
+func mergeCounts(cds []countDelta) []countDelta {
+	if len(cds) <= 1 {
+		return cds
+	}
+	sums := make(map[string]int64, len(cds))
+	var order []string
+	for _, cd := range cds {
+		if _, ok := sums[cd.key]; !ok {
+			order = append(order, cd.key)
+		}
+		sums[cd.key] += cd.n
+	}
+	out := make([]countDelta, 0, len(order))
+	for _, k := range order {
+		out = append(out, countDelta{k, sums[k]})
+	}
+	return out
+}
+
+func (c *compiler) compileSimple(n *ir.Node, inl *inline) (*valNode, error) {
+	switch n.Def.Op {
 	case ir.OpALoad:
-		return c.compileALoad(n)
+		return c.compileALoad(n, inl)
 	case ir.OpAStore:
-		return c.compileAStore(n)
+		return c.compileAStore(n, inl)
 	case ir.OpPtrAdd:
-		return c.compilePtrAdd(n)
+		return c.compilePtrAdd(n, inl)
 	case ir.OpConv:
-		return c.compileConv(n)
+		return c.compileConv(n, inl)
 	case ir.OpSel:
 		return c.compileSelect(n)
 	}
-	if ir.IsIntrinsicOp(d.Op) {
-		return c.compileIntrinsic(n)
+	if ir.IsIntrinsicOp(n.Def.Op) {
+		return c.compileIntrinsic(n, inl)
 	}
-	return c.compileScalar(n)
+	return c.compileScalar(n, inl)
 }
 
 func (c *compiler) refs(args []ir.Exp) ([]argRef, error) {
@@ -238,7 +439,27 @@ func (c *compiler) refs(args []ir.Exp) ([]argRef, error) {
 	return out, nil
 }
 
-func (c *compiler) compileIntrinsic(n *ir.Node) (op, error) {
+// fusedRefs resolves the argument list, substituting a harmless constant
+// for the inlined position (its register is never written).
+func (c *compiler) fusedRefs(args []ir.Exp, inl *inline) ([]argRef, error) {
+	cp := make([]ir.Exp, len(args))
+	copy(cp, args)
+	if inl != nil {
+		cp[inl.pos] = ir.ConstInt(0)
+	}
+	return c.refs(cp)
+}
+
+func (c *compiler) valNode(n *ir.Node, eval evalFn, counts ...countDelta) *valNode {
+	void := n.Def.Typ == ir.TVoid
+	dst := -1
+	if !void {
+		dst = c.slot(n.Sym)
+	}
+	return &valNode{eval: eval, void: void, dst: dst, counts: counts, sym: n.Sym}
+}
+
+func (c *compiler) compileIntrinsic(n *ir.Node, inl *inline) (*valNode, error) {
 	name := n.Def.Op
 	in, ok := vm.Lookup(name)
 	if !ok {
@@ -246,28 +467,45 @@ func (c *compiler) compileIntrinsic(n *ir.Node) (op, error) {
 		// native toolchain cannot execute it on this machine.
 		return nil, fmt.Errorf("intrinsic %s has no executable semantic in the vm", name)
 	}
-	args, err := c.refs(n.Def.Args)
+	args, err := c.fusedRefs(n.Def.Args, inl)
 	if err != nil {
 		return nil, err
 	}
-	dst := c.slot(n.Sym)
+	off := c.scratchNext
+	c.scratchNext += len(args)
+	nArgs := len(args)
+	ie, pos := inlineParts(inl)
 	fn := in.Fn
-	void := n.Def.Typ == ir.TVoid
-	return func(fr *frame) error {
-		vals := make([]vm.Value, len(args))
+	eval := func(fr *frame) (vm.Value, error) {
+		var iv vm.Value
+		if pos >= 0 {
+			v, err := ie(fr)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			iv = v
+		}
+		vals := fr.scratch[off : off+nArgs]
 		for i, a := range args {
 			vals[i] = a.get(fr)
 		}
-		fr.m.Counts.Add(name, 1)
+		if pos >= 0 {
+			vals[pos] = iv
+		}
 		out, err := fn(fr.m, vals)
 		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+			return vm.Value{}, fmt.Errorf("%s: %w", name, err)
 		}
-		if !void {
-			fr.regs[dst] = out
-		}
-		return nil
-	}, nil
+		return out, nil
+	}
+	return c.valNode(n, eval, countDelta{name, 1}), nil
+}
+
+func inlineParts(inl *inline) (evalFn, int) {
+	if inl == nil {
+		return nil, -1
+	}
+	return inl.eval, inl.pos
 }
 
 func (c *compiler) compileLoop(n *ir.Node) (op, error) {
@@ -287,7 +525,7 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 		dst = c.slot(n.Sym)
 	}
 	c.loopIVs = append(c.loopIVs, body.Params[0])
-	bodyOps, err := c.compileBlock(body)
+	bodyOps, bodyCounts, err := c.compileBlock(body)
 	c.loopIVs = c.loopIVs[:len(c.loopIVs)-1]
 	if err != nil {
 		return nil, err
@@ -300,7 +538,8 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 		}
 	}
 	// Per-loop iteration counter so the cost model can attribute the
-	// loop-carried dependency chain (see internal/machine).
+	// loop-carried dependency chain (see internal/machine). The body's
+	// static count vector is applied once, scaled by the trip count.
 	loopKey := fmt.Sprintf("loop.#%d", n.Sym.ID)
 	return func(fr *frame) error {
 		start := args[0].get(fr).AsInt()
@@ -327,6 +566,9 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 		}
 		fr.m.Counts.Add(OpLoopIter, iters)
 		fr.m.Counts.Add(loopKey, iters)
+		for _, cd := range bodyCounts {
+			fr.m.Counts.Add(cd.key, cd.n*iters)
+		}
 		if carried {
 			fr.regs[dst] = fr.regs[accSlot]
 		}
@@ -340,11 +582,11 @@ func (c *compiler) compileIf(n *ir.Node) (op, error) {
 		return nil, err
 	}
 	thenB, elseB := n.Def.Blocks[0], n.Def.Blocks[1]
-	thenOps, err := c.compileBlock(thenB)
+	thenOps, thenCounts, err := c.compileBlock(thenB)
 	if err != nil {
 		return nil, err
 	}
-	elseOps, err := c.compileBlock(elseB)
+	elseOps, elseCounts, err := c.compileBlock(elseB)
 	if err != nil {
 		return nil, err
 	}
@@ -365,13 +607,17 @@ func (c *compiler) compileIf(n *ir.Node) (op, error) {
 	}
 	dst := c.slot(n.Sym)
 	void := n.Def.Typ == ir.TVoid
+	// The branch op itself is in the parent block's static vector; only
+	// the taken arm's counts are applied here.
 	return func(fr *frame) error {
-		fr.m.Counts.Add(OpBranch, 1)
 		if cond.get(fr).B {
 			for _, o := range thenOps {
 				if err := o(fr); err != nil {
 					return err
 				}
+			}
+			for _, cd := range thenCounts {
+				fr.m.Counts.Add(cd.key, cd.n)
 			}
 			if !void && thenRes != nil {
 				fr.regs[dst] = thenRes.get(fr)
@@ -382,6 +628,9 @@ func (c *compiler) compileIf(n *ir.Node) (op, error) {
 					return err
 				}
 			}
+			for _, cd := range elseCounts {
+				fr.m.Counts.Add(cd.key, cd.n)
+			}
 			if !void && elseRes != nil {
 				fr.regs[dst] = elseRes.get(fr)
 			}
@@ -390,27 +639,39 @@ func (c *compiler) compileIf(n *ir.Node) (op, error) {
 	}, nil
 }
 
-func (c *compiler) compileALoad(n *ir.Node) (op, error) {
-	args, err := c.refs(n.Def.Args)
+func (c *compiler) compileALoad(n *ir.Node, inl *inline) (*valNode, error) {
+	args, err := c.fusedRefs(n.Def.Args, inl)
 	if err != nil {
 		return nil, err
 	}
-	dst := c.slot(n.Sym)
 	kind := n.Sym.Typ.Kind
 	costKey := OpScalarLoad
 	if c.strided(n.Def.Args[1]) {
 		costKey = OpScalarLoadStrided
 	}
-	return func(fr *frame) error {
-		ptr := args[0].get(fr)
+	ptrRef, idxRef := args[0], args[1]
+	ie, pos := inlineParts(inl)
+	eval := func(fr *frame) (vm.Value, error) {
+		ptr := ptrRef.get(fr)
+		idxV := idxRef.get(fr)
+		if pos >= 0 {
+			v, err := ie(fr)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			if pos == 0 {
+				ptr = v
+			} else {
+				idxV = v
+			}
+		}
 		if ptr.Mem == nil {
-			return fmt.Errorf("aload through nil array")
+			return vm.Value{}, fmt.Errorf("aload through nil array")
 		}
-		idx := int(args[1].get(fr).AsInt()) + ptr.Off
+		idx := int(idxV.AsInt()) + ptr.Off
 		if idx < 0 || idx >= ptr.Mem.Len() {
-			return fmt.Errorf("aload index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
+			return vm.Value{}, fmt.Errorf("aload index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
 		}
-		fr.m.Counts.Add(costKey, 1)
 		fr.m.Touch(ptr.Mem, idx*ptr.Mem.Prim.Bits()/8, ptr.Mem.Prim.Bits()/8)
 		var v vm.Value
 		v.Kind = kind
@@ -424,29 +685,45 @@ func (c *compiler) compileALoad(n *ir.Node) (op, error) {
 		default:
 			v.I = ptr.Mem.IntAt(idx)
 		}
-		fr.regs[dst] = v
-		return nil
-	}, nil
+		return v, nil
+	}
+	return c.valNode(n, eval, countDelta{costKey, 1}), nil
 }
 
-func (c *compiler) compileAStore(n *ir.Node) (op, error) {
-	args, err := c.refs(n.Def.Args)
+func (c *compiler) compileAStore(n *ir.Node, inl *inline) (*valNode, error) {
+	args, err := c.fusedRefs(n.Def.Args, inl)
 	if err != nil {
 		return nil, err
 	}
 	kind := n.Def.Args[2].Type().Kind
-	return func(fr *frame) error {
-		ptr := args[0].get(fr)
+	ptrRef, idxRef, valRef := args[0], args[1], args[2]
+	ie, pos := inlineParts(inl)
+	eval := func(fr *frame) (vm.Value, error) {
+		ptr := ptrRef.get(fr)
+		idxV := idxRef.get(fr)
+		v := valRef.get(fr)
+		if pos >= 0 {
+			fv, err := ie(fr)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			switch pos {
+			case 0:
+				ptr = fv
+			case 1:
+				idxV = fv
+			default:
+				v = fv
+			}
+		}
 		if ptr.Mem == nil {
-			return fmt.Errorf("astore through nil array")
+			return vm.Value{}, fmt.Errorf("astore through nil array")
 		}
-		idx := int(args[1].get(fr).AsInt()) + ptr.Off
+		idx := int(idxV.AsInt()) + ptr.Off
 		if idx < 0 || idx >= ptr.Mem.Len() {
-			return fmt.Errorf("astore index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
+			return vm.Value{}, fmt.Errorf("astore index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
 		}
-		fr.m.Counts.Add(OpScalarStore, 1)
 		fr.m.Touch(ptr.Mem, idx*ptr.Mem.Prim.Bits()/8, ptr.Mem.Prim.Bits()/8)
-		v := args[2].get(fr)
 		switch kind {
 		case ir.KindF32, ir.KindF64:
 			switch ptr.Mem.Prim.Bits() {
@@ -458,54 +735,76 @@ func (c *compiler) compileAStore(n *ir.Node) (op, error) {
 		default:
 			ptr.Mem.SetIntAt(idx, v.AsInt())
 		}
-		return nil
-	}, nil
+		return vm.Value{}, nil
+	}
+	return c.valNode(n, eval, countDelta{OpScalarStore, 1}), nil
 }
 
-func (c *compiler) compilePtrAdd(n *ir.Node) (op, error) {
-	args, err := c.refs(n.Def.Args)
+func (c *compiler) compilePtrAdd(n *ir.Node, inl *inline) (*valNode, error) {
+	args, err := c.fusedRefs(n.Def.Args, inl)
 	if err != nil {
 		return nil, err
 	}
-	dst := c.slot(n.Sym)
-	return func(fr *frame) error {
-		ptr := args[0].get(fr)
-		ptr.Off += int(args[1].get(fr).AsInt())
-		fr.m.Counts.Add(OpScalarALU, 1)
-		fr.regs[dst] = ptr
-		return nil
-	}, nil
-}
-
-func (c *compiler) compileConv(n *ir.Node) (op, error) {
-	src, err := c.ref(n.Def.Args[0])
-	if err != nil {
-		return nil, err
-	}
-	dst := c.slot(n.Sym)
-	to := n.Sym.Typ
-	return func(fr *frame) error {
-		fr.m.Counts.Add(OpScalarConv, 1)
-		fr.regs[dst] = convert(src.get(fr), to)
-		return nil
-	}, nil
-}
-
-func (c *compiler) compileSelect(n *ir.Node) (op, error) {
-	args, err := c.refs(n.Def.Args)
-	if err != nil {
-		return nil, err
-	}
-	dst := c.slot(n.Sym)
-	return func(fr *frame) error {
-		fr.m.Counts.Add(OpScalarALU, 1)
-		if args[0].get(fr).B {
-			fr.regs[dst] = args[1].get(fr)
-		} else {
-			fr.regs[dst] = args[2].get(fr)
+	ptrRef, idxRef := args[0], args[1]
+	ie, pos := inlineParts(inl)
+	eval := func(fr *frame) (vm.Value, error) {
+		ptr := ptrRef.get(fr)
+		idxV := idxRef.get(fr)
+		if pos >= 0 {
+			v, err := ie(fr)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			if pos == 0 {
+				ptr = v
+			} else {
+				idxV = v
+			}
 		}
-		return nil
-	}, nil
+		ptr.Off += int(idxV.AsInt())
+		return ptr, nil
+	}
+	return c.valNode(n, eval, countDelta{OpScalarALU, 1}), nil
+}
+
+func (c *compiler) compileConv(n *ir.Node, inl *inline) (*valNode, error) {
+	src, err := c.fusedRefs(n.Def.Args, inl)
+	if err != nil {
+		return nil, err
+	}
+	srcRef := src[0]
+	to := n.Sym.Typ
+	ie, _ := inlineParts(inl)
+	var eval evalFn
+	if ie != nil {
+		eval = func(fr *frame) (vm.Value, error) {
+			v, err := ie(fr)
+			if err != nil {
+				return vm.Value{}, err
+			}
+			return convert(v, to), nil
+		}
+	} else {
+		eval = func(fr *frame) (vm.Value, error) {
+			return convert(srcRef.get(fr), to), nil
+		}
+	}
+	return c.valNode(n, eval, countDelta{OpScalarConv, 1}), nil
+}
+
+func (c *compiler) compileSelect(n *ir.Node) (*valNode, error) {
+	args, err := c.refs(n.Def.Args)
+	if err != nil {
+		return nil, err
+	}
+	condRef, aRef, bRef := args[0], args[1], args[2]
+	eval := func(fr *frame) (vm.Value, error) {
+		if condRef.get(fr).B {
+			return aRef.get(fr), nil
+		}
+		return bRef.get(fr), nil
+	}
+	return c.valNode(n, eval, countDelta{OpScalarALU, 1}), nil
 }
 
 // convert implements scalar conversions with the target type's wrap
@@ -566,23 +865,34 @@ func truncInt(to ir.Type, raw int64) vm.Value {
 }
 
 // Run executes the program on machine m with the given arguments (one
-// per staged parameter, arrays as vm pointer values).
+// per staged parameter, arrays as vm pointer values). Frames come from a
+// pool, so steady-state execution allocates nothing; concurrent Runs of
+// one Program are safe (each holds a private frame).
 func (p *Program) Run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
 	if len(args) != len(p.params) {
 		return vm.Value{}, fmt.Errorf("kernelc: %s: got %d arguments, want %d",
 			p.F.Name, len(args), len(p.params))
 	}
-	fr := &frame{regs: make([]vm.Value, p.nRegs), m: m}
+	fr := p.pool.Get().(*frame)
+	fr.m = m
 	for i, slot := range p.params {
 		fr.regs[slot] = args[i]
 	}
 	for _, o := range p.ops {
 		if err := o(fr); err != nil {
+			fr.m = nil
+			p.pool.Put(fr)
 			return vm.Value{}, fmt.Errorf("kernelc: %s: %w", p.F.Name, err)
 		}
 	}
-	if p.result != nil {
-		return p.result.get(fr), nil
+	for _, cd := range p.rootCounts {
+		m.Counts.Add(cd.key, cd.n)
 	}
-	return vm.Value{}, nil
+	var out vm.Value
+	if p.result != nil {
+		out = p.result.get(fr)
+	}
+	fr.m = nil
+	p.pool.Put(fr)
+	return out, nil
 }

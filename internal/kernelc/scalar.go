@@ -8,16 +8,17 @@ import (
 )
 
 // compileScalar lowers the host-language scalar vocabulary (add, mul,
-// compares, bit ops) interleaved between intrinsic calls.
-func (c *compiler) compileScalar(n *ir.Node) (op, error) {
+// compares, bit ops) interleaved between intrinsic calls. An inlined
+// producer replaces the operand at inl.pos (superinstruction fusion).
+func (c *compiler) compileScalar(n *ir.Node, inl *inline) (*valNode, error) {
 	d := n.Def
-	args, err := c.refs(d.Args)
+	args, err := c.fusedRefs(d.Args, inl)
 	if err != nil {
 		return nil, err
 	}
-	dst := c.slot(n.Sym)
 	t := d.Typ
 	cost := scalarCost(d.Op, t)
+	ie, pos := inlineParts(inl)
 
 	switch len(args) {
 	case 1:
@@ -26,11 +27,21 @@ func (c *compiler) compileScalar(n *ir.Node) (op, error) {
 			return nil, err
 		}
 		a := args[0]
-		return func(fr *frame) error {
-			fr.m.Counts.Add(cost, 1)
-			fr.regs[dst] = fn(a.get(fr))
-			return nil
-		}, nil
+		var eval evalFn
+		if ie != nil {
+			eval = func(fr *frame) (vm.Value, error) {
+				av, err := ie(fr)
+				if err != nil {
+					return vm.Value{}, err
+				}
+				return fn(av), nil
+			}
+		} else {
+			eval = func(fr *frame) (vm.Value, error) {
+				return fn(a.get(fr)), nil
+			}
+		}
+		return c.valNode(n, eval, countDelta{cost, 1}), nil
 	case 2:
 		// Comparisons evaluate at the operand type, not the bool result
 		// type.
@@ -43,11 +54,30 @@ func (c *compiler) compileScalar(n *ir.Node) (op, error) {
 			return nil, err
 		}
 		a, b := args[0], args[1]
-		return func(fr *frame) error {
-			fr.m.Counts.Add(cost, 1)
-			fr.regs[dst] = fn(a.get(fr), b.get(fr))
-			return nil
-		}, nil
+		var eval evalFn
+		switch pos {
+		case 0:
+			eval = func(fr *frame) (vm.Value, error) {
+				av, err := ie(fr)
+				if err != nil {
+					return vm.Value{}, err
+				}
+				return fn(av, b.get(fr)), nil
+			}
+		case 1:
+			eval = func(fr *frame) (vm.Value, error) {
+				bv, err := ie(fr)
+				if err != nil {
+					return vm.Value{}, err
+				}
+				return fn(a.get(fr), bv), nil
+			}
+		default:
+			eval = func(fr *frame) (vm.Value, error) {
+				return fn(a.get(fr), b.get(fr)), nil
+			}
+		}
+		return c.valNode(n, eval, countDelta{cost, 1}), nil
 	default:
 		return nil, fmt.Errorf("scalar op %s with %d args", d.Op, len(args))
 	}

@@ -69,6 +69,14 @@ func (c Counter) Ops() []string {
 	return out
 }
 
+// Merge adds every count from o into c (parallel sweep workers count on
+// private machines and merge after the barrier).
+func (c Counter) Merge(o Counter) {
+	for k, v := range o {
+		c[k] += v
+	}
+}
+
 // Clone copies the counter.
 func (c Counter) Clone() Counter {
 	out := make(Counter, len(c))

@@ -212,6 +212,95 @@ func (b *Buffer) UnpinI32(xs []int32) {
 	}
 }
 
+// --- allocation-free re-pinning ---------------------------------------------
+//
+// The Repin* variants reuse a previously allocated buffer when its shape
+// matches (same primitive, same element count) and only then fall back
+// to a fresh allocation. The runtime's Kernel.Call keeps one buffer per
+// argument position, so steady-state invocation copies data without
+// allocating — the pinned-array reuse a JVM's critical regions give the
+// paper's pipeline.
+
+// reusable reports whether b can hold a pin of n elements of p.
+func reusable(b *Buffer, p isa.Prim, n int) bool {
+	return b != nil && b.Prim == p && b.Len() == n
+}
+
+// RepinF32 copies xs into b when shapes match, else into a new buffer.
+func RepinF32(b *Buffer, xs []float32) *Buffer {
+	if !reusable(b, isa.PrimF32, len(xs)) {
+		b = NewBuffer(isa.PrimF32, len(xs))
+	}
+	for i, x := range xs {
+		b.SetF32At(i, x)
+	}
+	return b
+}
+
+// RepinF64 copies xs into b when shapes match, else into a new buffer.
+func RepinF64(b *Buffer, xs []float64) *Buffer {
+	if !reusable(b, isa.PrimF64, len(xs)) {
+		b = NewBuffer(isa.PrimF64, len(xs))
+	}
+	for i, x := range xs {
+		b.SetF64At(i, x)
+	}
+	return b
+}
+
+// RepinI8 copies xs into b when shapes match, else into a new buffer.
+func RepinI8(b *Buffer, xs []int8) *Buffer {
+	if !reusable(b, isa.PrimI8, len(xs)) {
+		b = NewBuffer(isa.PrimI8, len(xs))
+	}
+	for i, x := range xs {
+		b.Data[i] = byte(x)
+	}
+	return b
+}
+
+// RepinU8 copies xs into b when shapes match, else into a new buffer.
+func RepinU8(b *Buffer, xs []uint8) *Buffer {
+	if !reusable(b, isa.PrimU8, len(xs)) {
+		b = NewBuffer(isa.PrimU8, len(xs))
+	}
+	copy(b.Data, xs)
+	return b
+}
+
+// RepinI16 copies xs into b when shapes match, else into a new buffer.
+func RepinI16(b *Buffer, xs []int16) *Buffer {
+	if !reusable(b, isa.PrimI16, len(xs)) {
+		b = NewBuffer(isa.PrimI16, len(xs))
+	}
+	for i, x := range xs {
+		b.SetIntAt(i, int64(x))
+	}
+	return b
+}
+
+// RepinU16 copies xs into b when shapes match, else into a new buffer.
+func RepinU16(b *Buffer, xs []uint16) *Buffer {
+	if !reusable(b, isa.PrimU16, len(xs)) {
+		b = NewBuffer(isa.PrimU16, len(xs))
+	}
+	for i, x := range xs {
+		b.SetIntAt(i, int64(x))
+	}
+	return b
+}
+
+// RepinI32 copies xs into b when shapes match, else into a new buffer.
+func RepinI32(b *Buffer, xs []int32) *Buffer {
+	if !reusable(b, isa.PrimI32, len(xs)) {
+		b = NewBuffer(isa.PrimI32, len(xs))
+	}
+	for i, x := range xs {
+		b.SetIntAt(i, int64(x))
+	}
+	return b
+}
+
 // --- runtime values -----------------------------------------------------------
 
 // Value is one runtime value in the kernel interpreter: a scalar, a
