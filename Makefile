@@ -1,13 +1,14 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, tests, and the race detector over the concurrency-bearing
-# packages (compile cache, parallel sweeps, pooled interpreter frames).
+# build, tests, the race detector over the concurrency-bearing packages
+# (compile cache, parallel sweeps, pooled interpreter frames), and the
+# package-documentation check.
 
 GO ?= go
 RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc
 
-.PHONY: ci fmt vet build test race bench
+.PHONY: ci fmt vet build test race bench docs
 
-ci: fmt vet build test race
+ci: fmt vet build test race docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -27,3 +28,14 @@ race:
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# Every internal package must carry a godoc package comment
+# ("// Package <name> ..."), canonically in its doc.go.
+docs:
+	@missing=; for d in internal/*/; do \
+		p=$$(basename $$d); \
+		grep -qs "^// Package $$p" $$d*.go || missing="$$missing $$p"; \
+	done; \
+	if [ -n "$$missing" ]; then \
+		echo "missing package doc comment:$$missing"; exit 1; \
+	else echo "package docs: all $$(ls -d internal/*/ | wc -l) internal packages documented"; fi

@@ -13,6 +13,19 @@
 //	ngen speedups [-quick]   # headline "up to N×" factors
 //	ngen warmup              # tiered-compilation trace (interpreter → C1 → C2)
 //	ngen all   [-quick]      # everything
+//	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
+//	                         # print per-stage time totals, compile-cache and
+//	                         # frame-pool statistics, and top op counters
+//
+// Observability (see docs/OBSERVABILITY.md):
+//
+//	-trace out.trace         # write a Chrome trace_event file of the run
+//	                         # (load in about://tracing or ui.perfetto.dev)
+//	-metrics                 # print the metrics registry as JSON after the run
+//
+// Without these flags experiment output is byte-identical to an
+// uninstrumented build: the tracer and registry stay nil and every
+// instrumentation point is an allocation-free no-op.
 package main
 
 import (
@@ -21,31 +34,48 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/cachesim"
 	"repro/internal/hotspot"
 	"repro/internal/isa"
+	"repro/internal/kernelc"
 	"repro/internal/kernels"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vm"
 	"repro/internal/xmlspec"
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] {platform|warmup|cache|slp|table1b|table3|fig6a|fig6b|fig7|speedups|all}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-trace file] [-metrics] {platform|warmup|cache|slp|table1b|table3|fig6a|fig6b|fig7|speedups|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
 	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this file")
+	metrics := flag.Bool("metrics", false, "print the metrics registry as JSON after the run")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	statsCmd := cmd == "stats"
+	target := cmd
+	if statsCmd {
+		target = flag.Arg(1)
+		if target == "" {
+			// Bare `ngen stats`: profile a quick SAXPY sweep.
+			target = "fig6a"
+			*quick = true
+		}
 	}
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -62,7 +92,45 @@ func main() {
 			f.Close()
 		}()
 	}
-	err := run(cmd, *quick, *workers)
+
+	// Observability is opt-in: without these flags the tracer and
+	// registry stay nil, instrumentation no-ops, and experiment output
+	// is byte-identical to an unobserved run.
+	var tr *obs.Tracer
+	var reg *obs.Registry
+	if *traceFile != "" || *metrics || statsCmd {
+		tr = obs.New()
+		reg = obs.NewRegistry()
+	}
+	inspect := tr.Start("ngen.inspect")
+	s := bench.NewSuite()
+	inspect.End()
+	s.Attach(tr, reg)
+	s.Workers = *workers
+	if *quick {
+		s.MaxRunLinear = 1 << 11
+		s.MaxRunCubic = 32
+		s.Reps = 1
+	}
+
+	root := tr.Start("ngen." + target)
+	err := run(s, target, *quick)
+	root.End()
+
+	if err == nil && *traceFile != "" {
+		if werr := writeTrace(tr, *traceFile); werr != nil {
+			err = werr
+		}
+	}
+	if err == nil && statsCmd {
+		printStats(s, tr, reg)
+	}
+	if err == nil && *metrics {
+		s.PublishMetrics()
+		if werr := reg.WriteJSON(os.Stdout); werr != nil {
+			err = werr
+		}
+	}
 	if *memprofile != "" {
 		f, merr := os.Create(*memprofile)
 		if merr != nil {
@@ -85,14 +153,103 @@ func main() {
 	}
 }
 
-func run(cmd string, quick bool, workers int) error {
-	s := bench.NewSuite()
-	s.Workers = workers
-	if quick {
-		s.MaxRunLinear = 1 << 11
-		s.MaxRunCubic = 32
-		s.Reps = 1
+// writeTrace dumps the recorded spans in Chrome trace_event format.
+func writeTrace(tr *obs.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
 	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// printStats renders the operator report: where the time went
+// (per-stage totals aggregated over the trace), cache and frame-pool
+// effectiveness, and the heaviest dynamic op counters.
+func printStats(s *bench.Suite, tr *obs.Tracer, reg *obs.Registry) {
+	s.PublishMetrics()
+	snap := reg.Snapshot()
+
+	fmt.Println()
+	fmt.Println("ngen stats")
+	fmt.Println("==========")
+
+	// Collapse indexed spans (point#0, point#1, …) into one row each.
+	agg := map[string]*obs.StageTotal{}
+	var order []string
+	for _, st := range tr.Totals() {
+		name := st.Name
+		if i := strings.IndexByte(name, '#'); i >= 0 {
+			name = name[:i]
+		}
+		a, ok := agg[name]
+		if !ok {
+			a = &obs.StageTotal{Name: name}
+			agg[name] = a
+			order = append(order, name)
+		}
+		a.Count += st.Count
+		a.Total += st.Total
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return agg[order[i]].Total > agg[order[j]].Total
+	})
+	fmt.Println("Per-stage totals (aggregated over the trace):")
+	fmt.Printf("  %-28s %8s %14s %14s\n", "stage", "count", "total", "mean")
+	for _, name := range order {
+		st := agg[name]
+		fmt.Printf("  %-28s %8d %14s %14s\n", st.Name, st.Count,
+			st.Total.Round(time.Microsecond),
+			(st.Total / time.Duration(st.Count)).Round(time.Microsecond))
+	}
+	fmt.Printf("  trace coverage: %.1f%% of %s wall\n",
+		100*tr.Coverage(), tr.Wall().Round(time.Millisecond))
+
+	cs := s.RT.CacheStats()
+	fmt.Printf("Compile cache:  %d hits, %d misses, %d entries\n",
+		cs.Hits, cs.Misses, cs.Entries)
+	gets, news := kernelc.PoolStats()
+	hitRate := 0.0
+	if gets > 0 {
+		hitRate = 100 * float64(gets-news) / float64(gets)
+	}
+	fmt.Printf("Frame pool:     %d checkouts, %d fresh allocations (%.1f%% recycled)\n",
+		gets, news, hitRate)
+	if w := snap.Gauges["bench.sweep.workers"]; w > 0 {
+		fmt.Printf("Sweep workers:  %d (last sweep), %d points measured\n",
+			w, snap.Counters["bench.points"])
+	}
+
+	// Heaviest dynamic ops across all sweeps and validation runs.
+	type opCount struct {
+		op string
+		n  int64
+	}
+	var ops []opCount
+	for name, v := range snap.Gauges {
+		if op, ok := strings.CutPrefix(name, "vm.op."); ok {
+			ops = append(ops, opCount{op, v})
+		}
+	}
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].n != ops[j].n {
+			return ops[i].n > ops[j].n
+		}
+		return ops[i].op < ops[j].op
+	})
+	if len(ops) > 12 {
+		ops = ops[:12]
+	}
+	fmt.Println("Top dynamic op counts:")
+	for _, oc := range ops {
+		fmt.Printf("  %-28s %14d\n", oc.op, oc.n)
+	}
+}
+
+func run(s *bench.Suite, cmd string, quick bool) error {
 	switch cmd {
 	case "platform":
 		fmt.Println(s.RT.SystemReport())

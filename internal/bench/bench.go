@@ -23,6 +23,7 @@ import (
 	"repro/internal/hotspot"
 	"repro/internal/ir"
 	"repro/internal/isa"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -82,6 +83,13 @@ type Suite struct {
 	// merged after each sweep's barrier. Totals are independent of
 	// Workers.
 	SweepCounts vm.Counter
+	// Tracer and Metrics, when attached (see Attach), record one span
+	// per sweep and per size point — with the runtime's compile and
+	// call spans nested under the point that triggered them — and the
+	// sweep-worker utilization metrics. Nil by default; a nil tracer
+	// and registry cost nothing.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // NewSuite builds the default Haswell suite.
@@ -95,6 +103,30 @@ func NewSuite() *Suite {
 		Workers:      1,
 		SweepCounts:  vm.Counter{},
 	}
+}
+
+// Attach wires an observability sink into the suite and its NGen
+// runtime. Sweeps then trace (sweep → point#i → compile/call spans) and
+// PublishMetrics fills the registry.
+func (s *Suite) Attach(tr *obs.Tracer, reg *obs.Registry) {
+	s.Tracer, s.Metrics = tr, reg
+	s.RT.Tracer, s.RT.Metrics = tr, reg
+}
+
+// PublishMetrics pushes every accumulated statistic into the attached
+// registry: compile-cache and frame-pool state via the runtime, and the
+// merged sweep instruction counts (plus any counts on the suite's own
+// machine, e.g. from the cache-validation run) under vm.op.*.
+// Idempotent — call it right before snapshotting. No-op when no
+// registry is attached.
+func (s *Suite) PublishMetrics() {
+	if s.Metrics == nil {
+		return
+	}
+	s.RT.PublishMetrics()
+	merged := s.SweepCounts.Clone()
+	merged.Merge(s.RT.Machine.Counts)
+	merged.Publish(s.Metrics, "vm.op.")
 }
 
 // scaleCounts multiplies every count by factor, except the fixed

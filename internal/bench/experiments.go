@@ -60,8 +60,9 @@ func (s *Suite) Fig6a(sizes []int) ([]Series, error) {
 		}
 	}
 
-	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+	err := s.forEachPoint("sweep:fig6a", len(jobs), func(i int, w *sweepWorker) error {
 		jb := jobs[i]
+		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n))
 		kn, err := w.kernel("saxpy", func() (*dsl.Kernel, error) {
 			return kernels.StagedSaxpy(s.RT.Arch.Features), nil
 		})
@@ -129,8 +130,9 @@ func (s *Suite) Fig6b(sizes []int) ([]Series, error) {
 		}
 	}
 
-	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+	err := s.forEachPoint("sweep:fig6b", len(jobs), func(i int, w *sweepWorker) error {
 		jb := jobs[i]
+		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n))
 		kn, err := w.kernel("mmm", func() (*dsl.Kernel, error) {
 			return kernels.StagedMMM(s.RT.Arch.Features), nil
 		})
@@ -225,8 +227,14 @@ func (s *Suite) Fig7(sizes []int) ([]Series, error) {
 		}
 	}
 
-	err := s.forEachPoint(len(jobs), func(i int, w *sweepWorker) error {
+	err := s.forEachPoint("sweep:fig7", len(jobs), func(i int, w *sweepWorker) error {
 		jb := jobs[i]
+		series := "lms"
+		if jb.java {
+			series = "java"
+		}
+		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n)).
+			SetAttr("bits", fmt.Sprint(jb.bits)).SetAttr("series", series)
 		if jb.java {
 			m, err := w.method(fmt.Sprintf("java-dot-%d", jb.bits), func() (*ir.Func, error) {
 				return kernels.JavaDot(jb.bits, s.RT.Arch.Features)

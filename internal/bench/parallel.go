@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/hotspot"
 	"repro/internal/ir"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -22,16 +24,19 @@ import (
 // the serial harness.
 type sweepWorker struct {
 	s       *Suite
+	id      int
 	rt      *core.Runtime
 	jvm     *hotspot.VM
 	total   vm.Counter
+	points  int64
 	kernels map[string]*core.Kernel
 	methods map[string]*hotspot.Method
 }
 
-func (s *Suite) newWorker() *sweepWorker {
+func (s *Suite) newWorker(id int) *sweepWorker {
 	return &sweepWorker{
 		s:       s,
+		id:      id,
 		rt:      s.RT.Fork(),
 		jvm:     hotspot.NewVM(s.JVM.Arch),
 		total:   vm.Counter{},
@@ -130,7 +135,16 @@ func (w *sweepWorker) measureJava(m *hotspot.Method, n, runN int, flops func(int
 // merged counts match a serial run exactly. The single-worker path runs
 // inline through the same worker code, guaranteeing -j 1 and -j N
 // produce identical output.
-func (s *Suite) forEachPoint(points int, fn func(i int, w *sweepWorker) error) error {
+//
+// Tracing: the sweep opens one span named name, with one point#i child
+// per size point created up front in index order — the span tree's
+// structure is therefore identical at every worker count (the
+// determinism tests compare skeletons). Each point span is Restarted
+// when a worker picks it up, so its interval is the real execution
+// window, and carries the worker's lane for the Chrome trace. The
+// once-per-worker compile spans nest under whichever point a worker
+// measured first — the only scheduling-dependent part of the tree.
+func (s *Suite) forEachPoint(name string, points int, fn func(i int, w *sweepWorker) error) error {
 	nw := s.Workers
 	if nw < 1 {
 		nw = 1
@@ -141,9 +155,17 @@ func (s *Suite) forEachPoint(points int, fn func(i int, w *sweepWorker) error) e
 	if points == 0 {
 		return nil
 	}
+	sweep := s.Tracer.Start(name)
+	sweep.SetAttr("points", strconv.Itoa(points)).SetAttr("workers", strconv.Itoa(nw))
+	defer sweep.End()
+	pointSpans := make([]*obs.Span, points)
+	for i := range pointSpans {
+		pointSpans[i] = sweep.Child("point#" + strconv.Itoa(i))
+	}
+
 	workers := make([]*sweepWorker, nw)
 	for i := range workers {
-		workers[i] = s.newWorker()
+		workers[i] = s.newWorker(i)
 	}
 	defer func() {
 		if s.SweepCounts == nil {
@@ -151,13 +173,29 @@ func (s *Suite) forEachPoint(points int, fn func(i int, w *sweepWorker) error) e
 		}
 		for _, w := range workers {
 			s.SweepCounts.Merge(w.total)
+			s.Metrics.Histogram("bench.worker.points").Observe(w.points)
 		}
+		s.Metrics.Counter("bench.points").Add(int64(points))
+		s.Metrics.Gauge("bench.sweep.workers").Set(int64(nw))
 	}()
+
+	// measure runs point i on worker w with the point span as the
+	// worker runtime's span parent.
+	measure := func(i int, w *sweepWorker) error {
+		sp := pointSpans[i]
+		sp.Restart().SetTid(w.id + 1)
+		w.rt.Span = sp
+		err := fn(i, w)
+		w.rt.Span = nil
+		sp.End()
+		w.points++
+		return err
+	}
 
 	if nw == 1 {
 		w := workers[0]
 		for i := 0; i < points; i++ {
-			if err := fn(i, w); err != nil {
+			if err := measure(i, w); err != nil {
 				return err
 			}
 		}
@@ -183,7 +221,7 @@ func (s *Suite) forEachPoint(points int, fn func(i int, w *sweepWorker) error) e
 			if failed.Load() {
 				return
 			}
-			if err := fn(i, w); err != nil {
+			if err := measure(i, w); err != nil {
 				failed.Store(true)
 				mu.Lock()
 				if firstErr == nil {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/ir"
 	"repro/internal/isa"
 	"repro/internal/kernelc"
+	"repro/internal/obs"
 	"repro/internal/vm"
 )
 
@@ -40,6 +41,28 @@ type Runtime struct {
 	// Cache memoizes compiled artifacts. Forked runtimes share it; set
 	// it to nil to force every Compile through the full pipeline.
 	Cache *CompileCache
+	// Tracer and Metrics, when set, receive a span per pipeline stage
+	// (ngen.compile → cgen.emit / kernelc.compile / toolchain.link, and
+	// call:<kernel> per invocation) and the cache hit/miss counters.
+	// Both are nil by default: the disabled obs fast path costs nothing
+	// on the Call hot path.
+	Tracer  *obs.Tracer
+	Metrics *obs.Registry
+	// Span, when set, parents this runtime's stage spans — the bench
+	// harness points it at the current sweep-point span so compiles and
+	// calls nest under the point that triggered them. With Span nil,
+	// stage spans are top-level on Tracer.
+	Span *obs.Span
+}
+
+// span opens one pipeline-stage span under the runtime's current
+// parent. Nil-safe throughout: with no tracer attached it returns a nil
+// span whose methods no-op without allocating.
+func (rt *Runtime) span(name string) *obs.Span {
+	if rt.Span != nil {
+		return rt.Span.Child(name)
+	}
+	return rt.Tracer.Start(name)
 }
 
 // NewRuntime inspects the (simulated) system: CPUID via the
@@ -63,13 +86,16 @@ func DefaultRuntime() *Runtime {
 	return rt
 }
 
-// Fork returns a runtime sharing this one's architecture, toolchain and
-// compile cache but owning a private machine (counter, RNG, cache sim).
-// Parallel sweep workers each fork the suite runtime so their counts
-// never race while compiled artifacts are still shared.
+// Fork returns a runtime sharing this one's architecture, toolchain,
+// compile cache and observability sinks but owning a private machine
+// (counter, RNG, cache sim). Parallel sweep workers each fork the suite
+// runtime so their counts never race while compiled artifacts are still
+// shared; the fork's Span starts nil so each worker re-parents its own
+// spans.
 func (rt *Runtime) Fork() *Runtime {
 	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
-		Machine: vm.NewMachine(rt.Arch), Cache: rt.Cache}
+		Machine: vm.NewMachine(rt.Arch), Cache: rt.Cache,
+		Tracer: rt.Tracer, Metrics: rt.Metrics}
 }
 
 // NewKernel starts staging a kernel against this runtime's detected
@@ -165,6 +191,28 @@ func (rt *Runtime) CacheStats() CacheStats {
 	return rt.Cache.Stats()
 }
 
+// PublishMetrics syncs every snapshot-style statistic into the attached
+// registry: the authoritative compile-cache totals (gauges — the live
+// ngen.cache.hit/miss counters only see compiles made through
+// metric-attached runtimes), the interpreter frame-pool traffic, and
+// the machine's dynamic op counts under vm.op.*. Idempotent; the
+// harness calls it right before each metrics snapshot. No-op without a
+// registry.
+func (rt *Runtime) PublishMetrics() {
+	r := rt.Metrics
+	if r == nil {
+		return
+	}
+	st := rt.CacheStats()
+	r.Gauge("ngen.cache.hits").Set(st.Hits)
+	r.Gauge("ngen.cache.misses").Set(st.Misses)
+	r.Gauge("ngen.cache.entries").Set(int64(st.Entries))
+	gets, news := kernelc.PoolStats()
+	r.Gauge("kernelc.pool.gets").Set(gets)
+	r.Gauge("kernelc.pool.news").Set(news)
+	rt.Machine.Counts.Publish(r, "vm.op.")
+}
+
 // Kernel is a compiled, callable kernel. The zero-allocation Call path
 // reuses per-kernel conversion scratch, so a Kernel must not be Called
 // from multiple goroutines at once — compile (cheap on cache hits) one
@@ -172,6 +220,11 @@ func (rt *Runtime) CacheStats() CacheStats {
 type Kernel struct {
 	rt  *Runtime
 	art *artifact
+
+	// Observability: the precomputed span name ("call:<kernel>") and the
+	// invocation counter (nil when metrics are disabled).
+	spanName string
+	calls    *obs.Counter
 
 	// Reused argument-conversion state for Call: value boxes, pin
 	// records, and one pinned buffer per argument position.
@@ -186,16 +239,19 @@ type Kernel struct {
 // microarch, toolchain); repeat compiles of a structurally identical
 // kernel return a fresh Kernel wrapping the cached artifact.
 func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
+	sp := rt.span("ngen.compile")
+	defer sp.End()
+	sp.SetAttr("kernel", k.Name()).SetAttr("arch", rt.Arch.Name)
 	if miss := k.MissingISAs(); len(miss) > 0 {
 		return nil, fmt.Errorf("core: %s uses unavailable ISAs:\n  %s",
 			k.Name(), strings.Join(miss, "\n  "))
 	}
 	if rt.Cache == nil {
-		art, err := rt.build(k)
+		art, err := rt.build(k, sp)
 		if err != nil {
 			return nil, err
 		}
-		return &Kernel{rt: rt, art: art}, nil
+		return rt.newKernel(art), nil
 	}
 	key := cacheKey{
 		hash:      ir.Hash(k.F),
@@ -203,34 +259,56 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 		arch:      rt.Arch.Name,
 		toolchain: rt.Toolchain.Name + " " + rt.Toolchain.Version,
 	}
+	if sp != nil {
+		sp.SetAttr("hash", fmt.Sprintf("%016x", key.hash))
+	}
 	art, ok := rt.Cache.lookup(key)
-	if !ok {
+	if ok {
+		sp.SetAttr("cache", "hit")
+		rt.Metrics.Counter("ngen.cache.hit").Add(1)
+	} else {
+		sp.SetAttr("cache", "miss")
+		rt.Metrics.Counter("ngen.cache.miss").Add(1)
 		var err error
-		art, err = rt.build(k)
+		art, err = rt.build(k, sp)
 		if err != nil {
 			return nil, err
 		}
 		art = rt.Cache.insert(key, art)
 	}
-	return &Kernel{rt: rt, art: art}, nil
+	return rt.newKernel(art), nil
 }
 
-// build runs the uncached pipeline.
-func (rt *Runtime) build(k *dsl.Kernel) (*artifact, error) {
+// newKernel wraps an artifact for this runtime, precomputing the
+// per-call span name so the Call hot path never concatenates.
+func (rt *Runtime) newKernel(art *artifact) *Kernel {
+	return &Kernel{rt: rt, art: art, spanName: "call:" + art.f.Name,
+		calls: rt.Metrics.Counter("ngen.kernel.call")}
+}
+
+// build runs the uncached pipeline, one child span per stage.
+func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
+	sp := parent.Child("cgen.emit")
 	src, err := cgen.Emit(k.F, cgen.Options{JNI: true, Package: "ch.ethz.acl.ngen", Class: "NKernel"})
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = parent.Child("kernelc.compile")
 	prog, err := kernelc.Compile(k.F)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = parent.Child("toolchain.link")
 	lib := "lib" + k.Name() + ".so"
+	command := rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib)
+	sp.End()
 	return &artifact{
 		f:       k.F,
 		prog:    prog,
 		source:  src,
-		command: rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib),
+		command: command,
 	}, nil
 }
 
@@ -290,6 +368,8 @@ func (p *pinnedArg) copyBack() {
 // value boxes and pinned buffers are owned by the Kernel and reused
 // across calls, so steady-state invocation does not allocate.
 func (kn *Kernel) Call(args ...any) (vm.Value, error) {
+	sp := kn.rt.span(kn.spanName)
+	kn.calls.Add(1)
 	m := kn.rt.Machine
 	if cap(kn.vals) < len(args) {
 		kn.vals = make([]vm.Value, len(args))
@@ -358,6 +438,7 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 	for i := range kn.pins {
 		kn.pins[i].copyBack()
 	}
+	sp.End()
 	return out, err
 }
 
@@ -365,8 +446,12 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 // benchmark harness pins buffers once and reuses them across
 // repetitions). One JNI crossing is still counted per invocation.
 func (kn *Kernel) CallValues(args ...vm.Value) (vm.Value, error) {
+	sp := kn.rt.span(kn.spanName)
+	kn.calls.Add(1)
 	kn.rt.Machine.Counts.Add(JNICall, 1)
-	return kn.art.prog.Run(kn.rt.Machine, args...)
+	out, err := kn.art.prog.Run(kn.rt.Machine, args...)
+	sp.End()
+	return out, err
 }
 
 // MustCall is Call that panics on error (examples and benchmarks).

@@ -1,0 +1,12 @@
+// Package ir implements the staged computation-graph intermediate
+// representation at the heart of the reproduction — the analog of the LMS
+// (Lightweight Modular Staging) layer the paper builds on (Section 2.3).
+//
+// Programs written against the staged frontend do not execute when
+// invoked; they append nodes to a Graph. Expressions (Exp) are either
+// constants or symbols referring to definitions (Def) held in static
+// single assignment form; effectful definitions (loads, stores, mutable
+// array writes) carry an Effect so the scheduler preserves their order,
+// and pure definitions are deduplicated by structural CSE — exactly the
+// Def[T]/Exp[T] + effects architecture the paper describes in Section 3.2.
+package ir

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ir"
 	"repro/internal/vm"
@@ -75,6 +76,28 @@ type Program struct {
 // FusedOps returns how many producer nodes were fused into their
 // consumers (for tests and diagnostics).
 func (p *Program) FusedOps() int { return p.fused }
+
+// Frame-pool traffic across all programs: gets counts every Run's frame
+// checkout, news counts the checkouts the pool had to satisfy with a
+// fresh allocation. The gap is the pool hit rate the observability
+// layer reports (obs metric kernelc.pool.*); steady state news stays
+// flat while gets grows.
+var (
+	poolGets atomic.Int64
+	poolNews atomic.Int64
+)
+
+// PoolStats returns cumulative frame-pool checkouts and fresh
+// allocations since process start (or the last ResetPoolStats).
+func PoolStats() (gets, news int64) {
+	return poolGets.Load(), poolNews.Load()
+}
+
+// ResetPoolStats zeroes the pool counters (tests).
+func ResetPoolStats() {
+	poolGets.Store(0)
+	poolNews.Store(0)
+}
 
 type frame struct {
 	regs    []vm.Value
@@ -231,6 +254,7 @@ func compileWith(f *ir.Func, fuse bool) (*Program, error) {
 	p.scratchLen = c.scratchNext
 	p.fused = c.fused
 	p.pool.New = func() any {
+		poolNews.Add(1)
 		return &frame{
 			regs:    make([]vm.Value, p.nRegs),
 			scratch: make([]vm.Value, p.scratchLen),
@@ -873,6 +897,7 @@ func (p *Program) Run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
 		return vm.Value{}, fmt.Errorf("kernelc: %s: got %d arguments, want %d",
 			p.F.Name, len(args), len(p.params))
 	}
+	poolGets.Add(1)
 	fr := p.pool.Get().(*frame)
 	fr.m = m
 	for i, slot := range p.params {

@@ -1,9 +1,3 @@
-// Package kernels stages the paper's benchmark kernels: SAXPY (Figure 4)
-// and blocked matrix-matrix multiplication (Figure 5) against AVX+FMA,
-// the Section 4 variable-precision dot products against AVX2+FP16C, and
-// their plain-Java counterparts that the simulated HotSpot baseline
-// (internal/hotspot) compiles with SLP. Pure-Go reference
-// implementations validate every kernel's output.
 package kernels
 
 import (

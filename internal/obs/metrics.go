@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The nil *Counter (what
+// a nil *Registry hands out) ignores Add and loads zero.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Load returns the current value.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a point-in-time value (set, not accumulated).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set records the gauge's current value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Load returns the last set value.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram accumulates observations into power-of-two buckets:
+// bucket i counts values v with bits.Len64(v) == i, i.e. [2^(i-1), 2^i).
+// Good enough to see the shape of duration and size distributions
+// without configuration.
+type Histogram struct {
+	mu       sync.Mutex
+	count    int64
+	sum      int64
+	min, max int64
+	buckets  [65]int64
+}
+
+// Observe records one value (negative values clamp to zero).
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.mu.Lock()
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bits.Len64(uint64(v))]++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a point-in-time histogram view.
+type HistSnapshot struct {
+	Count, Sum, Min, Max int64
+	// Buckets maps the inclusive upper bound 2^i-1 → count, zero
+	// buckets omitted.
+	Buckets map[int64]int64
+}
+
+// Mean returns the average observation (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := HistSnapshot{Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+		Buckets: map[int64]int64{}}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		bound := int64(math.MaxInt64) // top buckets clamp to MaxInt64
+		if i < 63 {
+			bound = int64(1)<<i - 1
+		}
+		out.Buckets[bound] = n
+	}
+	return out
+}
+
+// Registry is the metric namespace: get-or-create typed instruments by
+// name. A nil *Registry is disabled — every accessor returns nil, and
+// the nil instruments no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an enabled, empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a deterministic point-in-time view of every instrument.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistSnapshot
+}
+
+// Snapshot captures all instruments.
+func (r *Registry) Snapshot() Snapshot {
+	out := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{},
+		Hists: map[string]HistSnapshot{}}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		out.Counters[k] = c.Load()
+	}
+	for k, g := range gauges {
+		out.Gauges[k] = g.Load()
+	}
+	for k, h := range hists {
+		out.Hists[k] = h.Snapshot()
+	}
+	return out
+}
+
+// WriteJSON renders the registry as one expvar-style JSON object with
+// sorted keys, so snapshots diff cleanly run-to-run.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := r.Snapshot()
+	var b strings.Builder
+	b.WriteString("{\n  \"counters\": {")
+	writeSortedInts(&b, s.Counters)
+	b.WriteString("},\n  \"gauges\": {")
+	writeSortedInts(&b, s.Gauges)
+	b.WriteString("},\n  \"histograms\": {")
+	names := make([]string, 0, len(s.Hists))
+	for k := range s.Hists {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		h := s.Hists[k]
+		fmt.Fprintf(&b, "\n    %q: {\"count\": %d, \"sum\": %d, \"min\": %d, \"max\": %d, \"mean\": %.1f}",
+			k, h.Count, h.Sum, h.Min, h.Max, h.Mean())
+	}
+	if len(names) > 0 {
+		b.WriteString("\n  ")
+	}
+	b.WriteString("}\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSortedInts(b *strings.Builder, m map[string]int64) {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(b, "\n    %q: %d", k, m[k])
+	}
+	if len(names) > 0 {
+		b.WriteString("\n  ")
+	}
+}

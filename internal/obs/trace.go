@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Tracer records a tree of timed spans against one monotonic epoch.
+// All mutation goes through the tracer's lock, so spans may be opened
+// and closed from concurrent sweep workers; child order under one
+// parent is the order Child was called.
+//
+// A nil *Tracer is the disabled tracer: Start returns a nil *Span and
+// every *Span method on nil is an allocation-free no-op.
+type Tracer struct {
+	mu    sync.Mutex
+	epoch time.Time
+	roots []*Span
+}
+
+// New creates an enabled tracer whose clock starts now.
+func New() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// now is the monotonic offset since the epoch (time.Since reads the
+// monotonic clock).
+func (t *Tracer) now() time.Duration { return time.Since(t.epoch) }
+
+// Start opens a top-level span.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{t: t, Name: name}
+	t.mu.Lock()
+	sp.Begin = t.now()
+	t.roots = append(t.roots, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Wall is the total time the tracer has been live — the denominator for
+// trace-coverage checks.
+func (t *Tracer) Wall() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.now()
+}
+
+// Roots returns the top-level spans (snapshot under the lock).
+func (t *Tracer) Roots() []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*Span, len(t.roots))
+	copy(out, t.roots)
+	return out
+}
+
+// Attr is one span attribute.
+type Attr struct {
+	Key, Value string
+}
+
+// Span is one timed region of the pipeline. Fields are exported for the
+// exporters; mutate only through the methods (they take the tracer
+// lock). An un-Ended span exports with the duration observed so far.
+type Span struct {
+	t        *Tracer
+	Name     string
+	Begin    time.Duration // offset from the tracer epoch
+	Dur      time.Duration
+	Attrs    []Attr
+	Tid      int // Chrome trace lane; inherited by children
+	Children []*Span
+	ended    bool
+}
+
+// Child opens a sub-span.
+func (sp *Span) Child(name string) *Span {
+	if sp == nil {
+		return nil
+	}
+	c := &Span{t: sp.t, Name: name, Tid: sp.Tid}
+	sp.t.mu.Lock()
+	c.Begin = sp.t.now()
+	sp.Children = append(sp.Children, c)
+	sp.t.mu.Unlock()
+	return c
+}
+
+// SetAttr appends a key/value attribute and returns the span for
+// chaining.
+func (sp *Span) SetAttr(key, value string) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.t.mu.Lock()
+	sp.Attrs = append(sp.Attrs, Attr{key, value})
+	sp.t.mu.Unlock()
+	return sp
+}
+
+// SetTid assigns the span (and, by inheritance, children opened after
+// the call) to a Chrome trace lane, so concurrently executing sweep
+// points render on separate rows.
+func (sp *Span) SetTid(tid int) *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.t.mu.Lock()
+	sp.Tid = tid
+	sp.t.mu.Unlock()
+	return sp
+}
+
+// Restart moves the span's begin time to now. Sweep spans are created
+// in deterministic index order before fan-out but may wait for a pooled
+// worker; Restart at checkout makes the recorded interval the actual
+// execution window.
+func (sp *Span) Restart() *Span {
+	if sp == nil {
+		return nil
+	}
+	sp.t.mu.Lock()
+	sp.Begin = sp.t.now()
+	sp.t.mu.Unlock()
+	return sp
+}
+
+// End closes the span. Repeated End keeps the first duration.
+func (sp *Span) End() {
+	if sp == nil {
+		return
+	}
+	sp.t.mu.Lock()
+	if !sp.ended {
+		sp.Dur = sp.t.now() - sp.Begin
+		sp.ended = true
+	}
+	sp.t.mu.Unlock()
+}
+
+// dur is the export-time duration: recorded if ended, observed-so-far
+// otherwise. Caller holds the tracer lock.
+func (sp *Span) dur(now time.Duration) time.Duration {
+	if sp.ended {
+		return sp.Dur
+	}
+	return now - sp.Begin
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cachesim"
 	"repro/internal/isa"
+	"repro/internal/obs"
 )
 
 // Machine is one simulated CPU executing kernels: the feature set drives
@@ -74,6 +75,19 @@ func (c Counter) Ops() []string {
 func (c Counter) Merge(o Counter) {
 	for k, v := range o {
 		c[k] += v
+	}
+}
+
+// Publish mirrors every count into the registry as gauges named
+// prefix+op. Counts are cumulative totals, so gauge semantics (set, not
+// add) make Publish idempotent — the harness republishes the merged
+// sweep counters before each metrics snapshot.
+func (c Counter) Publish(r *obs.Registry, prefix string) {
+	if r == nil {
+		return
+	}
+	for _, op := range c.Ops() {
+		r.Gauge(prefix + op).Set(c[op])
 	}
 }
 

@@ -1,0 +1,9 @@
+// Package xmlspec models the Intel Intrinsics Guide XML specification that
+// the paper's eDSL generator consumes (Section 3.2, Figure 2), including a
+// parser for the historic schema versions of Table 3 and a semantic layer
+// that resolves C type spellings against the isa package.
+//
+// The vendor file (data-3.3.16.xml) is proprietary and unavailable offline;
+// see synth.go for the synthetic specification generator that reproduces
+// the vendor file's shape and the per-ISA counts of Table 1b.
+package xmlspec
