@@ -1,14 +1,17 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
 # build, tests, the race detector over the concurrency-bearing packages
-# (compile cache, parallel sweeps, pooled interpreter frames), and the
-# package-documentation check.
+# (compile cache, parallel sweeps, pooled interpreter frames, the
+# lock-free machine counters, the observability sinks), a bounded fuzz
+# smoke over the vm property targets, and the package-documentation
+# check.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs
+FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race bench docs
+.PHONY: ci fmt vet build test race fuzz bench docs
 
-ci: fmt vet build test race docs
+ci: fmt vet build test race fuzz docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -25,6 +28,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Bounded fuzz smoke: each existing vm fuzz target runs for FUZZTIME.
+# `go test -fuzz` accepts one target per invocation, hence the loop.
+fuzz:
+	@for t in FuzzF16RoundTrip FuzzXorshiftUniform; do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run xxx -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/vm || exit 1; \
+	done
 
 bench:
 	$(GO) test -run xxx -bench . -benchmem .

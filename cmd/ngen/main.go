@@ -12,6 +12,9 @@
 //	ngen fig7  [-quick]      # variable-precision dot products
 //	ngen speedups [-quick]   # headline "up to N×" factors
 //	ngen warmup              # tiered-compilation trace (interpreter → C1 → C2)
+//	ngen vet [-json]         # statically verify every registered kernel on
+//	                         # every machine description (irverify pass stack);
+//	                         # exits 1 if any error-severity diagnostic fires
 //	ngen all   [-quick]      # everything
 //	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
 //	                         # print per-stage time totals, compile-cache and
@@ -52,7 +55,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-trace file] [-metrics] {platform|warmup|cache|slp|table1b|table3|fig6a|fig6b|fig7|speedups|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
@@ -61,11 +64,22 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this file")
 	metrics := flag.Bool("metrics", false, "print the metrics registry as JSON after the run")
+	jsonOut := flag.Bool("json", false, "vet: emit diagnostics as JSON lines instead of the text report")
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if cmd == "vet" {
+		// vet needs no benchmark suite, runtime or observability: it is
+		// pure static analysis over freshly staged graphs. Accept -json
+		// before or after the subcommand (flag parsing stops at `vet`).
+		if err := vetCmd(*jsonOut || flag.Arg(1) == "-json"); err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	statsCmd := cmd == "stats"
 	target := cmd

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/irverify"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+// vetCmd statically verifies every registered kernel against every
+// machine description in the database — the `go vet` of staged SIMD
+// graphs. Kernel/machine pairs whose required ISA families are absent
+// are skipped (mirroring Runtime.Compile's MissingISAs rejection);
+// everything else runs the full irverify pass stack. The text report is
+// deterministic; -json switches to one JSON line per diagnostic. A
+// non-nil error (→ exit 1) is returned iff any error-severity
+// diagnostic was found.
+func vetCmd(jsonOut bool) error {
+	targets := make([]irverify.VetTarget, 0, len(kernels.Targets()))
+	for _, t := range kernels.Targets() {
+		targets = append(targets, irverify.VetTarget{
+			Name: t.Name, Requires: t.Requires, Build: t.Build,
+		})
+	}
+	rep := irverify.Vet(targets, isa.Microarchs())
+	if jsonOut {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		rep.Render(os.Stdout)
+	}
+	if n := rep.Errors(); n > 0 {
+		return fmt.Errorf("vet: %d error(s)", n)
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cgen"
 	"repro/internal/dsl"
 	"repro/internal/ir"
+	"repro/internal/irverify"
 	"repro/internal/isa"
 	"repro/internal/kernelc"
 	"repro/internal/obs"
@@ -126,6 +127,10 @@ type artifact struct {
 	prog    *kernelc.Program
 	source  string
 	command string
+	// verify is the static-analysis verdict the graph passed on its way
+	// to code generation (warnings only — errors abort the build). It
+	// rides in the cache with the artifact, so hits reuse the verdict.
+	verify *irverify.Result
 }
 
 // CompileCache memoizes compile artifacts across runtimes.
@@ -266,6 +271,10 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 	if ok {
 		sp.SetAttr("cache", "hit")
 		rt.Metrics.Counter("ngen.cache.hit").Add(1)
+		// The verifier verdict is part of the artifact: alignment facts
+		// feed ir.Hash, so a hit is guaranteed to have verified clean
+		// against the same facts.
+		rt.Metrics.Counter("verify.cached").Add(1)
 	} else {
 		sp.SetAttr("cache", "miss")
 		rt.Metrics.Counter("ngen.cache.miss").Add(1)
@@ -288,7 +297,17 @@ func (rt *Runtime) newKernel(art *artifact) *Kernel {
 
 // build runs the uncached pipeline, one child span per stage.
 func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
-	sp := parent.Child("cgen.emit")
+	sp := parent.Child("irverify.run")
+	res := irverify.Verify(k.F, rt.Arch)
+	sp.End()
+	rt.Metrics.Counter("verify.run").Add(1)
+	rt.Metrics.Counter("verify.errors").Add(int64(res.Errors()))
+	rt.Metrics.Counter("verify.warnings").Add(int64(res.Warnings()))
+	if !res.Ok() {
+		return nil, fmt.Errorf("core: %s failed verification:\n%s", k.Name(), res.Render())
+	}
+
+	sp = parent.Child("cgen.emit")
 	src, err := cgen.Emit(k.F, cgen.Options{JNI: true, Package: "ch.ethz.acl.ngen", Class: "NKernel"})
 	sp.End()
 	if err != nil {
@@ -309,6 +328,7 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 		prog:    prog,
 		source:  src,
 		command: command,
+		verify:  res,
 	}, nil
 }
 
@@ -323,6 +343,12 @@ func (kn *Kernel) CompileCommand() string { return kn.art.command }
 // structurally identical instance, keeping its symbol ids consistent
 // with the cached program's internal counters.
 func (kn *Kernel) Func() *ir.Func { return kn.art.f }
+
+// Verify exposes the static-analysis verdict the kernel's graph passed
+// before code generation. On cache hits this is the verdict of the
+// first-compiled structurally identical instance — ir.Hash covers the
+// facts the verifier consumes, so the verdict transfers.
+func (kn *Kernel) Verify() *irverify.Result { return kn.art.verify }
 
 // pinnedArg records one pinned slice argument so results copy back to
 // the caller on exit. Exactly one slice field is set.

@@ -91,6 +91,15 @@ func Mutable[P interface{ sym() ir.Sym }](k *Kernel, p P) P {
 	return p
 }
 
+// Aligned declares that the array behind a parameter is aligned to the
+// given byte boundary. The static verifier (internal/irverify) requires
+// such a fact before it accepts aligned load/store intrinsics through
+// the pointer; without one it suggests the unaligned variant.
+func Aligned[P interface{ sym() ir.Sym }](k *Kernel, p P, bytes int) P {
+	k.F.G.MarkAligned(p.sym(), bytes)
+	return p
+}
+
 // --- control flow -------------------------------------------------------------
 
 // For stages `for (i = start; i < end; i += stride) body` — the paper's

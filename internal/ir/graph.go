@@ -6,21 +6,23 @@ import (
 
 // Graph accumulates staged definitions in SSA form. It owns symbol
 // allocation, structural CSE over pure nodes, the block stack for staged
-// control flow, and the set of symbols marked mutable (the analog of the
+// control flow, the set of symbols marked mutable (the analog of the
 // paper's reflectMutableSym, which lets a kernel write into one of its
-// own array parameters).
+// own array parameters), and declared pointer-alignment facts the static
+// verifier consumes.
 type Graph struct {
 	nextID   int
 	blocks   []*Block         // block stack; blocks[0] is the root
 	cse      []map[string]Sym // one CSE scope per open block
 	mutable  map[int]bool
+	align    map[int]int  // pointer sym id → declared alignment in bytes
 	defs     map[int]*Def // definition lookup by symbol id (whole graph)
 	comments []string     // staged comment texts, indexed by Comment arg
 }
 
 // NewGraph creates an empty graph with an open root block.
 func NewGraph() *Graph {
-	g := &Graph{mutable: map[int]bool{}, defs: map[int]*Def{}}
+	g := &Graph{mutable: map[int]bool{}, align: map[int]int{}, defs: map[int]*Def{}}
 	g.blocks = []*Block{{}}
 	g.cse = []map[string]Sym{{}}
 	return g
@@ -52,6 +54,26 @@ func (g *Graph) MarkMutable(s Sym) Sym {
 
 // IsMutable reports whether stores through the pointer symbol are allowed.
 func (g *Graph) IsMutable(s Sym) bool { return g.mutable[s.ID] }
+
+// MarkAligned declares an alignment fact: the memory behind the pointer
+// symbol is aligned to the given byte boundary (a power of two). Aligned
+// load/store intrinsics through pointers without such a fact are flagged
+// by the static verifier, mirroring the guaranteed-alignment contracts
+// real runtimes get from aligned allocators.
+func (g *Graph) MarkAligned(s Sym, bytes int) Sym {
+	if s.Typ.Kind != KindPtr {
+		panic(fmt.Sprintf("ir: MarkAligned on non-pointer %v: %v", s, s.Typ))
+	}
+	if bytes <= 0 || bytes&(bytes-1) != 0 {
+		panic(fmt.Sprintf("ir: MarkAligned(%v, %d): alignment must be a positive power of two", s, bytes))
+	}
+	g.align[s.ID] = bytes
+	return s
+}
+
+// Alignment returns the declared alignment of a pointer symbol in bytes,
+// or 0 when no fact has been declared.
+func (g *Graph) Alignment(s Sym) int { return g.align[s.ID] }
 
 // Def returns the definition bound to a symbol, if any (parameters and
 // block params have none).

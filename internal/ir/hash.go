@@ -26,6 +26,9 @@ func Hash(f *Func) uint64 {
 		} else {
 			h.u64(0)
 		}
+		// Alignment facts feed the verifier, whose result is cached
+		// under this hash alongside the compile artifacts.
+		h.u64(uint64(f.G.Alignment(p)))
 	}
 	h.block(f, f.G.Root())
 	return h.h

@@ -1,0 +1,129 @@
+package irverify
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// alignPass checks aligned memory intrinsics against declared alignment
+// facts. An aligned load/store through a pointer whose root carries no
+// MarkAligned fact is a latent #GP fault the type system cannot see —
+// the pass warns and, when the spec defines one, suggests the unaligned
+// variant as the fix.
+func (v *verifier) alignPass() {
+	const pass = "align"
+	for _, vi := range v.visits {
+		d := vi.n.Def
+		if !ir.IsIntrinsicOp(d.Op) || !alignedOp(d.Op) {
+			continue
+		}
+		spec, ok := v.ix.Lookup(d.Op)
+		if !ok || (!spec.ReadsMem && !spec.WritesMem) {
+			continue
+		}
+		req := v.alignRequired(vi.n)
+		if req == 0 {
+			continue
+		}
+		pa := ptrArgs(d)
+		if len(pa) == 0 {
+			continue
+		}
+		s, isSym := d.Args[pa[0]].(ir.Sym)
+		if !isSym {
+			continue
+		}
+		root, elems, known := v.rootAndOffset(s)
+		fix := v.unalignedVariant(d.Op)
+		fact := v.f.G.Alignment(root)
+		switch {
+		case fact == 0:
+			v.report(vi, pass, Warning,
+				fmt.Sprintf("aligned access needs %d-byte alignment, but pointer root x%d carries no alignment fact", req, root.ID),
+				fix)
+		case fact < req:
+			v.report(vi, pass, Warning,
+				fmt.Sprintf("pointer root x%d is declared %d-byte aligned, but this access needs %d", root.ID, fact, req),
+				fix)
+		case known && elems != 0:
+			eb := elemBytes(root)
+			if eb > 0 && (elems*int64(eb))%int64(req) != 0 {
+				v.report(vi, pass, Warning,
+					fmt.Sprintf("displacement of %d elements (%d bytes) breaks the %d-byte alignment of root x%d",
+						elems, elems*int64(eb), req, root.ID),
+					fix)
+			}
+		}
+		// Adequate fact with a non-constant displacement is accepted:
+		// loop strides are the normal case and the fact is the contract.
+	}
+}
+
+// alignedOp reports whether the intrinsic name denotes an
+// alignment-requiring full-width access: a "load"/"store"/"stream" name
+// segment followed by a packed-vector suffix. Unaligned variants have a
+// "loadu"/"storeu" segment and single-element forms ("ss", "ps1") a
+// different suffix, so neither matches.
+func alignedOp(op string) bool {
+	segs := strings.Split(op, "_")
+	hasMem := false
+	for _, s := range segs {
+		if s == "load" || s == "store" || s == "stream" {
+			hasMem = true
+			break
+		}
+	}
+	if !hasMem {
+		return false
+	}
+	switch segs[len(segs)-1] {
+	case "ps", "pd", "si128", "si256", "si512",
+		"epi8", "epi16", "epi32", "epi64":
+		return true
+	}
+	return false
+}
+
+// alignRequired returns the access's required alignment in bytes: the
+// full width of the vector register moved.
+func (v *verifier) alignRequired(n *ir.Node) int {
+	if n.Sym.Typ.Kind == ir.KindVec { // load: result register
+		return n.Sym.Typ.Vec.Bits() / 8
+	}
+	for _, a := range n.Def.Args { // store: the value operand
+		if a.Type().Kind == ir.KindVec {
+			return a.Type().Vec.Bits() / 8
+		}
+	}
+	return 0
+}
+
+// unalignedVariant suggests the u-suffixed sibling when the spec defines
+// it ("" otherwise — e.g. non-temporal streams have no cheap fallback).
+func (v *verifier) unalignedVariant(op string) string {
+	var cand string
+	switch {
+	case strings.Contains(op, "_load_"):
+		cand = strings.Replace(op, "_load_", "_loadu_", 1)
+	case strings.Contains(op, "_store_"):
+		cand = strings.Replace(op, "_store_", "_storeu_", 1)
+	default:
+		return ""
+	}
+	if _, ok := v.ix.Lookup(cand); !ok {
+		return ""
+	}
+	return "use " + cand + " or declare the fact with dsl.Aligned"
+}
+
+// elemBytes returns the byte width of the pointer root's element type
+// (0 when unknown, e.g. a void* parameter).
+func elemBytes(root ir.Sym) int {
+	if root.Typ.Kind != ir.KindPtr || root.Typ.Elem == isa.PrimVoid {
+		return 0
+	}
+	return root.Typ.Elem.Bits() / 8
+}

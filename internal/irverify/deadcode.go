@@ -1,0 +1,29 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// deadPass reports pure nodes the scheduler's dead-code elimination will
+// drop: staged computations whose results are never used. Dropping them
+// is semantically safe — the warning exists because a dead node in a
+// staged kernel is usually a wiring mistake (a result computed and then
+// ignored), not intentional slack.
+func (v *verifier) deadPass() {
+	const pass = "dead"
+	sched := ir.Schedule(v.f)
+	kept := map[*ir.Node]bool{}
+	for _, ns := range sched.Keep {
+		for _, n := range ns {
+			kept[n] = true
+		}
+	}
+	for _, vi := range v.visits {
+		if vi.n.Def.Effect.IsPure() && !kept[vi.n] {
+			v.report(vi, pass, Warning,
+				fmt.Sprintf("pure node is dead: its result is never used, so the scheduler drops %s", vi.n.Def.Op), "")
+		}
+	}
+}

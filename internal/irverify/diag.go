@@ -1,0 +1,180 @@
+package irverify
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity classifies a diagnostic. Errors fail compilation; warnings
+// and infos surface through `ngen vet` and the verify.* counters.
+type Severity uint8
+
+const (
+	// Info marks observations that cost nothing: notes a reviewer may
+	// act on but the pipeline never blocks on.
+	Info Severity = iota
+	// Warning marks likely mistakes that still lower to a runnable
+	// kernel (unaligned intent, dead stores, dead pure nodes).
+	Warning
+	// Error marks invariant violations: the graph must not reach the C
+	// emitter or the kernel compiler.
+	Error
+)
+
+// String returns the lower-case severity name used in rendered output.
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// Diagnostic is one structured finding from one pass.
+type Diagnostic struct {
+	// Pass is the analysis pass that produced the finding (PassOrder
+	// lists the valid names in execution order).
+	Pass string
+	// Sev is the severity under the policy documented in
+	// docs/VERIFIER.md.
+	Sev Severity
+	// Sym is the id of the node the finding anchors to, or -1 for
+	// function-level findings.
+	Sym int
+	// Op is the node's operation name ("" for function-level findings).
+	Op string
+	// Msg states the defect.
+	Msg string
+	// Fix optionally suggests the repair (e.g. the unaligned variant of
+	// an aligned load).
+	Fix string
+}
+
+// String renders the diagnostic as one line of text.
+func (d Diagnostic) String() string {
+	loc := "func"
+	if d.Sym >= 0 {
+		loc = fmt.Sprintf("x%d", d.Sym)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [%s] %s", d.Sev, d.Pass, loc)
+	if d.Op != "" {
+		fmt.Fprintf(&b, " (%s)", d.Op)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	if d.Fix != "" {
+		fmt.Fprintf(&b, " — fix: %s", d.Fix)
+	}
+	return b.String()
+}
+
+// PassOrder lists the passes in execution order; diagnostic sorting uses
+// this as the secondary key.
+var PassOrder = []string{"ssa", "type", "effect", "isa", "align", "dead"}
+
+func passRank(name string) int {
+	for i, p := range PassOrder {
+		if p == name {
+			return i
+		}
+	}
+	return len(PassOrder)
+}
+
+// Result is the verdict of one verification run over one function
+// against one machine description.
+type Result struct {
+	Kernel string
+	Arch   string
+	// Nodes is the number of graph nodes visited.
+	Nodes int
+	// Diags holds the findings in deterministic order: by node id, then
+	// pass order, then message text.
+	Diags []Diagnostic
+}
+
+// sortDiags establishes the canonical order. Verification is
+// single-threaded and structural, so equal inputs produce byte-equal
+// renderings — the determinism the compile cache and parallel sweeps
+// rely on.
+func (r *Result) sortDiags() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Sym != b.Sym {
+			return a.Sym < b.Sym
+		}
+		if pa, pb := passRank(a.Pass), passRank(b.Pass); pa != pb {
+			return pa < pb
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Result) Count(sev Severity) int {
+	n := 0
+	for _, d := range r.Diags {
+		if d.Sev == sev {
+			n++
+		}
+	}
+	return n
+}
+
+// Errors returns the number of error-severity findings.
+func (r *Result) Errors() int { return r.Count(Error) }
+
+// Warnings returns the number of warning-severity findings.
+func (r *Result) Warnings() int { return r.Count(Warning) }
+
+// Ok reports whether the function may proceed to code generation.
+func (r *Result) Ok() bool { return r.Errors() == 0 }
+
+// Render returns the multi-line text form: a header line followed by
+// one line per diagnostic, stable across runs.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "verify %s @ %s: %d nodes, %d errors, %d warnings\n",
+		r.Kernel, r.Arch, r.Nodes, r.Errors(), r.Warnings())
+	for _, d := range r.Diags {
+		b.WriteString("  ")
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// diagJSON is the stable wire schema documented in docs/VERIFIER.md.
+type diagJSON struct {
+	Kernel   string `json:"kernel"`
+	Arch     string `json:"arch"`
+	Pass     string `json:"pass"`
+	Severity string `json:"severity"`
+	Sym      int    `json:"sym"`
+	Op       string `json:"op,omitempty"`
+	Message  string `json:"message"`
+	Fix      string `json:"fix,omitempty"`
+}
+
+// WriteJSON writes one JSON object per diagnostic (JSON lines), in the
+// same deterministic order as Render.
+func (r *Result) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, d := range r.Diags {
+		if err := enc.Encode(diagJSON{
+			Kernel: r.Kernel, Arch: r.Arch, Pass: d.Pass,
+			Severity: d.Sev.String(), Sym: d.Sym, Op: d.Op,
+			Message: d.Msg, Fix: d.Fix,
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}

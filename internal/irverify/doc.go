@@ -1,0 +1,33 @@
+// Package irverify is a multi-pass static analyzer for staged SIMD
+// computation graphs. It runs inside the compile pipeline — after
+// staging, before C emission and kernel-compiler lowering — and turns
+// the invariants the rest of the system only enforces dynamically into
+// structured, deterministic diagnostics.
+//
+// Six passes run in a fixed order over an ir.Func:
+//
+//	ssa     single definition, def-before-use under the schedule, block
+//	        result wiring — the well-formedness every later pass assumes
+//	type    every intrinsic invocation checked against its xmlspec
+//	        signature: arity, element type, vector register width
+//	effect  memory effects match the spec (a load without a read effect
+//	        is unordered against stores and may be reordered or dropped),
+//	        stores go through mutable roots, plus straight-line
+//	        dead-store and redundant-load diagnostics
+//	isa     every intrinsic's CPUID families present in the target
+//	        microarchitecture — the static version of the paper's
+//	        system-inspection gate (Figure 3)
+//	align   aligned load/store intrinsics demand a declared alignment
+//	        fact on the pointer root (ir.Graph.MarkAligned); otherwise
+//	        the pass warns and suggests the unaligned variant
+//	dead    pure nodes whose results are never used (the scheduler
+//	        silently drops them; the pass makes the waste visible)
+//
+// Errors fail compilation fast (core.Runtime.Compile refuses to lower
+// the graph); warnings surface through the `ngen vet` subcommand, which
+// verifies every registered kernel across every supported machine
+// configuration. Diagnostics are deterministically ordered and render
+// both as text and as JSON lines. A staged comment of the form
+// "vet:allow <pass>[,<pass>]" waives warning- and info-level
+// diagnostics from the named passes for the rest of its block.
+package irverify

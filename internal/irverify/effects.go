@@ -1,0 +1,242 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// effectPass checks that the memory behaviour each node declares matches
+// what the specification infers for its intrinsic. The scheduler only
+// preserves ordering between nodes whose effects name the same pointer
+// root — a load staged as pure is subject to CSE and dead-code
+// elimination and is unordered against stores through the same array, so
+// a missing effect is an error, not a style issue. The pass also runs a
+// straight-line scan per block for dead stores (overwritten before any
+// read) and redundant loads (same address loaded twice with no
+// intervening store).
+func (v *verifier) effectPass() {
+	const pass = "effect"
+	for _, vi := range v.visits {
+		d := vi.n.Def
+		if !ir.IsIntrinsicOp(d.Op) {
+			continue
+		}
+		spec, ok := v.ix.Lookup(d.Op)
+		if !ok {
+			continue // typePass already warned
+		}
+		eff := d.Effect
+		ordered := eff.Kind == ir.Global || len(eff.Reads) > 0 || len(eff.Writes) > 0
+		if spec.WritesMem && eff.Kind != ir.Global && len(eff.Writes) == 0 {
+			v.report(vi, pass, Error,
+				"store intrinsic staged without a write effect: unordered against other accesses, and the scheduler may drop or merge it", "")
+		}
+		if spec.ReadsMem && !ordered {
+			v.report(vi, pass, Error,
+				"load intrinsic staged without a read effect: unordered against stores through the same array, and the scheduler may drop or merge it", "")
+		}
+		if !spec.ReadsMem && !spec.WritesMem && eff.Kind == ir.ReadWrite {
+			v.report(vi, pass, Warning,
+				"node declares a memory effect but the specification infers none (needlessly pessimises scheduling)", "")
+		}
+
+		// Effect roots must cover the pointer arguments' true objects.
+		roots := map[int]bool{}
+		for _, ai := range ptrArgs(d) {
+			s, isSym := d.Args[ai].(ir.Sym)
+			if !isSym {
+				continue
+			}
+			root := v.f.G.RootPtr(s)
+			roots[root.ID] = true
+			if spec.WritesMem {
+				if eff.Kind == ir.ReadWrite && len(eff.Writes) > 0 && !symsContain(eff.Writes, root) {
+					v.report(vi, pass, Error,
+						fmt.Sprintf("write effect does not cover pointer root x%d (stores through it are unordered)", root.ID), "")
+				}
+				if !v.f.G.IsMutable(root) {
+					v.report(vi, pass, Error,
+						fmt.Sprintf("store through immutable pointer root x%d", root.ID),
+						"mark the array parameter mutable (dsl.Mutable / ir.MarkMutable)")
+				}
+			}
+			if spec.ReadsMem && !spec.WritesMem && eff.Kind == ir.ReadWrite &&
+				len(eff.Reads) > 0 && !symsContain(eff.Reads, root) {
+				v.report(vi, pass, Error,
+					fmt.Sprintf("read effect does not cover pointer root x%d", root.ID), "")
+			}
+		}
+		if eff.Kind == ir.ReadWrite {
+			for _, s := range append(append([]ir.Sym{}, eff.Reads...), eff.Writes...) {
+				if !roots[v.f.G.RootPtr(s).ID] {
+					v.report(vi, pass, Warning,
+						fmt.Sprintf("effect names x%d, which is not the root of any pointer argument", s.ID), "")
+				}
+			}
+		}
+	}
+	v.scanBlock(v.f.G.Root())
+}
+
+func symsContain(ss []ir.Sym, s ir.Sym) bool {
+	for _, x := range ss {
+		if x.ID == s.ID {
+			return true
+		}
+	}
+	return false
+}
+
+// memRef is the address identity used by the straight-line scans: the
+// pointer root, a displacement key, and the op (same op ⇒ same access
+// width, so equal refs touch exactly the same bytes).
+type memRef struct {
+	root int
+	off  string
+	op   string
+}
+
+// memAccess classifies one node's memory access for the scans.
+type memAccess struct {
+	ref       memRef
+	reads     bool
+	writes    bool
+	addrKnown bool
+}
+
+// accessOf extracts the access, reporting ok=false for nodes that do not
+// touch memory.
+func (v *verifier) accessOf(n *ir.Node) (memAccess, bool) {
+	d := n.Def
+	switch d.Op {
+	case ir.OpALoad, ir.OpAStore:
+		s, isSym := d.Args[0].(ir.Sym)
+		if !isSym {
+			return memAccess{}, false
+		}
+		root, elems, known := v.rootAndOffset(s)
+		off, idxKnown := expKey(d.Args[1])
+		return memAccess{
+			ref:       memRef{root: root.ID, off: fmt.Sprintf("e%d|%s", elems, off), op: d.Op},
+			reads:     d.Op == ir.OpALoad,
+			writes:    d.Op == ir.OpAStore,
+			addrKnown: known && idxKnown,
+		}, true
+	}
+	if !ir.IsIntrinsicOp(d.Op) {
+		return memAccess{}, false
+	}
+	spec, ok := v.ix.Lookup(d.Op)
+	if !ok || (!spec.ReadsMem && !spec.WritesMem) {
+		return memAccess{}, false
+	}
+	acc := memAccess{reads: spec.ReadsMem, writes: spec.WritesMem}
+	pa := ptrArgs(d)
+	if len(pa) == 1 {
+		if s, isSym := d.Args[pa[0]].(ir.Sym); isSym {
+			root, elems, known := v.rootAndOffset(s)
+			acc.ref = memRef{root: root.ID, off: fmt.Sprintf("e%d", elems), op: d.Op}
+			acc.addrKnown = known
+			return acc, true
+		}
+	}
+	// No (or several) pointer arguments: fall back to the effect roots so
+	// the access still invalidates scan state conservatively.
+	if len(d.Effect.Reads)+len(d.Effect.Writes) > 0 {
+		acc.ref = memRef{root: v.f.G.RootPtr(firstSym(d.Effect)).ID, op: d.Op}
+		return acc, true
+	}
+	return memAccess{}, false
+}
+
+func firstSym(e ir.Effect) ir.Sym {
+	if len(e.Writes) > 0 {
+		return e.Writes[0]
+	}
+	return e.Reads[0]
+}
+
+// expKey renders an index expression's identity (true when it is a
+// symbol or constant; false means the address is not comparable).
+func expKey(e ir.Exp) (string, bool) {
+	switch x := e.(type) {
+	case ir.Sym:
+		return fmt.Sprintf("s%d", x.ID), true
+	case ir.Const:
+		return fmt.Sprintf("c%s", x.String()), true
+	default:
+		return "?", false
+	}
+}
+
+// scanBlock runs the dead-store and redundant-load scans over one block's
+// straight-line regions, recursing into nested blocks with fresh state.
+// Control flow and globally-ordered nodes reset the scan: a store inside
+// a loop body is not "overwritten" by one after it.
+func (v *verifier) scanBlock(b *ir.Block) {
+	const pass = "effect"
+	rep := func(n *ir.Node, msg, fix string) {
+		vi, ok := v.visitIx[n]
+		if !ok {
+			vi = visit{n: n}
+		}
+		v.report(vi, pass, Warning, msg, fix)
+	}
+
+	lastStore := map[memRef]*ir.Node{}
+	loads := map[memRef]*ir.Node{}
+	reset := func() {
+		lastStore = map[memRef]*ir.Node{}
+		loads = map[memRef]*ir.Node{}
+	}
+	dropRoot := func(m map[memRef]*ir.Node, root int) {
+		for ref := range m {
+			if ref.root == root {
+				delete(m, ref)
+			}
+		}
+	}
+
+	for _, n := range b.Nodes {
+		if n.Def.Op == ir.OpComment {
+			continue // neutral: annotations must not break the scan
+		}
+		if len(n.Def.Blocks) > 0 || n.Def.Effect.Kind == ir.Global {
+			for _, blk := range n.Def.Blocks {
+				v.scanBlock(blk)
+			}
+			reset()
+			continue
+		}
+		acc, ok := v.accessOf(n)
+		if !ok {
+			continue
+		}
+		if acc.reads {
+			// A read consumes every pending store to its root.
+			dropRoot(lastStore, acc.ref.root)
+			if acc.addrKnown && !acc.writes {
+				if prior, dup := loads[acc.ref]; dup {
+					rep(n, fmt.Sprintf("redundant load: x%d already loaded this address with no intervening store", prior.Sym.ID),
+						fmt.Sprintf("reuse x%d", prior.Sym.ID))
+				} else {
+					loads[acc.ref] = n
+				}
+			} else if !acc.addrKnown {
+				dropRoot(loads, acc.ref.root)
+			}
+		}
+		if acc.writes {
+			dropRoot(loads, acc.ref.root)
+			if acc.addrKnown {
+				if prior, dead := lastStore[acc.ref]; dead {
+					rep(prior, fmt.Sprintf("dead store: overwritten by x%d before any read of this address", n.Sym.ID), "")
+				}
+				lastStore[acc.ref] = n
+			} else {
+				dropRoot(lastStore, acc.ref.root)
+			}
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// isaPass checks that every intrinsic's CPUID families are present in
+// the target machine description — the static counterpart of the
+// runtime's start-up CPUID inspection (Figure 3 of the paper). A kernel
+// that fails here would be rejected by the runtime anyway; the pass
+// reports it per node, before any native toolchain is involved.
+func (v *verifier) isaPass() {
+	const pass = "isa"
+	for _, vi := range v.visits {
+		d := vi.n.Def
+		if !ir.IsIntrinsicOp(d.Op) {
+			continue
+		}
+		spec, ok := v.ix.Lookup(d.Op)
+		if !ok {
+			continue // typePass already warned
+		}
+		for _, fam := range spec.Families {
+			// SVML is a compiler-provided library, not a CPUID feature:
+			// its entry points lower to whatever vector ISA exists, so any
+			// SSE-capable machine satisfies it (mirrors dsl.Intrinsic).
+			if fam == isa.SVML && v.arch.Features[isa.SSE] {
+				continue
+			}
+			if !v.arch.Features[fam] {
+				v.report(vi, pass, Error,
+					fmt.Sprintf("requires %s, which %s does not provide", fam, v.arch.Name), "")
+			}
+		}
+	}
+}

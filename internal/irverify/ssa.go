@@ -1,0 +1,82 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// ssaPass checks the structural invariants every later pass (and the
+// scheduler, the C emitter and the kernel compiler) assume: each symbol
+// is defined exactly once, every use refers to a symbol defined earlier
+// in the schedule (function parameters, enclosing-block values, block
+// parameters, or a preceding node — emission order is topological, so
+// def-before-use also rules out cycles), and block results are wired to
+// values visible in their block.
+func (v *verifier) ssaPass() {
+	const pass = "ssa"
+
+	// Single definition: node symbols must be unique and must not
+	// shadow the function's parameters.
+	seen := map[int]ir.Sym{}
+	for _, p := range v.f.Params {
+		seen[p.ID] = p
+	}
+	for _, vi := range v.visits {
+		if _, dup := seen[vi.n.Sym.ID]; dup {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("symbol x%d defined more than once (SSA requires a single definition)", vi.n.Sym.ID), "")
+			continue
+		}
+		seen[vi.n.Sym.ID] = vi.n.Sym
+	}
+
+	// Def-before-use, scoped: walk blocks the way execution does.
+	var walk func(b *ir.Block, defined map[int]bool)
+	walk = func(b *ir.Block, defined map[int]bool) {
+		for _, p := range b.Params {
+			defined[p.ID] = true
+		}
+		for _, n := range b.Nodes {
+			for i, a := range n.Def.Args {
+				s, ok := a.(ir.Sym)
+				if !ok {
+					continue
+				}
+				if !defined[s.ID] {
+					v.report(visit{n: n, blk: b}, pass, Error,
+						fmt.Sprintf("argument %d uses x%d before its definition (use-before-def or cycle)", i, s.ID), "")
+				}
+			}
+			effSyms := append(append([]ir.Sym{}, n.Def.Effect.Reads...), n.Def.Effect.Writes...)
+			for _, s := range effSyms {
+				if !defined[s.ID] {
+					v.report(visit{n: n, blk: b}, pass, Error,
+						fmt.Sprintf("effect references undefined symbol x%d", s.ID), "")
+				}
+			}
+			for _, blk := range n.Def.Blocks {
+				inner := copyIntSet(defined)
+				walk(blk, inner)
+			}
+			defined[n.Sym.ID] = true
+		}
+		if r, ok := b.Result.(ir.Sym); ok && !defined[r.ID] {
+			v.reportFunc(pass, Error,
+				fmt.Sprintf("block result x%d is not defined in or above its block", r.ID))
+		}
+	}
+	root := map[int]bool{}
+	for _, p := range v.f.Params {
+		root[p.ID] = true
+	}
+	walk(v.f.G.Root(), root)
+}
+
+func copyIntSet(m map[int]bool) map[int]bool {
+	out := make(map[int]bool, len(m))
+	for k, val := range m {
+		out[k] = val
+	}
+	return out
+}

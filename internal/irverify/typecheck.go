@@ -1,0 +1,111 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/xmlspec"
+)
+
+// typePass checks every intrinsic invocation against its specification
+// signature: arity, each parameter's register kind / pointee / scalar
+// primitive, and the return type. Vector-register mismatches distinguish
+// width errors (a 128-bit op fed a 256-bit register) from element-type
+// errors (ps vs pd) because they have different fixes.
+func (v *verifier) typePass() {
+	const pass = "type"
+	for _, vi := range v.visits {
+		d := vi.n.Def
+		if !ir.IsIntrinsicOp(d.Op) {
+			continue
+		}
+		spec, ok := v.ix.Lookup(d.Op)
+		if !ok {
+			v.report(vi, pass, Warning,
+				"intrinsic is not present in the specification; signature unchecked", "")
+			continue
+		}
+		if len(d.Args) != len(spec.Params) {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("wrong arity: %s takes %d parameters, got %d arguments",
+					d.Op, len(spec.Params), len(d.Args)), "")
+			continue
+		}
+		for i, p := range spec.Params {
+			v.checkParam(vi, i, p, d.Args[i].Type())
+		}
+		v.checkReturn(vi, spec)
+	}
+}
+
+// checkParam compares one argument type against the spec parameter.
+func (v *verifier) checkParam(vi visit, i int, p xmlspec.ResolvedParam, at ir.Type) {
+	const pass = "type"
+	switch {
+	case p.Typ.Ptr:
+		if at.Kind != ir.KindPtr {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) expects a pointer (%s), got %s",
+					i, p.Name, p.Typ, at), "")
+			return
+		}
+		// void* and vector-pointer parameters (e.g. __m256i const*)
+		// accept any array pointer — the bindings erase them to a bare
+		// address; elem-typed pointers must match the pointee primitive.
+		if !p.Typ.IsVec() && p.Typ.Prim != isa.PrimVoid && at.Elem != p.Typ.Prim {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) points at %s elements, argument points at %s",
+					i, p.Name, p.Typ.Prim, at.Elem), "")
+		}
+	case p.Typ.IsVec():
+		if at.Kind != ir.KindVec {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) expects a %s register, got %s",
+					i, p.Name, p.Typ.Vec, at), "")
+			return
+		}
+		if at.Vec == p.Typ.Vec {
+			return
+		}
+		if at.Vec.Bits() != p.Typ.Vec.Bits() {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) expects a %d-bit %s register, got %d-bit %s (lane count differs)",
+					i, p.Name, p.Typ.Vec.Bits(), p.Typ.Vec, at.Vec.Bits(), at.Vec), "")
+		} else {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) expects %s, got %s (element type differs)",
+					i, p.Name, p.Typ.Vec, at.Vec), "")
+		}
+	default:
+		want := ir.PrimType(p.Typ.Prim)
+		if at != want {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("parameter %d (%s) expects scalar %s, got %s",
+					i, p.Name, want, at), "")
+		}
+	}
+}
+
+// checkReturn compares the node's result type against the spec return.
+func (v *verifier) checkReturn(vi visit, spec *xmlspec.Resolved) {
+	const pass = "type"
+	at := vi.n.Sym.Typ
+	switch {
+	case spec.Ret.Ptr:
+		if at.Kind != ir.KindPtr {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("result should be a pointer (%s), node is typed %s", spec.Ret, at), "")
+		}
+	case spec.Ret.IsVec():
+		if at.Kind != ir.KindVec || at.Vec != spec.Ret.Vec {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("result should be %s, node is typed %s", spec.Ret.Vec, at), "")
+		}
+	default:
+		if want := ir.PrimType(spec.Ret.Prim); at != want {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("result should be %s, node is typed %s", want, at), "")
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package irverify
+
+import (
+	"strings"
+	"sync"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/xmlspec"
+)
+
+// WaivePrefix introduces an inline waiver: a staged comment of the form
+// "vet:allow align" (or "vet:allow align,dead") suppresses warning- and
+// info-level diagnostics from the named passes for every node staged
+// after it in the same block, nested blocks included. Errors cannot be
+// waived.
+const WaivePrefix = "vet:allow"
+
+// specIndex is built once from the latest synthetic specification — the
+// same document the eDSL bindings were generated from, so every shipped
+// intrinsic resolves.
+var (
+	specOnce sync.Once
+	specIx   *xmlspec.Index
+)
+
+// SpecIndex returns the shared intrinsic signature index, building it on
+// first use.
+func SpecIndex() *xmlspec.Index {
+	specOnce.Do(func() {
+		f := xmlspec.Generate(xmlspec.Latest())
+		rs, _ := xmlspec.Resolve(f)
+		specIx, _ = xmlspec.NewIndex(rs)
+	})
+	return specIx
+}
+
+// Verify runs every pass over f against the target microarchitecture,
+// using the shared spec index. This is what core.Runtime.Compile calls.
+func Verify(f *ir.Func, arch *isa.Microarch) *Result {
+	return VerifyWithSpec(f, arch, SpecIndex())
+}
+
+// VerifyWithSpec is Verify with an explicit signature index (tests
+// inject hand-built specs).
+func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result {
+	v := &verifier{
+		f: f, arch: arch, ix: ix,
+		res: &Result{Kernel: f.Name, Arch: arch.Name},
+	}
+	v.collect()
+	v.ssaPass()
+	if v.res.Errors() == 0 {
+		// The remaining passes assume SSA well-formedness (they chase
+		// defs by symbol id); on a broken graph they would report noise.
+		v.typePass()
+		v.effectPass()
+		v.isaPass()
+		v.alignPass()
+		v.deadPass()
+	}
+	v.res.sortDiags()
+	return v.res
+}
+
+// visit is one flattened node occurrence with its waiver scope.
+type visit struct {
+	n      *ir.Node
+	blk    *ir.Block
+	waived map[string]bool // pass name → warnings waived (nil when none)
+}
+
+// verifier carries the state shared by the passes.
+type verifier struct {
+	f    *ir.Func
+	arch *isa.Microarch
+	ix   *xmlspec.Index
+	res  *Result
+	// visits is every node in program order (outer block before nested
+	// bodies), with inherited waivers resolved.
+	visits []visit
+	// visitIx recovers a node's visit (and so its waiver scope) for
+	// passes that walk blocks directly.
+	visitIx map[*ir.Node]visit
+}
+
+// collect flattens the graph into program-order visits, resolving
+// "vet:allow" comment waivers as it goes.
+func (v *verifier) collect() {
+	v.visitIx = map[*ir.Node]visit{}
+	var walk func(b *ir.Block, inherited map[string]bool)
+	walk = func(b *ir.Block, inherited map[string]bool) {
+		waived, copied := inherited, false
+		for _, n := range b.Nodes {
+			if n.Def.Op == ir.OpComment {
+				if passes, ok := v.waiverOf(n); ok {
+					if !copied {
+						waived, copied = copyMap(inherited), true
+					}
+					for _, p := range passes {
+						waived[p] = true
+					}
+				}
+				continue
+			}
+			vi := visit{n: n, blk: b, waived: waived}
+			v.visits = append(v.visits, vi)
+			v.visitIx[n] = vi
+			for _, blk := range n.Def.Blocks {
+				walk(blk, waived)
+			}
+		}
+	}
+	walk(v.f.G.Root(), nil)
+	v.res.Nodes = len(v.visits)
+}
+
+// waiverOf parses a comment node's waiver annotation, returning the
+// named passes.
+func (v *verifier) waiverOf(n *ir.Node) ([]string, bool) {
+	c, ok := n.Def.Args[0].(ir.Const)
+	if !ok {
+		return nil, false
+	}
+	text := strings.TrimSpace(v.f.G.CommentText(int(c.AsInt())))
+	rest, ok := strings.CutPrefix(text, WaivePrefix)
+	if !ok {
+		return nil, false
+	}
+	var passes []string
+	for _, p := range strings.Split(rest, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			passes = append(passes, p)
+		}
+	}
+	return passes, len(passes) > 0
+}
+
+func copyMap(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m)+1)
+	for k, val := range m {
+		out[k] = val
+	}
+	return out
+}
+
+// report files a diagnostic for a node visit, honouring waivers for
+// non-error severities.
+func (v *verifier) report(vi visit, pass string, sev Severity, msg, fix string) {
+	if sev != Error && vi.waived[pass] {
+		return
+	}
+	v.res.Diags = append(v.res.Diags, Diagnostic{
+		Pass: pass, Sev: sev, Sym: vi.n.Sym.ID, Op: vi.n.Def.Op, Msg: msg, Fix: fix,
+	})
+}
+
+// reportFunc files a function-level diagnostic (no node anchor).
+func (v *verifier) reportFunc(pass string, sev Severity, msg string) {
+	v.res.Diags = append(v.res.Diags, Diagnostic{Pass: pass, Sev: sev, Sym: -1, Msg: msg})
+}
+
+// ptrArgs returns the indexes of the node's pointer-typed arguments.
+func ptrArgs(d *ir.Def) []int {
+	var out []int
+	for i, a := range d.Args {
+		if a.Type().Kind == ir.KindPtr {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// rootAndOffset chases PtrAdd chains from a pointer expression back to
+// its root symbol, accumulating the displacement in elements. known is
+// false when any displacement step is not a compile-time constant.
+func (v *verifier) rootAndOffset(e ir.Exp) (root ir.Sym, elems int64, known bool) {
+	known = true
+	s, ok := e.(ir.Sym)
+	if !ok {
+		return ir.Sym{ID: -1}, 0, false
+	}
+	for {
+		d, defined := v.f.G.Def(s)
+		if !defined || d.Op != ir.OpPtrAdd {
+			return s, elems, known
+		}
+		if c, isConst := d.Args[1].(ir.Const); isConst {
+			elems += c.AsInt()
+		} else {
+			known = false
+		}
+		base, isSym := d.Args[0].(ir.Sym)
+		if !isSym {
+			return s, elems, known
+		}
+		s = base
+	}
+}

@@ -1,0 +1,420 @@
+package irverify
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/kernels"
+)
+
+func arch(t *testing.T, name string) *isa.Microarch {
+	t.Helper()
+	m, err := isa.LookupMicroarch(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file when UPDATE_GOLDEN=1 is set in the environment.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if os.Getenv("UPDATE_GOLDEN") == "1" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics differ from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// --- negative paths: hand-built ill-formed graphs ---------------------------
+
+// Double definition: the same symbol bound to two nodes. Built by
+// appending a second node manually — the staging API cannot express it.
+func TestVerifyDoubleDefinition(t *testing.T) {
+	f := ir.NewFunc("dupdef", ir.TI32, ir.TI32)
+	g := f.G
+	x := g.Add(f.Param(0), f.Param(1))
+	s := x.(ir.Sym)
+	g.Root().Nodes = append(g.Root().Nodes, &ir.Node{Sym: s, Def: &ir.Def{
+		Op: ir.OpMul, Typ: ir.TI32,
+		Args:   []ir.Exp{f.Param(0), f.Param(1)},
+		Effect: ir.PureEffect,
+	}})
+	g.Root().Result = x
+
+	res := Verify(f, arch(t, "haswell"))
+	if res.Errors() == 0 {
+		t.Fatal("double definition not detected")
+	}
+	if res.Diags[0].Pass != "ssa" || res.Diags[0].Sev != Error {
+		t.Fatalf("expected ssa error first, got %+v", res.Diags[0])
+	}
+	checkGolden(t, "dupdef", res.Render())
+}
+
+// Lane mismatch: a 128-bit intrinsic fed 256-bit registers (and typed to
+// return 128 bits).
+func TestVerifyLaneMismatch(t *testing.T) {
+	f := ir.NewFunc("lanes")
+	g := f.G
+	va := g.Emit(&ir.Def{Op: "_mm256_setzero_ps", Typ: ir.TM256, Effect: ir.PureEffect})
+	vb := g.Emit(&ir.Def{Op: "_mm256_setzero_pd", Typ: ir.TM256d, Effect: ir.PureEffect})
+	sum := g.Emit(&ir.Def{Op: "_mm_add_ps", Typ: ir.TM128,
+		Args: []ir.Exp{va, vb}, Effect: ir.PureEffect})
+	g.Root().Result = sum
+
+	res := Verify(f, arch(t, "haswell"))
+	if res.Errors() == 0 {
+		t.Fatal("lane mismatch not detected")
+	}
+	var widths, elems bool
+	for _, d := range res.Diags {
+		if d.Pass != "type" {
+			continue
+		}
+		if strings.Contains(d.Msg, "lane count differs") {
+			widths = true
+		}
+		if strings.Contains(d.Msg, "element type differs") {
+			elems = true
+		}
+	}
+	if !widths {
+		t.Error("no lane-count diagnostic for the 256-bit ps argument")
+	}
+	if elems {
+		t.Error("pd argument should report a width error, not element type (256 vs 128 bits)")
+	}
+	checkGolden(t, "lanes", res.Render())
+}
+
+// Store staged as pure: the scheduler would drop it, and nothing orders
+// it against loads of the same array.
+func TestVerifyPureStore(t *testing.T) {
+	f := ir.NewFunc("purestore", ir.PtrType(isa.PrimF32))
+	g := f.G
+	v := g.Emit(&ir.Def{Op: "_mm256_setzero_ps", Typ: ir.TM256, Effect: ir.PureEffect})
+	g.EmitStmt(&ir.Def{Op: "_mm256_storeu_ps", Typ: ir.TVoid,
+		Args: []ir.Exp{f.Param(0), v}, Effect: ir.PureEffect})
+
+	res := Verify(f, arch(t, "haswell"))
+	if res.Errors() == 0 {
+		t.Fatal("pure store not detected")
+	}
+	var missingEffect, immutable bool
+	for _, d := range res.Diags {
+		if d.Pass == "effect" && d.Sev == Error {
+			if strings.Contains(d.Msg, "without a write effect") {
+				missingEffect = true
+			}
+			if strings.Contains(d.Msg, "immutable") {
+				immutable = true
+			}
+		}
+	}
+	if !missingEffect {
+		t.Error("missing-write-effect error not reported")
+	}
+	if !immutable {
+		t.Error("store through immutable parameter not reported")
+	}
+	checkGolden(t, "purestore", res.Render())
+}
+
+// AVX intrinsics verified against an SSE-only machine description.
+func TestVerifyISAUnavailable(t *testing.T) {
+	f := ir.NewFunc("avx2only")
+	g := f.G
+	za := g.Emit(&ir.Def{Op: "_mm256_setzero_si256", Typ: ir.TM256i, Effect: ir.PureEffect})
+	sum := g.Emit(&ir.Def{Op: "_mm256_add_epi32", Typ: ir.TM256i,
+		Args: []ir.Exp{za, za}, Effect: ir.PureEffect})
+	g.Root().Result = sum
+
+	res := Verify(f, arch(t, "nehalem"))
+	if res.Errors() == 0 {
+		t.Fatal("missing ISA not detected")
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass == "isa" && d.Sev == Error && strings.Contains(d.Msg, "AVX2") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no isa error naming AVX2")
+	}
+	// The same graph is clean on Haswell.
+	if r := Verify(f, arch(t, "haswell")); !r.Ok() {
+		t.Errorf("unexpected diagnostics on haswell:\n%s", r.Render())
+	}
+	checkGolden(t, "avx2only", res.Render())
+}
+
+// --- warnings: alignment, dead code, scans ----------------------------------
+
+func TestVerifyAlignmentFacts(t *testing.T) {
+	hw := arch(t, "haswell")
+	stage := func(aligned bool) *ir.Func {
+		k := dsl.NewKernel("aligned_load", hw.Features)
+		a := k.ParamF32Ptr()
+		if aligned {
+			a = dsl.Aligned(k, a, 32)
+		}
+		k.Return(kernelsReduce(k, k.MM256LoadPs(a, k.ConstInt(0))))
+		return k.F
+	}
+
+	res := Verify(stage(false), hw)
+	if res.Errors() != 0 {
+		t.Fatalf("alignment issues must be warnings:\n%s", res.Render())
+	}
+	var warned bool
+	for _, d := range res.Diags {
+		if d.Pass == "align" && d.Sev == Warning {
+			warned = true
+			if !strings.Contains(d.Fix, "_mm256_loadu_ps") {
+				t.Errorf("fix should suggest the unaligned variant, got %q", d.Fix)
+			}
+		}
+	}
+	if !warned {
+		t.Fatalf("aligned load without a fact not flagged:\n%s", res.Render())
+	}
+
+	if r := Verify(stage(true), hw); len(r.Diags) != 0 {
+		t.Errorf("declared fact should silence the pass:\n%s", r.Render())
+	}
+}
+
+// kernelsReduce folds a vector to a scalar so staged test kernels have a
+// scalar result (mirrors kernels.ReduceM256 without importing kernels).
+func kernelsReduce(k *dsl.Kernel, v dsl.M256) dsl.F32 {
+	lo := k.MM256Castps256Ps128(v)
+	hi := k.MM256Extractf128Ps(v, 1)
+	return k.MMCvtssF32(k.MMAddPs(lo, hi))
+}
+
+func TestVerifyDisplacementBreaksAlignment(t *testing.T) {
+	hw := arch(t, "haswell")
+	k := dsl.NewKernel("misaligned_disp", hw.Features)
+	a := dsl.Aligned(k, k.ParamF32Ptr(), 32)
+	// 4 floats = 16 bytes: breaks the 32-byte contract.
+	k.Return(kernelsReduce(k, k.MM256LoadPs(a, k.ConstInt(4))))
+
+	res := Verify(k.F, hw)
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass == "align" && strings.Contains(d.Msg, "breaks") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("constant displacement breaking alignment not flagged:\n%s", res.Render())
+	}
+}
+
+func TestVerifyDeadPureNode(t *testing.T) {
+	hw := arch(t, "haswell")
+	k := dsl.NewKernel("deadnode", hw.Features)
+	x := k.ParamF32()
+	_ = x.Mul(x) // computed, never used
+	k.Return(x.Add(x))
+
+	res := Verify(k.F, hw)
+	if res.Errors() != 0 {
+		t.Fatalf("dead code must be a warning:\n%s", res.Render())
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass == "dead" && d.Sev == Warning && d.Op == ir.OpMul {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dead mul not flagged:\n%s", res.Render())
+	}
+}
+
+func TestVerifyDeadStoreAndRedundantLoad(t *testing.T) {
+	hw := arch(t, "haswell")
+	k := dsl.NewKernel("scans", hw.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	v1 := k.MM256LoaduPs(b, k.ConstInt(0))
+	v2 := k.MM256LoaduPs(b, k.ConstInt(0)) // redundant
+	k.MM256StoreuPs(a, k.ConstInt(0), v1)  // dead: overwritten below
+	k.MM256StoreuPs(a, k.ConstInt(0), v2)
+
+	res := Verify(k.F, hw)
+	if res.Errors() != 0 {
+		t.Fatalf("scan findings must be warnings:\n%s", res.Render())
+	}
+	var dead, redundant bool
+	for _, d := range res.Diags {
+		if d.Pass != "effect" {
+			continue
+		}
+		if strings.Contains(d.Msg, "dead store") {
+			dead = true
+		}
+		if strings.Contains(d.Msg, "redundant load") {
+			redundant = true
+		}
+	}
+	if !dead || !redundant {
+		t.Errorf("dead=%v redundant=%v:\n%s", dead, redundant, res.Render())
+	}
+}
+
+// Loop bodies reset the scans: a store inside a loop is not overwritten
+// by the next iteration's store to the same staged address.
+func TestVerifyScanResetsAcrossLoops(t *testing.T) {
+	hw := arch(t, "haswell")
+	k := dsl.NewKernel("loopstore", hw.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+		k.MM256StoreuPs(a, i, k.MM256LoaduPs(a, i))
+	})
+	k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+		k.MM256StoreuPs(a, i, k.MM256LoaduPs(a, i))
+	})
+
+	res := Verify(k.F, hw)
+	if len(res.Diags) != 0 {
+		t.Errorf("stores in distinct loop bodies misflagged:\n%s", res.Render())
+	}
+}
+
+func TestVerifyWaiver(t *testing.T) {
+	hw := arch(t, "haswell")
+	stage := func(waive bool) *ir.Func {
+		k := dsl.NewKernel("waived", hw.Features)
+		a := k.ParamF32Ptr()
+		if waive {
+			k.Comment(WaivePrefix + " align")
+		}
+		k.Return(kernelsReduce(k, k.MM256LoadPs(a, k.ConstInt(0))))
+		return k.F
+	}
+	if r := Verify(stage(false), hw); r.Warnings() == 0 {
+		t.Fatal("expected an align warning without the waiver")
+	}
+	if r := Verify(stage(true), hw); r.Warnings() != 0 {
+		t.Errorf("vet:allow align did not suppress:\n%s", r.Render())
+	}
+}
+
+// --- shipped kernels: ngen vet must be clean --------------------------------
+
+func vetTargets() []VetTarget {
+	ts := kernels.Targets()
+	out := make([]VetTarget, 0, len(ts))
+	for _, t := range ts {
+		out = append(out, VetTarget{Name: t.Name, Requires: t.Requires, Build: t.Build})
+	}
+	return out
+}
+
+func TestVetShippedKernelsClean(t *testing.T) {
+	rep := Vet(vetTargets(), isa.Microarchs())
+	var buf bytes.Buffer
+	rep.Render(&buf)
+	if rep.Errors() != 0 || rep.Warnings() != 0 {
+		t.Errorf("shipped kernels must vet clean:\n%s", buf.String())
+	}
+	checked := 0
+	for _, e := range rep.Entries {
+		if e.Result != nil {
+			checked++
+		}
+	}
+	if want := 4; checked < len(kernels.Targets()) {
+		t.Errorf("only %d cells checked across %d machines (want at least one per target)", checked, want)
+	}
+}
+
+// --- determinism ------------------------------------------------------------
+
+// Re-staging and re-verifying must render byte-identically: sweeps at
+// -j1 and -j8 both see these strings.
+func TestVerifyDeterministicAcrossStagings(t *testing.T) {
+	hw := arch(t, "haswell")
+	stage := func() *ir.Func { return kernels.StagedSaxpy(hw.Features).F }
+	want := Verify(stage(), hw).Render()
+	for i := 0; i < 4; i++ {
+		if got := Verify(stage(), hw).Render(); got != want {
+			t.Fatalf("render differs on re-staging:\n%s\nvs\n%s", got, want)
+		}
+	}
+
+	// Concurrent verification of one shared graph is read-only and must
+	// agree byte-for-byte.
+	f := stage()
+	var wg sync.WaitGroup
+	outs := make([]string, 8)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = Verify(f, hw).Render()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range outs {
+		if got != want {
+			t.Fatalf("concurrent render %d differs", i)
+		}
+	}
+}
+
+func TestVetRenderDeterministic(t *testing.T) {
+	machines := isa.Microarchs()
+	var a, b bytes.Buffer
+	Vet(vetTargets(), machines).Render(&a)
+	Vet(vetTargets(), machines).Render(&b)
+	if a.String() != b.String() {
+		t.Fatal("vet report not byte-deterministic")
+	}
+}
+
+func TestWriteJSONSchema(t *testing.T) {
+	f := ir.NewFunc("jsonout")
+	g := f.G
+	za := g.Emit(&ir.Def{Op: "_mm256_setzero_si256", Typ: ir.TM256i, Effect: ir.PureEffect})
+	g.Root().Result = g.Emit(&ir.Def{Op: "_mm256_add_epi32", Typ: ir.TM256i,
+		Args: []ir.Exp{za, za}, Effect: ir.PureEffect})
+	res := Verify(f, arch(t, "nehalem"))
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "\n") != len(res.Diags) {
+		t.Errorf("expected %d JSON lines, got:\n%s", len(res.Diags), out)
+	}
+	for _, key := range []string{`"kernel":"jsonout"`, `"arch":"Nehalem"`, `"pass":"isa"`, `"severity":"error"`} {
+		if !strings.Contains(out, key) {
+			t.Errorf("JSON output missing %s:\n%s", key, out)
+		}
+	}
+}

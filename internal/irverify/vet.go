@@ -1,0 +1,145 @@
+package irverify
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// VetTarget is one kernel the vet driver checks: a name, the CPUID
+// families it stages unconditionally, and a constructor staging it
+// against a machine's feature set. It mirrors kernels.Target without
+// importing that package (the kernels live above the verifier).
+type VetTarget struct {
+	Name     string
+	Requires []isa.Family
+	Build    func(features isa.FeatureSet) (*ir.Func, error)
+}
+
+// VetEntry is one (kernel, machine) cell of a vet run.
+type VetEntry struct {
+	Kernel string
+	Arch   string
+	// Skipped is set (with the reason) when the machine lacks the
+	// target's required families, mirroring Runtime.Compile's MissingISAs
+	// rejection; Result is nil in that case.
+	Skipped string
+	// Err records a constructor failure (Result is nil).
+	Err error
+	// Result is the verification outcome for checked entries.
+	Result *Result
+}
+
+// VetReport is the outcome of verifying every target against every
+// machine, in deterministic (target, machine) order.
+type VetReport struct {
+	Entries []VetEntry
+}
+
+// Vet stages every target against every machine's feature set and
+// verifies the result, skipping machine/kernel pairs whose required
+// families are absent. Targets and machines are processed in the order
+// given; pass sorted slices for deterministic reports.
+func Vet(targets []VetTarget, machines []*isa.Microarch) *VetReport {
+	ix := SpecIndex()
+	rep := &VetReport{}
+	for _, t := range targets {
+		for _, m := range machines {
+			e := VetEntry{Kernel: t.Name, Arch: m.Name}
+			if missing := missingFamilies(t.Requires, m); len(missing) > 0 {
+				e.Skipped = "requires " + strings.Join(missing, ", ")
+			} else if f, err := t.Build(m.Features); err != nil {
+				e.Err = err
+			} else {
+				e.Result = VerifyWithSpec(f, m, ix)
+			}
+			rep.Entries = append(rep.Entries, e)
+		}
+	}
+	return rep
+}
+
+func missingFamilies(req []isa.Family, m *isa.Microarch) []string {
+	var out []string
+	for _, f := range req {
+		if !m.Features[f] {
+			out = append(out, f.String())
+		}
+	}
+	return out
+}
+
+// Errors returns the total error count across checked entries.
+func (r *VetReport) Errors() int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Result != nil {
+			n += e.Result.Errors()
+		}
+		if e.Err != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Warnings returns the total warning count across checked entries.
+func (r *VetReport) Warnings() int {
+	n := 0
+	for _, e := range r.Entries {
+		if e.Result != nil {
+			n += e.Result.Warnings()
+		}
+	}
+	return n
+}
+
+// Render writes the human-readable report: one line per (kernel,
+// machine) cell, diagnostics indented beneath their cell, and a summary
+// line. Output is byte-deterministic for fixed inputs.
+func (r *VetReport) Render(w io.Writer) {
+	checked, skipped := 0, 0
+	for _, e := range r.Entries {
+		switch {
+		case e.Skipped != "":
+			skipped++
+			fmt.Fprintf(w, "vet %-12s @ %-12s skip (%s)\n", e.Kernel, e.Arch, e.Skipped)
+		case e.Err != nil:
+			checked++
+			fmt.Fprintf(w, "vet %-12s @ %-12s FAIL (%v)\n", e.Kernel, e.Arch, e.Err)
+		default:
+			checked++
+			res := e.Result
+			status := "ok"
+			if res.Errors() > 0 {
+				status = fmt.Sprintf("%d errors, %d warnings", res.Errors(), res.Warnings())
+			} else if res.Warnings() > 0 {
+				status = fmt.Sprintf("%d warnings", res.Warnings())
+			}
+			fmt.Fprintf(w, "vet %-12s @ %-12s %s (%d nodes)\n", e.Kernel, e.Arch, status, res.Nodes)
+			for _, d := range res.Diags {
+				fmt.Fprintf(w, "    %s\n", d)
+			}
+		}
+	}
+	fmt.Fprintf(w, "vet: %d checked, %d skipped, %d errors, %d warnings\n",
+		checked, skipped, r.Errors(), r.Warnings())
+}
+
+// WriteJSON emits every checked entry's diagnostics as JSON lines (the
+// per-diagnostic schema of Result.WriteJSON; skips and empty results
+// produce no lines).
+func (r *VetReport) WriteJSON(w io.Writer) error {
+	for _, e := range r.Entries {
+		if e.Result == nil {
+			continue
+		}
+		if err := e.Result.WriteJSON(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

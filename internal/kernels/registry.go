@@ -1,0 +1,74 @@
+package kernels
+
+import (
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// Target is one registered kernel as the vet driver sees it: a name, the
+// CPUID families the kernel stages unconditionally (machines lacking
+// them skip the target instead of reporting the inevitable ISA errors —
+// the same decision Runtime.Compile makes dynamically via MissingISAs),
+// and a constructor staging it against a machine's feature set.
+type Target struct {
+	Name     string
+	Requires []isa.Family
+	Build    func(features isa.FeatureSet) (*ir.Func, error)
+}
+
+// Targets lists every kernel this package ships, in a stable order. The
+// ngen vet subcommand and the verifier tests range over this; a kernel
+// missing from the list escapes static checking, so constructors added
+// to the package should be registered here.
+func Targets() []Target {
+	return []Target{
+		{Name: "saxpy", Requires: []isa.Family{isa.AVX, isa.FMA},
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedSaxpy(fs).F, nil }},
+		{Name: "JSaxpy",
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return JavaSaxpy(fs), nil }},
+		{Name: "saxpy_multi", // dispatches on the feature set; runs anywhere
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedSaxpyMulti(fs).F, nil }},
+		{Name: "mmm_blocked", Requires: []isa.Family{isa.AVX},
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedMMM(fs).F, nil }},
+		{Name: "mmm_naive", Requires: []isa.Family{isa.AVX, isa.FMA},
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedMMMNaive(fs).F, nil }},
+		{Name: "JMMM_triple",
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return JavaMMMTriple(fs), nil }},
+		{Name: "JMMM_blocked",
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return JavaMMMBlocked(fs), nil }},
+		{Name: "dot32", Requires: []isa.Family{isa.AVX, isa.FMA},
+			Build: stagedDotTarget(32)},
+		{Name: "dot16", Requires: []isa.Family{isa.AVX, isa.FMA, isa.FP16C},
+			Build: stagedDotTarget(16)},
+		{Name: "dot8", Requires: []isa.Family{isa.AVX2},
+			Build: stagedDotTarget(8)},
+		{Name: "dot4", Requires: []isa.Family{isa.AVX2},
+			Build: stagedDotTarget(4)},
+		{Name: "dot4_alu", Requires: []isa.Family{isa.AVX2},
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedDot4ALU(fs).F, nil }},
+		{Name: "JDot32", Build: javaDotTarget(32)},
+		{Name: "JDot16", Build: javaDotTarget(16)},
+		{Name: "JDot8", Build: javaDotTarget(8)},
+		{Name: "JDot4", Build: javaDotTarget(4)},
+		{Name: "dot512", Requires: []isa.Family{isa.AVX512},
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedDot512(fs).F, nil }},
+		{Name: "logistic", Requires: []isa.Family{isa.AVX}, // SVML rides on any vector ISA
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) { return StagedLogistic(fs).F, nil }},
+	}
+}
+
+func stagedDotTarget(bits int) func(isa.FeatureSet) (*ir.Func, error) {
+	return func(fs isa.FeatureSet) (*ir.Func, error) {
+		k, err := StagedDot(bits, fs)
+		if err != nil {
+			return nil, err
+		}
+		return k.F, nil
+	}
+}
+
+func javaDotTarget(bits int) func(isa.FeatureSet) (*ir.Func, error) {
+	return func(fs isa.FeatureSet) (*ir.Func, error) {
+		return JavaDot(bits, fs)
+	}
+}
