@@ -9,9 +9,9 @@ GO ?= go
 RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs
 FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race fuzz bench docs
+.PHONY: ci fmt vet build test race fuzz bench benchsmoke docs
 
-ci: fmt vet build test race fuzz docs
+ci: fmt vet build test race fuzz benchsmoke docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -32,13 +32,19 @@ race:
 # Bounded fuzz smoke: each existing vm fuzz target runs for FUZZTIME.
 # `go test -fuzz` accepts one target per invocation, hence the loop.
 fuzz:
-	@for t in FuzzF16RoundTrip FuzzXorshiftUniform; do \
+	@for t in FuzzF16RoundTrip FuzzXorshiftUniform FuzzIntoOpsAgree; do \
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test -run xxx -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/vm || exit 1; \
 	done
 
+# bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) run ./cmd/ngen benchjson BENCH_pr4.json
+
+# benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
+# schema-valid file, without the full sweep cost.
+benchsmoke:
+	$(GO) run ./cmd/ngen -quick benchjson /tmp/bench_smoke.json
 
 # Every internal package must carry a godoc package comment
 # ("// Package <name> ..."), canonically in its doc.go.

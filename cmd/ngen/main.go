@@ -15,6 +15,9 @@
 //	ngen vet [-json]         # statically verify every registered kernel on
 //	                         # every machine description (irverify pass stack);
 //	                         # exits 1 if any error-severity diagnostic fires
+//	ngen benchjson [out]     # run the figure sweeps and write the
+//	                         # machine-readable benchmark record
+//	                         # (default BENCH_pr4.json)
 //	ngen all   [-quick]      # everything
 //	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
 //	                         # print per-stage time totals, compile-cache and
@@ -55,10 +58,11 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
+	optimize := flag.Bool("O", true, "kernelc loop-nest optimizer (-O=false runs the plain interpreter tier)")
 	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -119,6 +123,9 @@ func main() {
 	inspect := tr.Start("ngen.inspect")
 	s := bench.NewSuite()
 	inspect.End()
+	if !*optimize {
+		s.RT.Opt = kernelc.TierPlain
+	}
 	s.Attach(tr, reg)
 	s.Workers = *workers
 	if *quick {
@@ -286,6 +293,12 @@ func run(s *bench.Suite, cmd string, quick bool) error {
 		return cacheValidate(s)
 	case "slp":
 		return slpReports()
+	case "benchjson":
+		path := flag.Arg(1)
+		if path == "" {
+			path = "BENCH_pr4.json"
+		}
+		return benchJSON(s, quick, path)
 	case "all":
 		for _, f := range []func() error{
 			func() error { fmt.Println(s.RT.SystemReport()); return nil },
@@ -504,6 +517,58 @@ func slpReports() error {
 		for _, r := range m.SLP.Rejections {
 			fmt.Printf("  %-22s   rejected: %s\n", "", r)
 		}
+	}
+	return nil
+}
+
+// benchJSON runs the three figure sweeps and records each as one
+// FigureStat — wall seconds, total dynamic vm ops, and heap allocations
+// per op (runtime.MemStats mallocs over the sweep, amortized) — then
+// re-reads the file so a schema regression fails the run, not a later
+// consumer.
+func benchJSON(s *bench.Suite, quick bool, path string) error {
+	rep := bench.BenchReport{}
+	figures := []struct {
+		name string
+		run  func() error
+	}{
+		{"fig6a", func() error { _, err := s.Fig6a(sizes6a(quick)); return err }},
+		{"fig6b", func() error { _, err := s.Fig6b(sizes6b(quick)); return err }},
+		{"fig7", func() error { _, err := s.Fig7(sizes7(quick)); return err }},
+	}
+	var ms0, ms1 runtime.MemStats
+	for _, fig := range figures {
+		before := s.SweepCounts.Total()
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if err := fig.run(); err != nil {
+			return err
+		}
+		secs := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&ms1)
+		ops := s.SweepCounts.Total() - before
+		if ops <= 0 {
+			return fmt.Errorf("benchjson: %s executed no vm ops", fig.name)
+		}
+		rep[fig.name] = bench.FigureStat{
+			Seconds:     secs,
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+			Ops:         ops,
+		}
+	}
+	if err := bench.WriteBenchJSON(path, rep); err != nil {
+		return err
+	}
+	read, err := bench.ReadBenchJSON(path)
+	if err != nil {
+		return fmt.Errorf("benchjson: wrote %s but it fails to re-read: %w", path, err)
+	}
+	fmt.Printf("benchjson → %s\n", path)
+	for _, name := range read.Figures() {
+		st := read[name]
+		fmt.Printf("  %-8s %8.2fs %14d ops %10.4f allocs/op\n",
+			name, st.Seconds, st.Ops, st.AllocsPerOp)
 	}
 	return nil
 }

@@ -1,0 +1,81 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// FigureStat is one figure sweep's machine-readable benchmark record,
+// the schema behind BENCH_pr4.json: wall time, dynamic vm op volume,
+// and heap allocations amortized over those ops (the zero-alloc hot
+// path keeps this near the fixed per-sweep compile cost).
+type FigureStat struct {
+	Seconds     float64 `json:"seconds"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Ops         int64   `json:"ops"`
+}
+
+// BenchReport maps a figure id ("fig6a", …) to its sweep statistics.
+type BenchReport map[string]FigureStat
+
+// Validate rejects records no real run can produce, so a truncated or
+// hand-mangled JSON file fails loudly instead of feeding the docs.
+func (r BenchReport) Validate() error {
+	if len(r) == 0 {
+		return fmt.Errorf("bench: report has no figures")
+	}
+	for _, name := range r.Figures() {
+		st := r[name]
+		if st.Seconds <= 0 {
+			return fmt.Errorf("bench: %s: non-positive wall time %v", name, st.Seconds)
+		}
+		if st.Ops <= 0 {
+			return fmt.Errorf("bench: %s: non-positive op count %d", name, st.Ops)
+		}
+		if st.AllocsPerOp < 0 {
+			return fmt.Errorf("bench: %s: negative allocs/op %v", name, st.AllocsPerOp)
+		}
+	}
+	return nil
+}
+
+// Figures lists the report's figure ids in sorted order.
+func (r BenchReport) Figures() []string {
+	out := make([]string, 0, len(r))
+	for name := range r {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WriteBenchJSON writes the report as indented JSON (keys sorted by
+// encoding/json), validating first.
+func WriteBenchJSON(path string, r BenchReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchJSON loads and validates a report written by WriteBenchJSON.
+func ReadBenchJSON(path string) (BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

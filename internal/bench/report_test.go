@@ -1,0 +1,64 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func writeFileOrFatal(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	rep := BenchReport{
+		"fig6a": {Seconds: 1.25, AllocsPerOp: 0.0003, Ops: 123456},
+		"fig6b": {Seconds: 9.5, AllocsPerOp: 0, Ops: 7890123},
+	}
+	if err := WriteBenchJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("round trip mutated the report:\nwrote: %+v\nread:  %+v", rep, got)
+	}
+	if figs := got.Figures(); len(figs) != 2 || figs[0] != "fig6a" || figs[1] != "fig6b" {
+		t.Fatalf("Figures() order: %v", figs)
+	}
+}
+
+func TestBenchReportValidation(t *testing.T) {
+	cases := map[string]BenchReport{
+		"empty":         {},
+		"zero seconds":  {"x": {Seconds: 0, Ops: 1}},
+		"zero ops":      {"x": {Seconds: 1, Ops: 0}},
+		"neg allocs/op": {"x": {Seconds: 1, Ops: 1, AllocsPerOp: -1}},
+	}
+	for name, rep := range cases {
+		if err := rep.Validate(); err == nil {
+			t.Errorf("%s: invalid report passed validation", name)
+		}
+		if err := WriteBenchJSON(filepath.Join(t.TempDir(), "x.json"), rep); err == nil {
+			t.Errorf("%s: WriteBenchJSON accepted an invalid report", name)
+		}
+	}
+}
+
+func TestReadBenchJSONRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if _, err := ReadBenchJSON(path); err == nil {
+		t.Error("missing file must error")
+	}
+	writeFileOrFatal(t, path, "{not json")
+	if _, err := ReadBenchJSON(path); err == nil {
+		t.Error("malformed JSON must error")
+	}
+}

@@ -54,6 +54,12 @@ type Runtime struct {
 	// calls nest under the point that triggered them. With Span nil,
 	// stage spans are top-level on Tracer.
 	Span *obs.Span
+	// Opt selects the kernelc lowering tier. The zero value is
+	// kernelc.TierOpt (loop-nest optimizer on); set kernelc.TierPlain to
+	// reproduce the pre-optimizer interpreter for differential runs. The
+	// tier is part of the compile-cache key, so runtimes at different
+	// tiers sharing one cache never cross-contaminate.
+	Opt kernelc.Tier
 }
 
 // span opens one pipeline-stage span under the runtime's current
@@ -96,7 +102,7 @@ func DefaultRuntime() *Runtime {
 func (rt *Runtime) Fork() *Runtime {
 	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
 		Machine: vm.NewMachine(rt.Arch), Cache: rt.Cache,
-		Tracer: rt.Tracer, Metrics: rt.Metrics}
+		Tracer: rt.Tracer, Metrics: rt.Metrics, Opt: rt.Opt}
 }
 
 // NewKernel starts staging a kernel against this runtime's detected
@@ -110,12 +116,14 @@ func (rt *Runtime) NewKernel(name string) *dsl.Kernel {
 // cacheKey identifies one compiled artifact: the structural graph hash
 // plus everything else that shapes the output — kernel name (embedded in
 // the C translation unit and link command), microarchitecture (flags,
-// feature checks) and toolchain (command line).
+// feature checks), toolchain (command line) and lowering tier (opt vs
+// plain interpreter programs differ).
 type cacheKey struct {
 	hash      uint64
 	name      string
 	arch      string
 	toolchain string
+	tier      kernelc.Tier
 }
 
 // artifact is the immutable, machine-independent product of one compile:
@@ -215,6 +223,9 @@ func (rt *Runtime) PublishMetrics() {
 	gets, news := kernelc.PoolStats()
 	r.Gauge("kernelc.pool.gets").Set(gets)
 	r.Gauge("kernelc.pool.news").Set(news)
+	resets, slots := kernelc.ArenaStats()
+	r.Gauge("vec.arena.resets").Set(resets)
+	r.Gauge("vec.arena.slots").Set(slots)
 	rt.Machine.Counts.Publish(r, "vm.op.")
 }
 
@@ -263,6 +274,7 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 		name:      k.Name(),
 		arch:      rt.Arch.Name,
 		toolchain: rt.Toolchain.Name + " " + rt.Toolchain.Version,
+		tier:      rt.Opt,
 	}
 	if sp != nil {
 		sp.SetAttr("hash", fmt.Sprintf("%016x", key.hash))
@@ -314,11 +326,22 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 		return nil, err
 	}
 	sp = parent.Child("kernelc.compile")
-	prog, err := kernelc.Compile(k.F)
+	prog, err := kernelc.CompileTier(k.F, rt.Opt)
 	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	// The optimizer's per-compile yield, as a span (structure) and as
+	// counters (totals across compiles).
+	sp = parent.Child("opt.run")
+	sp.SetAttr("tier", rt.Opt.String()).
+		SetAttr("hoisted", fmt.Sprint(prog.Hoisted())).
+		SetAttr("strength", fmt.Sprint(prog.Strength())).
+		SetAttr("chains", fmt.Sprint(prog.FusedChains()))
+	sp.End()
+	rt.Metrics.Counter("opt.hoisted").Add(int64(prog.Hoisted()))
+	rt.Metrics.Counter("opt.strength").Add(int64(prog.Strength()))
+	rt.Metrics.Counter("opt.fused.chain").Add(int64(prog.FusedChains()))
 	sp = parent.Child("toolchain.link")
 	lib := "lib" + k.Name() + ".so"
 	command := rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib)

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/kernelc"
+)
+
+// TestCompileCacheTierIsolation shares one cache between an optimized
+// and a plain-tier runtime: the same staged graph must occupy two
+// entries (the tier is part of the key), and each runtime must hit only
+// its own entry on recompile.
+func TestCompileCacheTierIsolation(t *testing.T) {
+	opt := DefaultRuntime()
+	plain := DefaultRuntime()
+	plain.Opt = kernelc.TierPlain
+	plain.Cache = opt.Cache // one shared cache, two lowering tiers
+
+	if opt.Opt != kernelc.TierOpt {
+		t.Fatalf("zero-valued runtime must default to the optimized tier, got %v", opt.Opt)
+	}
+
+	if _, err := opt.Compile(stageSumSquares(opt)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Compile(stageSumSquares(plain)); err != nil {
+		t.Fatal(err)
+	}
+	if st := opt.CacheStats(); st.Hits != 0 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("same kernel at two tiers must occupy two entries: %+v", st)
+	}
+
+	// Recompiles at each tier hit their own entries.
+	if _, err := opt.Compile(stageSumSquares(opt)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Compile(stageSumSquares(plain)); err != nil {
+		t.Fatal(err)
+	}
+	if st := opt.CacheStats(); st.Hits != 2 || st.Misses != 2 || st.Entries != 2 {
+		t.Fatalf("tier recompiles must hit their own entries: %+v", st)
+	}
+}
+
+// TestForkPropagatesTier checks forked sweep workers inherit the
+// parent's lowering tier — a plain-tier suite must stay plain across
+// its parallel workers or differential sweeps would silently compare a
+// tier against itself.
+func TestForkPropagatesTier(t *testing.T) {
+	rt := DefaultRuntime()
+	rt.Opt = kernelc.TierPlain
+	if f := rt.Fork(); f.Opt != kernelc.TierPlain {
+		t.Fatalf("fork dropped the lowering tier: got %v", f.Opt)
+	}
+}
+
+// TestTierProgramsAgree runs the same kernel compiled at both tiers and
+// demands identical results and identical dynamic op counts — the
+// cost-model invariant at the core API level.
+func TestTierProgramsAgree(t *testing.T) {
+	opt := DefaultRuntime()
+	plain := DefaultRuntime()
+	plain.Opt = kernelc.TierPlain
+
+	knO, err := opt.Compile(stageSumSquares(opt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	knP, err := plain.Compile(stageSumSquares(plain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, 7, 100} {
+		opt.Machine.Counts.Reset()
+		plain.Machine.Counts.Reset()
+		gotO, err := knO.Call(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotP, err := knP.Call(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotO != gotP {
+			t.Fatalf("n=%d: tiers disagree: opt=%v plain=%v", n, gotO, gotP)
+		}
+		for k, v := range plain.Machine.Counts {
+			if opt.Machine.Counts[k] != v {
+				t.Fatalf("n=%d: counter %q diverges: opt=%d plain=%d",
+					n, k, opt.Machine.Counts[k], v)
+			}
+		}
+		if len(opt.Machine.Counts) != len(plain.Machine.Counts) {
+			t.Fatalf("n=%d: counter sets differ:\nopt:   %v\nplain: %v",
+				n, opt.Machine.Counts, plain.Machine.Counts)
+		}
+	}
+}

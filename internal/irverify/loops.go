@@ -1,0 +1,32 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// loopPass flags counted loops whose stride is statically known and not
+// positive. The eDSL stages every For/ForAcc stride as a compile-time
+// constant, so a zero stride (an infinite loop in the generated C, an
+// unconditional "forloop stride 0 must be positive" abort in the
+// interpreter) is decidable here — at compile time, before any kernel
+// runs. Strides that only materialise at run time stay a runtime check.
+func (v *verifier) loopPass() {
+	const pass = "loop"
+	for _, vi := range v.visits {
+		d := vi.n.Def
+		if d.Op != ir.OpLoop || len(d.Args) < 3 {
+			continue
+		}
+		c, ok := d.Args[2].(ir.Const)
+		if !ok {
+			continue // runtime-valued stride: checked when the loop runs
+		}
+		if s := c.AsInt(); s <= 0 {
+			v.report(vi, pass, Error,
+				fmt.Sprintf("loop stride is statically %d: the interpreter aborts on non-positive strides and the generated C never terminates", s),
+				"stage a positive stride")
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package irverify
+
+import (
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+// stageStrideKernel stages a scalar loop with the given constant
+// stride; the eDSL lowers the stride to an ir.Const, which is what
+// makes it statically checkable.
+func stageStrideKernel(stride int) *dsl.Kernel {
+	k := dsl.NewKernel("stride_probe", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, stride, func(i dsl.Int) {
+		a.Set(i, i)
+	})
+	return k
+}
+
+// TestLoopPassFlagsStaticZeroStride: a statically zero stride must be a
+// compile-time error, not the runtime abort it was before — the graph
+// never reaches the C emitter or the kernel compiler.
+func TestLoopPassFlagsStaticZeroStride(t *testing.T) {
+	res := Verify(stageStrideKernel(0).F, arch(t, "haswell"))
+	if res.Errors() == 0 {
+		t.Fatal("statically zero loop stride not detected")
+	}
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass == "loop" && d.Sev == Error {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no loop-pass error among diagnostics:\n%s", res.Render())
+	}
+	checkGolden(t, "zerostride", res.Render())
+}
+
+// TestLoopPassFlagsNegativeStride covers the other non-positive case.
+func TestLoopPassFlagsNegativeStride(t *testing.T) {
+	res := Verify(stageStrideKernel(-4).F, arch(t, "haswell"))
+	if res.Errors() == 0 {
+		t.Fatal("statically negative loop stride not detected")
+	}
+}
+
+// TestLoopPassAcceptsPositiveStride keeps the pass quiet on the normal
+// shape, including non-unit strides.
+func TestLoopPassAcceptsPositiveStride(t *testing.T) {
+	for _, s := range []int{1, 8} {
+		res := Verify(stageStrideKernel(s).F, arch(t, "haswell"))
+		for _, d := range res.Diags {
+			if d.Pass == "loop" {
+				t.Fatalf("stride %d flagged: %s", s, d)
+			}
+		}
+	}
+}

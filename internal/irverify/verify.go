@@ -58,6 +58,7 @@ func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result 
 		v.isaPass()
 		v.alignPass()
 		v.deadPass()
+		v.loopPass()
 	}
 	v.res.sortDiags()
 	return v.res

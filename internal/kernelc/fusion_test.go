@@ -29,11 +29,11 @@ func saxpyInputs(n int) (*vm.Buffer, []vm.Value) {
 // identical memory contents, identical instruction counters.
 func TestFusionPreservesSemantics(t *testing.T) {
 	k := stageSaxpy(t)
-	fused, err := compileWith(k.F, true)
+	fused, err := CompileWith(k.F, Options{Fuse: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := compileWith(k.F, false)
+	plain, err := CompileWith(k.F, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

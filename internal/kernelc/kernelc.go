@@ -12,8 +12,8 @@
 // language constructs) accumulate in the machine's Counter, which the
 // analytical cost model converts to cycles.
 //
-// Three compile-time optimisations keep the interpreter off the profile
-// without changing any observable count or result:
+// Several compile-time optimisations keep the interpreter off the
+// profile without changing any observable count or result:
 //
 //   - Static count batching: the per-op increments inside a straight-line
 //     block are a fixed multiset, so loops add (key, n·iters) once per
@@ -21,11 +21,26 @@
 //   - Superinstruction fusion: a value produced by one node and consumed
 //     exactly once by the immediately following node (load→op, op→store
 //     and friends) is passed directly instead of through a register,
-//     collapsing two closure dispatches into one.
+//     collapsing two closure dispatches into one. Fusion composes
+//     transitively into full load→op→…→store chains; FusedChains counts
+//     the chains of length ≥ 3.
 //   - Frame pooling: register frames and intrinsic-argument scratch are
 //     recycled through a sync.Pool, so steady-state Run does not
 //     allocate. Programs are safe to Run concurrently; each Run owns a
-//     private frame.
+//     private frame. The scratch region doubles as the per-frame vector
+//     arena: fused intermediates live there and are overwritten (reset)
+//     on every loop iteration instead of being reallocated.
+//   - The loop-nest optimizer (Options.Optimize, see optimize.go):
+//     loop-invariant scalar defs are hoisted out of loop bodies and run
+//     once at loop entry, affine i32 functions of the induction variable
+//     (base + i*stride address math) are strength-reduced to one
+//     incremental add per iteration, and evaluation is destination-
+//     passing — node results are written straight into their register
+//     (vm.Intrinsic.FnInto) instead of being copied through a returned
+//     vm.Value. Dynamic counts are preserved exactly: hoisted and
+//     strength-reduced nodes keep their entries in the body's static
+//     count vector, so the cost model — and therefore every figure —
+//     sees the identical op stream.
 package kernelc
 
 import (
@@ -60,6 +75,54 @@ const (
 	OpBranch      = "scalar.branch"
 )
 
+// Options selects the interpreter's compile-time optimisation passes.
+// The zero value disables everything; use DefaultOptions (or Compile)
+// for the shipping configuration.
+type Options struct {
+	// Fuse enables superinstruction fusion (PR 1).
+	Fuse bool
+	// Optimize enables the loop-nest optimizer: loop-invariant code
+	// motion, strength reduction of affine induction-variable math, and
+	// destination-passing evaluation (see optimize.go).
+	Optimize bool
+}
+
+// DefaultOptions is the shipping configuration: everything on.
+func DefaultOptions() Options { return Options{Fuse: true, Optimize: true} }
+
+// Tier names a bundled optimisation level, used by the compile cache to
+// keep artifacts from different configurations apart. The zero value is
+// the fully optimized tier, so zero-valued runtimes get the fast path.
+type Tier int
+
+const (
+	// TierOpt is the default: fusion plus the loop-nest optimizer.
+	TierOpt Tier = iota
+	// TierPlain is the PR-1-era pipeline: fusion only, no loop-nest
+	// optimizer. Differential tests diff it against TierOpt.
+	TierPlain
+)
+
+// String names the tier for cache keys and span attributes.
+func (t Tier) String() string {
+	switch t {
+	case TierPlain:
+		return "plain"
+	default:
+		return "opt"
+	}
+}
+
+// Options expands the tier into its pass selection.
+func (t Tier) Options() Options {
+	switch t {
+	case TierPlain:
+		return Options{Fuse: true, Optimize: false}
+	default:
+		return DefaultOptions()
+	}
+}
+
 // Program is a compiled kernel.
 type Program struct {
 	F          *ir.Func
@@ -70,12 +133,27 @@ type Program struct {
 	rootCounts []countDelta // static op counts of the root block
 	result     *argRef
 	fused      int // superinstructions formed
+	hoisted    int // loop-invariant nodes moved to loop entry
+	strength   int // induction-variable nodes reduced to incremental adds
+	chains     int // fusion chains of length ≥ 3 (load→op→…→store)
 	pool       sync.Pool
 }
 
 // FusedOps returns how many producer nodes were fused into their
 // consumers (for tests and diagnostics).
 func (p *Program) FusedOps() int { return p.fused }
+
+// Hoisted returns how many loop-invariant nodes the optimizer moved to
+// their loop's entry.
+func (p *Program) Hoisted() int { return p.hoisted }
+
+// Strength returns how many affine induction-variable nodes were
+// strength-reduced to one incremental add per iteration.
+func (p *Program) Strength() int { return p.strength }
+
+// FusedChains returns how many fusion chains collapse three or more
+// nodes (a load→op→…→store superinstruction rather than a pair).
+func (p *Program) FusedChains() int { return p.chains }
 
 // Frame-pool traffic across all programs: gets counts every Run's frame
 // checkout, news counts the checkouts the pool had to satisfy with a
@@ -99,16 +177,49 @@ func ResetPoolStats() {
 	poolNews.Store(0)
 }
 
+// Vector-arena traffic across all programs: resets counts how many
+// times a loop iteration recycled its frame's scratch arena in place
+// (one per iteration of every loop an optimized program runs), slots
+// counts the arena capacity compiled into programs. Both feed the
+// obs gauges vec.arena.resets / vec.arena.slots.
+var (
+	arenaResets atomic.Int64
+	arenaSlots  atomic.Int64
+)
+
+// ArenaStats returns cumulative arena reuse events and compiled arena
+// slots since process start (or the last ResetArenaStats).
+func ArenaStats() (resets, slots int64) {
+	return arenaResets.Load(), arenaSlots.Load()
+}
+
+// ResetArenaStats zeroes the arena counters (tests).
+func ResetArenaStats() {
+	arenaResets.Store(0)
+	arenaSlots.Store(0)
+}
+
 type frame struct {
 	regs    []vm.Value
 	scratch []vm.Value
 	m       *vm.Machine
+	// arena accumulates loop-iteration arena reuses during one Run and
+	// is flushed to arenaResets when the frame is returned to the pool.
+	arena int64
+	// sink absorbs the unused destination of void destination-passing
+	// ops (stores).
+	sink vm.Value
 }
 
 type op func(fr *frame) error
 
 // evalFn produces one node's value (the zero Value for void nodes).
 type evalFn func(fr *frame) (vm.Value, error)
+
+// evalIntoFn is the destination-passing form: the node's value is
+// written into *out (void nodes leave it untouched), avoiding a copy of
+// the 112-byte vm.Value through a return.
+type evalIntoFn func(fr *frame, out *vm.Value) error
 
 // countDelta is one entry of a block's static count vector: executing
 // the block's straight-line ops once adds n to key.
@@ -118,24 +229,43 @@ type countDelta struct {
 }
 
 // inline requests that a fused producer's evaluator replace the
-// consumer's argument at position pos.
+// consumer's argument at position pos. evalInto, when non-nil, lets the
+// consumer evaluate the producer straight into its scratch-arena slot.
 type inline struct {
-	pos  int
-	eval evalFn
+	pos      int
+	eval     evalFn
+	evalInto evalIntoFn
+	chain    int // producers already folded into this evaluator
 }
 
 // valNode is a compiled simple (non-control) node, held back briefly by
 // compileBlock so the next node may fuse it.
 type valNode struct {
-	eval   evalFn
-	void   bool
-	dst    int
-	counts []countDelta
-	sym    ir.Sym
+	eval evalFn
+	// evalInto, when non-nil, is the destination-passing fast path used
+	// by the optimized tier in place of eval.
+	evalInto evalIntoFn
+	void     bool
+	dst      int
+	counts   []countDelta
+	sym      ir.Sym
+	chain    int // fused producers folded into this node
 }
 
 // asOp finalises a node that was not fused away.
 func (v *valNode) asOp() op {
+	if v.evalInto != nil {
+		into := v.evalInto
+		if v.void {
+			return func(fr *frame) error {
+				return into(fr, &fr.sink)
+			}
+		}
+		dst := v.dst
+		return func(fr *frame) error {
+			return into(fr, &fr.regs[dst])
+		}
+	}
 	eval := v.eval
 	if v.void {
 		return func(fr *frame) error {
@@ -182,7 +312,15 @@ type compiler struct {
 	uses        map[int]int
 	scratchNext int
 	fuse        bool
+	opt         bool
 	fused       int
+	hoisted     int
+	strength    int
+	chains      int
+	// skip marks nodes (by sym id) the loop optimizer has claimed:
+	// compileBlock leaves them out of the body so the loop driver can
+	// run them at entry (hoisted) or incrementally (strength-reduced).
+	skip map[int]bool
 }
 
 // strided reports whether an index expression strides by the innermost
@@ -222,16 +360,20 @@ func (c *compiler) strided(idx ir.Exp) bool {
 	return walk(idx, 0)
 }
 
-// Compile lowers a staged function to an executable program. Staging
-// errors surface here: intrinsics without executable semantics, unbound
-// symbols, unsupported ops.
-func Compile(f *ir.Func) (*Program, error) { return compileWith(f, true) }
+// Compile lowers a staged function to an executable program at the
+// default (fully optimized) tier. Staging errors surface here:
+// intrinsics without executable semantics, unbound symbols, unsupported
+// ops.
+func Compile(f *ir.Func) (*Program, error) { return CompileWith(f, DefaultOptions()) }
 
-// compileWith exposes the fusion switch so tests can compare fused and
-// unfused programs op-for-op.
-func compileWith(f *ir.Func, fuse bool) (*Program, error) {
+// CompileTier compiles at a named tier (the compile cache keys on it).
+func CompileTier(f *ir.Func, t Tier) (*Program, error) { return CompileWith(f, t.Options()) }
+
+// CompileWith exposes the optimisation switches so differential tests
+// can compare configurations op-for-op.
+func CompileWith(f *ir.Func, o Options) (*Program, error) {
 	c := &compiler{f: f, sched: ir.Schedule(f), slots: map[int]int{},
-		uses: map[int]int{}, fuse: fuse}
+		uses: map[int]int{}, fuse: o.Fuse, opt: o.Optimize, skip: map[int]bool{}}
 	c.countUses(f.G.Root())
 	p := &Program{F: f}
 	for _, prm := range f.Params {
@@ -253,6 +395,10 @@ func compileWith(f *ir.Func, fuse bool) (*Program, error) {
 	p.nRegs = c.next
 	p.scratchLen = c.scratchNext
 	p.fused = c.fused
+	p.hoisted = c.hoisted
+	p.strength = c.strength
+	p.chains = c.chains
+	arenaSlots.Add(int64(p.scratchLen))
 	p.pool.New = func() any {
 		poolNews.Add(1)
 		return &frame{
@@ -361,6 +507,9 @@ func (c *compiler) compileBlock(b *ir.Block) ([]op, []countDelta, error) {
 	var pending *valNode
 	flush := func() {
 		if pending != nil {
+			if pending.chain >= 2 {
+				c.chains++
+			}
 			ops = append(ops, pending.asOp())
 			counts = append(counts, pending.counts...)
 			pending = nil
@@ -368,6 +517,12 @@ func (c *compiler) compileBlock(b *ir.Block) ([]op, []countDelta, error) {
 	}
 	for _, n := range c.sched.Keep[b] {
 		d := n.Def
+		if c.skip[n.Sym.ID] {
+			// Claimed by the loop optimizer; the loop driver executes it.
+			// pending survives: removing this node makes its neighbours
+			// adjacent, which can only create more fusion.
+			continue
+		}
 		switch d.Op {
 		case ir.OpComment, ir.OpParam:
 			continue
@@ -391,7 +546,8 @@ func (c *compiler) compileBlock(b *ir.Block) ([]op, []countDelta, error) {
 			var prodCounts []countDelta
 			if c.fuse && pending != nil && !pending.void && c.uses[pending.sym.ID] == 1 {
 				if pos := fusablePos(d, pending.sym); pos >= 0 {
-					inl = &inline{pos: pos, eval: pending.eval}
+					inl = &inline{pos: pos, eval: pending.eval,
+						evalInto: pending.evalInto, chain: pending.chain}
 					prodCounts = pending.counts
 					pending = nil
 					c.fused++
@@ -404,6 +560,7 @@ func (c *compiler) compileBlock(b *ir.Block) ([]op, []countDelta, error) {
 			}
 			if inl != nil {
 				vn.counts = append(append([]countDelta{}, prodCounts...), vn.counts...)
+				vn.chain = inl.chain + 1
 			}
 			pending = vn
 		}
@@ -500,6 +657,59 @@ func (c *compiler) compileIntrinsic(n *ir.Node, inl *inline) (*valNode, error) {
 	nArgs := len(args)
 	ie, pos := inlineParts(inl)
 	fn := in.Fn
+	if c.opt {
+		// Destination-passing tier: arguments are gathered into the
+		// frame's scratch arena, an inlined producer evaluates straight
+		// into its arena slot, and the intrinsic writes its result into
+		// the caller-provided destination (via the vm fast path when one
+		// is registered). Argument gathering is pure register reads, so
+		// running the producer after it is observationally identical to
+		// the plain tier's producer-first order.
+		var iInto evalIntoFn
+		if inl != nil {
+			iInto = inl.evalInto
+		}
+		fnInto := in.FnInto
+		evalInto := func(fr *frame, out *vm.Value) error {
+			vals := fr.scratch[off : off+nArgs]
+			for i, a := range args {
+				vals[i] = a.get(fr)
+			}
+			if pos >= 0 {
+				if iInto != nil {
+					if err := iInto(fr, &vals[pos]); err != nil {
+						return err
+					}
+				} else {
+					v, err := ie(fr)
+					if err != nil {
+						return err
+					}
+					vals[pos] = v
+				}
+			}
+			if fnInto != nil {
+				if err := fnInto(fr.m, vals, out); err != nil {
+					return fmt.Errorf("%s: %w", name, err)
+				}
+				return nil
+			}
+			v, err := fn(fr.m, vals)
+			if err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+			*out = v
+			return nil
+		}
+		eval := func(fr *frame) (vm.Value, error) {
+			var out vm.Value
+			err := evalInto(fr, &out)
+			return out, err
+		}
+		vn := c.valNode(n, eval, countDelta{name, 1})
+		vn.evalInto = evalInto
+		return vn, nil
+	}
 	eval := func(fr *frame) (vm.Value, error) {
 		var iv vm.Value
 		if pos >= 0 {
@@ -548,9 +758,31 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 		accSlot = c.slot(body.Params[1])
 		dst = c.slot(n.Sym)
 	}
+	// The loop-nest optimizer claims invariant and affine nodes before
+	// the body is lowered; compileBlock then skips them.
+	var plan loopPlan
+	if c.opt {
+		plan = c.planLoop(body)
+	}
+	// Claimed nodes still own a register the body reads; assign their
+	// slots now since compileBlock will skip them.
+	for _, pn := range plan.hoisted {
+		c.skip[pn.Sym.ID] = true
+		c.slot(pn.Sym)
+	}
+	for _, pn := range plan.derived {
+		c.skip[pn.Sym.ID] = true
+		c.slot(pn.Sym)
+	}
 	c.loopIVs = append(c.loopIVs, body.Params[0])
 	bodyOps, bodyCounts, err := c.compileBlock(body)
 	c.loopIVs = c.loopIVs[:len(c.loopIVs)-1]
+	for _, pn := range plan.hoisted {
+		delete(c.skip, pn.Sym.ID)
+	}
+	for _, pn := range plan.derived {
+		delete(c.skip, pn.Sym.ID)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -565,6 +797,59 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 	// loop-carried dependency chain (see internal/machine). The body's
 	// static count vector is applied once, scaled by the trip count.
 	loopKey := fmt.Sprintf("loop.#%d", n.Sym.ID)
+	if !c.opt {
+		return func(fr *frame) error {
+			start := args[0].get(fr).AsInt()
+			end := args[1].get(fr).AsInt()
+			stride := args[2].get(fr).AsInt()
+			if stride <= 0 {
+				return fmt.Errorf("forloop stride %d must be positive", stride)
+			}
+			if carried {
+				fr.regs[accSlot] = args[3].get(fr)
+			}
+			iters := int64(0)
+			for i := start; i < end; i += stride {
+				fr.regs[iv] = vm.Value{Kind: ir.KindI32, I: i}
+				for _, o := range bodyOps {
+					if err := o(fr); err != nil {
+						return err
+					}
+				}
+				if carried {
+					fr.regs[accSlot] = next.get(fr)
+				}
+				iters++
+			}
+			fr.m.Counts.Add(OpLoopIter, iters)
+			fr.m.Counts.Add(loopKey, iters)
+			for _, cd := range bodyCounts {
+				fr.m.Counts.Add(cd.key, cd.n*iters)
+			}
+			if carried {
+				fr.regs[dst] = fr.regs[accSlot]
+			}
+			return nil
+		}, nil
+	}
+	// Optimized driver. Hoisted and strength-reduced nodes execute at
+	// loop entry (guarded by start < end, so zero-trip loops behave as
+	// before); their static counts were merged into bodyCounts by
+	// planLoop's caller below, keeping the dynamic count stream
+	// identical to the plain tier. Strength-reduced (derived) nodes are
+	// affine i32 functions of the induction variable: their per-stride
+	// step is measured once by evaluating the chain at start and
+	// start+stride — exact because i32 arithmetic is linear in the ring
+	// Z/2^32 and truncation commutes with it — then each iteration
+	// advances them with one masked add instead of re-running the chain.
+	hoistedOps, derivedOps, extraCounts, derSlots, err := c.lowerPlan(plan)
+	if err != nil {
+		return nil, err
+	}
+	bodyCounts = mergeCounts(append(bodyCounts, extraCounts...))
+	nDer := len(derivedOps)
+	saveOff := c.scratchNext
+	c.scratchNext += 2 * nDer // derived save/step area in the frame arena
 	return func(fr *frame) error {
 		start := args[0].get(fr).AsInt()
 		end := args[1].get(fr).AsInt()
@@ -575,9 +860,46 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 		if carried {
 			fr.regs[accSlot] = args[3].get(fr)
 		}
+		if start < end {
+			fr.regs[iv] = vm.Value{Kind: ir.KindI32, I: start}
+			for _, o := range hoistedOps {
+				if err := o(fr); err != nil {
+					return err
+				}
+			}
+			if nDer > 0 {
+				for _, o := range derivedOps {
+					if err := o(fr); err != nil {
+						return err
+					}
+				}
+				for j, s := range derSlots {
+					fr.scratch[saveOff+j].I = fr.regs[s].I
+				}
+				fr.regs[iv].I = start + stride
+				for _, o := range derivedOps {
+					if err := o(fr); err != nil {
+						return err
+					}
+				}
+				for j, s := range derSlots {
+					fr.scratch[saveOff+nDer+j].I = fr.regs[s].I - fr.scratch[saveOff+j].I
+					fr.regs[s].I = fr.scratch[saveOff+j].I
+				}
+				fr.regs[iv].I = start
+			}
+		}
 		iters := int64(0)
 		for i := start; i < end; i += stride {
-			fr.regs[iv] = vm.Value{Kind: ir.KindI32, I: i}
+			if i != start {
+				// The iv Value was fully initialised at entry; later
+				// iterations only need the integer field bumped.
+				fr.regs[iv].I = i
+				for j, s := range derSlots {
+					r := &fr.regs[s]
+					r.I = int64(int32(r.I + fr.scratch[saveOff+nDer+j].I))
+				}
+			}
 			for _, o := range bodyOps {
 				if err := o(fr); err != nil {
 					return err
@@ -588,6 +910,7 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 			}
 			iters++
 		}
+		fr.arena += iters
 		fr.m.Counts.Add(OpLoopIter, iters)
 		fr.m.Counts.Add(loopKey, iters)
 		for _, cd := range bodyCounts {
@@ -711,7 +1034,48 @@ func (c *compiler) compileALoad(n *ir.Node, inl *inline) (*valNode, error) {
 		}
 		return v, nil
 	}
-	return c.valNode(n, eval, countDelta{costKey, 1}), nil
+	vn := c.valNode(n, eval, countDelta{costKey, 1})
+	if c.opt {
+		// Destination-passing variant: the loaded scalar is built
+		// directly in the destination instead of being copied through a
+		// returned Value.
+		vn.evalInto = func(fr *frame, out *vm.Value) error {
+			ptr := ptrRef.get(fr)
+			idxV := idxRef.get(fr)
+			if pos >= 0 {
+				v, err := ie(fr)
+				if err != nil {
+					return err
+				}
+				if pos == 0 {
+					ptr = v
+				} else {
+					idxV = v
+				}
+			}
+			if ptr.Mem == nil {
+				return fmt.Errorf("aload through nil array")
+			}
+			idx := int(idxV.AsInt()) + ptr.Off
+			if idx < 0 || idx >= ptr.Mem.Len() {
+				return fmt.Errorf("aload index %d out of bounds [0,%d)", idx, ptr.Mem.Len())
+			}
+			fr.m.Touch(ptr.Mem, idx*ptr.Mem.Prim.Bits()/8, ptr.Mem.Prim.Bits()/8)
+			*out = vm.Value{Kind: kind}
+			switch kind {
+			case ir.KindF32:
+				out.F = float64(ptr.Mem.F32At(idx))
+			case ir.KindF64:
+				out.F = ptr.Mem.F64At(idx)
+			case ir.KindU8, ir.KindU16, ir.KindU32, ir.KindU64:
+				out.U = uint64(ptr.Mem.IntAt(idx))
+			default:
+				out.I = ptr.Mem.IntAt(idx)
+			}
+			return nil
+		}
+	}
+	return vn, nil
 }
 
 func (c *compiler) compileAStore(n *ir.Node, inl *inline) (*valNode, error) {
@@ -905,8 +1269,7 @@ func (p *Program) Run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
 	}
 	for _, o := range p.ops {
 		if err := o(fr); err != nil {
-			fr.m = nil
-			p.pool.Put(fr)
+			releaseFrame(p, fr)
 			return vm.Value{}, fmt.Errorf("kernelc: %s: %w", p.F.Name, err)
 		}
 	}
@@ -917,7 +1280,17 @@ func (p *Program) Run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
 	if p.result != nil {
 		out = p.result.get(fr)
 	}
+	releaseFrame(p, fr)
+	return out, nil
+}
+
+// releaseFrame flushes the frame's arena tally and returns it to the
+// pool.
+func releaseFrame(p *Program, fr *frame) {
+	if fr.arena != 0 {
+		arenaResets.Add(fr.arena)
+		fr.arena = 0
+	}
 	fr.m = nil
 	p.pool.Put(fr)
-	return out, nil
 }

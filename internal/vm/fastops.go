@@ -1,0 +1,472 @@
+package vm
+
+import (
+	"math"
+
+	"repro/internal/ir"
+)
+
+// This file installs destination-passing fast paths (Intrinsic.FnInto)
+// for the intrinsics that dominate the figure sweeps: packed f32/f64
+// add/sub/mul/div/min/max, the FMA family, packed i32 arithmetic,
+// float-register bitwise logic, and plain vector loads/stores. Each
+// fast path writes its result into a caller-provided Value and runs a
+// monomorphic unrolled lane loop — every per-lane operation is a
+// direct (inlinable) call, replacing the per-lane function-pointer
+// dispatch of the generic map*/bitwise combinators. Results are
+// bit-identical to the allocating Fn variants (a test and a fuzz
+// target enforce this), so dynamic op counts and figure outputs do not
+// change.
+
+// vecInto resets out to a clean vector Value (matching what
+// vecResult(Vec{...}) would have produced) and returns its register
+// for in-place lane writes.
+func vecInto(out *Value) *Vec {
+	*out = Value{Kind: ir.KindVec}
+	return &out.V
+}
+
+// --- packed f32 arithmetic ---------------------------------------------------
+// lanes is always a multiple of 4 (4/8/16 for 128/256/512 bits).
+
+func addPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fAdd32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fAdd32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fAdd32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fAdd32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+func subPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fSub32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fSub32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fSub32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fSub32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+func mulPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fMul32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fMul32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fMul32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fMul32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+func divPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fDiv32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fDiv32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fDiv32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fDiv32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+func minPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fMin32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fMin32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fMin32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fMin32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+func maxPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, fMax32(a.F32(i), b.F32(i)))
+			v.SetF32(i+1, fMax32(a.F32(i+1), b.F32(i+1)))
+			v.SetF32(i+2, fMax32(a.F32(i+2), b.F32(i+2)))
+			v.SetF32(i+3, fMax32(a.F32(i+3), b.F32(i+3)))
+		}
+		return nil
+	}
+}
+
+// --- packed f64 arithmetic ---------------------------------------------------
+// lanes is always a multiple of 2 (2/4/8 for 128/256/512 bits).
+
+func addPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fAdd64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fAdd64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+func subPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fSub64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fSub64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+func mulPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fMul64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fMul64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+func divPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fDiv64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fDiv64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+func minPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fMin64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fMin64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+func maxPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, fMax64(a.F64(i), b.F64(i)))
+			v.SetF64(i+1, fMax64(a.F64(i+1), b.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+// --- FMA ---------------------------------------------------------------------
+// math.FMA gives the exact fused semantics, same as the Fn variants.
+
+func fmaddPSInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b, c := args[0].V, args[1].V, args[2].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetF32(i, float32(math.FMA(float64(a.F32(i)), float64(b.F32(i)), float64(c.F32(i)))))
+			v.SetF32(i+1, float32(math.FMA(float64(a.F32(i+1)), float64(b.F32(i+1)), float64(c.F32(i+1)))))
+			v.SetF32(i+2, float32(math.FMA(float64(a.F32(i+2)), float64(b.F32(i+2)), float64(c.F32(i+2)))))
+			v.SetF32(i+3, float32(math.FMA(float64(a.F32(i+3)), float64(b.F32(i+3)), float64(c.F32(i+3)))))
+		}
+		return nil
+	}
+}
+
+func fmaddPDInto(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b, c := args[0].V, args[1].V, args[2].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 2 {
+			v.SetF64(i, math.FMA(a.F64(i), b.F64(i), c.F64(i)))
+			v.SetF64(i+1, math.FMA(a.F64(i+1), b.F64(i+1), c.F64(i+1)))
+		}
+		return nil
+	}
+}
+
+// --- packed i32 arithmetic ---------------------------------------------------
+
+func addEpi32Into(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetI32(i, a.I32(i)+b.I32(i))
+			v.SetI32(i+1, a.I32(i+1)+b.I32(i+1))
+			v.SetI32(i+2, a.I32(i+2)+b.I32(i+2))
+			v.SetI32(i+3, a.I32(i+3)+b.I32(i+3))
+		}
+		return nil
+	}
+}
+
+func subEpi32Into(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i += 4 {
+			v.SetI32(i, a.I32(i)-b.I32(i))
+			v.SetI32(i+1, a.I32(i+1)-b.I32(i+1))
+			v.SetI32(i+2, a.I32(i+2)-b.I32(i+2))
+			v.SetI32(i+3, a.I32(i+3)-b.I32(i+3))
+		}
+		return nil
+	}
+}
+
+func mulloEpi32Into(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i++ {
+			v.SetI32(i, int32(int64(a.I32(i))*int64(b.I32(i))))
+		}
+		return nil
+	}
+}
+
+func i32Min(x, y int32) int32 {
+	if y < x {
+		return y
+	}
+	return x
+}
+
+func i32Max(x, y int32) int32 {
+	if y > x {
+		return y
+	}
+	return x
+}
+
+func minEpi32Into(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i++ {
+			v.SetI32(i, i32Min(a.I32(i), b.I32(i)))
+		}
+		return nil
+	}
+}
+
+func maxEpi32Into(lanes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < lanes; i++ {
+			v.SetI32(i, i32Max(a.I32(i), b.I32(i)))
+		}
+		return nil
+	}
+}
+
+// --- bitwise logic on float registers ---------------------------------------
+// nbytes is always a multiple of 8 (16/32 for 128/256 bits).
+
+func andInto(nbytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < nbytes; i += 8 {
+			v.b[i] = a.b[i] & b.b[i]
+			v.b[i+1] = a.b[i+1] & b.b[i+1]
+			v.b[i+2] = a.b[i+2] & b.b[i+2]
+			v.b[i+3] = a.b[i+3] & b.b[i+3]
+			v.b[i+4] = a.b[i+4] & b.b[i+4]
+			v.b[i+5] = a.b[i+5] & b.b[i+5]
+			v.b[i+6] = a.b[i+6] & b.b[i+6]
+			v.b[i+7] = a.b[i+7] & b.b[i+7]
+		}
+		return nil
+	}
+}
+
+func orInto(nbytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < nbytes; i += 8 {
+			v.b[i] = a.b[i] | b.b[i]
+			v.b[i+1] = a.b[i+1] | b.b[i+1]
+			v.b[i+2] = a.b[i+2] | b.b[i+2]
+			v.b[i+3] = a.b[i+3] | b.b[i+3]
+			v.b[i+4] = a.b[i+4] | b.b[i+4]
+			v.b[i+5] = a.b[i+5] | b.b[i+5]
+			v.b[i+6] = a.b[i+6] | b.b[i+6]
+			v.b[i+7] = a.b[i+7] | b.b[i+7]
+		}
+		return nil
+	}
+}
+
+func xorInto(nbytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < nbytes; i += 8 {
+			v.b[i] = a.b[i] ^ b.b[i]
+			v.b[i+1] = a.b[i+1] ^ b.b[i+1]
+			v.b[i+2] = a.b[i+2] ^ b.b[i+2]
+			v.b[i+3] = a.b[i+3] ^ b.b[i+3]
+			v.b[i+4] = a.b[i+4] ^ b.b[i+4]
+			v.b[i+5] = a.b[i+5] ^ b.b[i+5]
+			v.b[i+6] = a.b[i+6] ^ b.b[i+6]
+			v.b[i+7] = a.b[i+7] ^ b.b[i+7]
+		}
+		return nil
+	}
+}
+
+func andnotInto(nbytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		a, b := args[0].V, args[1].V
+		v := vecInto(out)
+		for i := 0; i < nbytes; i += 8 {
+			v.b[i] = ^a.b[i] & b.b[i]
+			v.b[i+1] = ^a.b[i+1] & b.b[i+1]
+			v.b[i+2] = ^a.b[i+2] & b.b[i+2]
+			v.b[i+3] = ^a.b[i+3] & b.b[i+3]
+			v.b[i+4] = ^a.b[i+4] & b.b[i+4]
+			v.b[i+5] = ^a.b[i+5] & b.b[i+5]
+			v.b[i+6] = ^a.b[i+6] & b.b[i+6]
+			v.b[i+7] = ^a.b[i+7] & b.b[i+7]
+		}
+		return nil
+	}
+}
+
+// --- loads / stores ----------------------------------------------------------
+
+func loadInto(bytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		buf, off, err := argPtr(args, 0)
+		if err != nil {
+			return err
+		}
+		v := vecInto(out)
+		if err := buf.LoadVecInto(off, bytes, v); err != nil {
+			return err
+		}
+		m.Touch(buf, off*buf.Prim.Bits()/8, bytes)
+		return nil
+	}
+}
+
+// storeIntoFn is the destination-passing form of a store: void, so out
+// is left untouched.
+func storeIntoFn(bytes int) func(m *Machine, args []Value, out *Value) error {
+	return func(m *Machine, args []Value, out *Value) error {
+		buf, off, err := argPtr(args, 0)
+		if err != nil {
+			return err
+		}
+		if err := buf.StoreVec(off, args[1].V, bytes); err != nil {
+			return err
+		}
+		m.Touch(buf, off*buf.Prim.Bits()/8, bytes)
+		return nil
+	}
+}
+
+func init() {
+	for _, w := range []struct {
+		pfx      string
+		l32, l64 int
+	}{
+		{"_mm_", 4, 2}, {"_mm256_", 8, 4}, {"_mm512_", 16, 8},
+	} {
+		registerInto(w.pfx+"add_ps", addPSInto(w.l32))
+		registerInto(w.pfx+"sub_ps", subPSInto(w.l32))
+		registerInto(w.pfx+"mul_ps", mulPSInto(w.l32))
+		registerInto(w.pfx+"div_ps", divPSInto(w.l32))
+		registerInto(w.pfx+"min_ps", minPSInto(w.l32))
+		registerInto(w.pfx+"max_ps", maxPSInto(w.l32))
+		registerInto(w.pfx+"add_pd", addPDInto(w.l64))
+		registerInto(w.pfx+"sub_pd", subPDInto(w.l64))
+		registerInto(w.pfx+"mul_pd", mulPDInto(w.l64))
+		registerInto(w.pfx+"div_pd", divPDInto(w.l64))
+		registerInto(w.pfx+"min_pd", minPDInto(w.l64))
+		registerInto(w.pfx+"max_pd", maxPDInto(w.l64))
+		registerInto(w.pfx+"fmadd_ps", fmaddPSInto(w.l32))
+		registerInto(w.pfx+"fmadd_pd", fmaddPDInto(w.l64))
+		registerInto(w.pfx+"add_epi32", addEpi32Into(w.l32))
+		registerInto(w.pfx+"sub_epi32", subEpi32Into(w.l32))
+		if w.pfx != "_mm512_" {
+			registerInto(w.pfx+"mullo_epi32", mulloEpi32Into(w.l32))
+			registerInto(w.pfx+"min_epi32", minEpi32Into(w.l32))
+			registerInto(w.pfx+"max_epi32", maxEpi32Into(w.l32))
+			nbytes := w.l32 * 4
+			for _, sfx := range []string{"_ps", "_pd"} {
+				registerInto(w.pfx+"and"+sfx, andInto(nbytes))
+				registerInto(w.pfx+"or"+sfx, orInto(nbytes))
+				registerInto(w.pfx+"xor"+sfx, xorInto(nbytes))
+				registerInto(w.pfx+"andnot"+sfx, andnotInto(nbytes))
+			}
+		}
+	}
+
+	for _, l := range []struct {
+		name  string
+		bytes int
+	}{
+		{"_mm_loadu_ps", 16}, {"_mm_load_ps", 16},
+		{"_mm_loadu_pd", 16}, {"_mm_load_pd", 16},
+		{"_mm_loadu_si128", 16}, {"_mm_load_si128", 16}, {"_mm_lddqu_si128", 16},
+		{"_mm_stream_load_si128", 16},
+		{"_mm256_loadu_ps", 32}, {"_mm256_load_ps", 32},
+		{"_mm256_loadu_pd", 32}, {"_mm256_load_pd", 32},
+		{"_mm256_loadu_si256", 32}, {"_mm256_load_si256", 32},
+		{"_mm512_loadu_ps", 64}, {"_mm512_loadu_pd", 64}, {"_mm512_loadu_si512", 64},
+	} {
+		registerInto(l.name, loadInto(l.bytes))
+	}
+	for _, s := range []struct {
+		name  string
+		bytes int
+	}{
+		{"_mm_storeu_ps", 16}, {"_mm_store_ps", 16},
+		{"_mm_storeu_pd", 16}, {"_mm_store_pd", 16},
+		{"_mm_storeu_si128", 16}, {"_mm_store_si128", 16}, {"_mm_stream_si128", 16},
+		{"_mm256_storeu_ps", 32}, {"_mm256_store_ps", 32}, {"_mm256_stream_ps", 32},
+		{"_mm256_storeu_pd", 32}, {"_mm256_store_pd", 32}, {"_mm256_stream_pd", 32},
+		{"_mm256_storeu_si256", 32}, {"_mm256_store_si256", 32},
+		{"_mm256_stream_si256", 32},
+		{"_mm512_storeu_ps", 64}, {"_mm512_storeu_pd", 64}, {"_mm512_storeu_si512", 64},
+	} {
+		registerInto(s.name, storeIntoFn(s.bytes))
+	}
+}

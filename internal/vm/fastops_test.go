@@ -1,0 +1,206 @@
+package vm
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// TestIntoRegistryIsSubset: every destination-passing fast path must
+// shadow a registered intrinsic of the same name — a FnInto without an
+// Fn would be unreachable and, worse, untestable against a reference.
+func TestIntoRegistryIsSubset(t *testing.T) {
+	if IntoCount() == 0 {
+		t.Fatal("no destination-passing intrinsics registered")
+	}
+	for _, name := range IntoNames() {
+		in, ok := Lookup(name)
+		if !ok {
+			t.Errorf("%s: FnInto registered but no Fn", name)
+			continue
+		}
+		if in.FnInto == nil {
+			t.Errorf("%s: Lookup did not attach the registered FnInto", name)
+		}
+	}
+}
+
+// intoArgs builds one deterministic argument list for a fast-path
+// intrinsic from its name shape: fused-multiply-adds take three
+// registers, loads a pointer, stores a pointer plus a register,
+// everything else two registers.
+func intoArgs(name string, seed byte) ([]Value, *Buffer) {
+	vec := func(k byte) Value {
+		var p [64]byte
+		for i := range p {
+			p[i] = byte(i)*7 + k + seed
+		}
+		return VecValue(VecFromBytes(p[:]))
+	}
+	switch {
+	case strings.Contains(name, "store"):
+		b := NewBuffer(isa.PrimU8, 128)
+		return []Value{PtrValue(b, 0), vec(3)}, b
+	case strings.Contains(name, "load"), strings.Contains(name, "lddqu"):
+		b := NewBuffer(isa.PrimU8, 128)
+		for i := range b.Data {
+			b.Data[i] = byte(i)*5 + seed
+		}
+		return []Value{PtrValue(b, 0)}, b
+	case strings.Contains(name, "fmadd"):
+		return []Value{vec(1), vec(2), vec(3)}, nil
+	default:
+		return []Value{vec(1), vec(2)}, nil
+	}
+}
+
+// sameResult compares Values bitwise (NaN-tolerant on the scalar float
+// field; registers are byte arrays and compare exactly).
+func sameResult(a, b Value) bool {
+	af, bf := a, b
+	af.F, bf.F = 0, 0
+	af.Mem, bf.Mem = nil, nil
+	return af == bf && math.Float64bits(a.F) == math.Float64bits(b.F) &&
+		(a.Mem == nil) == (b.Mem == nil)
+}
+
+// TestIntoOpsMatchReference runs every destination-passing intrinsic
+// against its allocating reference implementation on identical inputs:
+// same result Value, same memory effects, same counter stream.
+func TestIntoOpsMatchReference(t *testing.T) {
+	for _, name := range IntoNames() {
+		t.Run(name, func(t *testing.T) {
+			in, ok := Lookup(name)
+			if !ok || in.FnInto == nil {
+				t.Fatalf("%s not fully registered", name)
+			}
+			for seed := byte(0); seed < 3; seed++ {
+				argsA, bufA := intoArgs(name, seed)
+				argsB, bufB := intoArgs(name, seed)
+				mA := NewMachine(isa.SkylakeX)
+				mB := NewMachine(isa.SkylakeX)
+				want, errA := in.Fn(mA, argsA)
+				// Poison the destination: FnInto must fully overwrite it
+				// for value-producing ops and leave it untouched for void
+				// ones.
+				got := Value{Kind: ir.KindI32, I: -1}
+				poison := got
+				errB := in.FnInto(mB, argsB, &got)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("seed %d: errors diverge: Fn=%v FnInto=%v", seed, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if want.Kind == ir.KindVoid {
+					if got != poison {
+						t.Fatalf("seed %d: void op wrote to out: %+v", seed, got)
+					}
+				} else if !sameResult(want, got) {
+					t.Fatalf("seed %d: results diverge:\nFn:     %+v\nFnInto: %+v",
+						seed, want, got)
+				}
+				if bufA != nil && !bytes.Equal(bufA.Data, bufB.Data) {
+					t.Fatalf("seed %d: memory effects diverge", seed)
+				}
+				if len(mA.Counts) != len(mB.Counts) {
+					t.Fatalf("seed %d: counter sets differ: %v vs %v",
+						seed, mA.Counts, mB.Counts)
+				}
+				for k, v := range mA.Counts {
+					if mB.Counts[k] != v {
+						t.Fatalf("seed %d: counter %q: Fn=%d FnInto=%d",
+							seed, k, v, mB.Counts[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestVecBytesBounds locks in the typed bounds error on register reads.
+func TestVecBytesBounds(t *testing.T) {
+	var v Vec
+	if _, err := v.Bytes(64); err != nil {
+		t.Errorf("64 bytes is the full register, want success: %v", err)
+	}
+	for _, n := range []int{-1, 65, 1 << 20} {
+		_, err := v.Bytes(n)
+		re, ok := err.(*RangeError)
+		if !ok {
+			t.Fatalf("Bytes(%d): want *RangeError, got %v", n, err)
+		}
+		if re.N != n || re.Cap != 64 {
+			t.Errorf("Bytes(%d): error carries %+v", n, re)
+		}
+	}
+	if _, err := VecFromBytesErr(make([]byte, 65)); err == nil {
+		t.Error("VecFromBytesErr must reject 65 bytes")
+	}
+	if _, err := VecFromBytesErr(make([]byte, 64)); err != nil {
+		t.Errorf("VecFromBytesErr must accept 64 bytes: %v", err)
+	}
+}
+
+// FuzzIntoOpsAgree cross-checks the destination-passing fast paths
+// against the allocating reference on fuzzer-chosen register contents.
+func FuzzIntoOpsAgree(f *testing.F) {
+	names := IntoNames()
+	f.Add(uint16(0), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint16(7), bytes.Repeat([]byte{0xff}, 64))
+	f.Fuzz(func(t *testing.T, pick uint16, raw []byte) {
+		name := names[int(pick)%len(names)]
+		in, _ := Lookup(name)
+		if in.FnInto == nil {
+			t.Skip()
+		}
+		var p [64]byte
+		copy(p[:], raw)
+		vec := func(rot int) Value {
+			var q [64]byte
+			for i := range q {
+				q[i] = p[(i+rot)%64]
+			}
+			return VecValue(VecFromBytes(q[:]))
+		}
+		build := func() ([]Value, *Buffer) {
+			switch {
+			case strings.Contains(name, "store"):
+				b := NewBuffer(isa.PrimU8, 128)
+				return []Value{PtrValue(b, 0), vec(1)}, b
+			case strings.Contains(name, "load"), strings.Contains(name, "lddqu"):
+				b := NewBuffer(isa.PrimU8, 128)
+				for i := range b.Data {
+					b.Data[i] = p[i%64]
+				}
+				return []Value{PtrValue(b, 0)}, b
+			case strings.Contains(name, "fmadd"):
+				return []Value{vec(0), vec(1), vec(2)}, nil
+			default:
+				return []Value{vec(0), vec(1)}, nil
+			}
+		}
+		argsA, bufA := build()
+		argsB, bufB := build()
+		mA, mB := NewMachine(isa.SkylakeX), NewMachine(isa.SkylakeX)
+		want, errA := in.Fn(mA, argsA)
+		var got Value
+		errB := in.FnInto(mB, argsB, &got)
+		if (errA == nil) != (errB == nil) {
+			t.Fatalf("%s: errors diverge: %v vs %v", name, errA, errB)
+		}
+		if errA != nil {
+			return
+		}
+		if want.Kind != ir.KindVoid && !sameResult(want, got) {
+			t.Fatalf("%s: results diverge:\nFn:     %+v\nFnInto: %+v", name, want, got)
+		}
+		if bufA != nil && !bytes.Equal(bufA.Data, bufB.Data) {
+			t.Fatalf("%s: memory effects diverge", name)
+		}
+	})
+}
