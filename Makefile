@@ -1,17 +1,18 @@
 # Developer entry points. `make ci` is the full gate: formatting, vet,
 # build, tests, the race detector over the concurrency-bearing packages
-# (compile cache, parallel sweeps, pooled interpreter frames, the
-# lock-free machine counters, the observability sinks), a bounded fuzz
-# smoke over the vm property targets, and the package-documentation
-# check.
+# (compile cache + single-flight, parallel sweeps, the sharded loop
+# scheduler, pooled interpreter frames, the lock-free machine counters,
+# the observability sinks), a bounded fuzz smoke over the vm and
+# scheduler property targets, the persistent-cache cold/warm gate, and
+# the package-documentation check.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep
 FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race fuzz bench benchsmoke docs
+.PHONY: ci fmt vet build test race fuzz bench benchsmoke cachepersist docs
 
-ci: fmt vet build test race fuzz benchsmoke docs
+ci: fmt vet build test race fuzz benchsmoke cachepersist docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -29,22 +30,39 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-# Bounded fuzz smoke: each existing vm fuzz target runs for FUZZTIME.
+# Bounded fuzz smoke: each fuzz target runs for FUZZTIME.
 # `go test -fuzz` accepts one target per invocation, hence the loop.
 fuzz:
 	@for t in FuzzF16RoundTrip FuzzXorshiftUniform FuzzIntoOpsAgree; do \
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test -run xxx -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/vm || exit 1; \
 	done
+	@echo "fuzz FuzzShardBounds ($(FUZZTIME))"; \
+	$(GO) test -run xxx -fuzz "^FuzzShardBounds$$" -fuzztime $(FUZZTIME) ./internal/kernelc
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) run ./cmd/ngen benchjson BENCH_pr4.json
+	$(GO) run ./cmd/ngen -o BENCH_pr5.json benchjson
 
 # benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
 # schema-valid file, without the full sweep cost.
 benchsmoke:
 	$(GO) run ./cmd/ngen -quick benchjson /tmp/bench_smoke.json
+
+# cachepersist is the persistent-cache gate: a cold run populates the
+# cache directory, and the warm run — a fresh process, empty in-memory
+# cache — must perform zero graph compiles, lowering every kernel from
+# the persisted entries instead.
+cachepersist:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/ngen -quick -cachedir "$$dir" all >/dev/null \
+		|| { rm -rf "$$dir"; exit 1; }; \
+	out=$$($(GO) run ./cmd/ngen -quick -cachedir "$$dir" all) \
+		|| { rm -rf "$$dir"; exit 1; }; \
+	rm -rf "$$dir"; \
+	line=$$(echo "$$out" | grep "^cachepersist:"); echo "$$line"; \
+	case "$$line" in *"graph compiles: 0"*) ;; *) \
+		echo "warm run re-ran graph compiles"; exit 1;; esac
 
 # Every internal package must carry a godoc package comment
 # ("// Package <name> ..."), canonically in its doc.go.

@@ -17,7 +17,7 @@
 //	                         # exits 1 if any error-severity diagnostic fires
 //	ngen benchjson [out]     # run the figure sweeps and write the
 //	                         # machine-readable benchmark record
-//	                         # (default BENCH_pr4.json)
+//	                         # (-o out, default BENCH_pr<n>.json from -pr)
 //	ngen all   [-quick]      # everything
 //	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
 //	                         # print per-stage time totals, compile-cache and
@@ -28,6 +28,15 @@
 //	-trace out.trace         # write a Chrome trace_event file of the run
 //	                         # (load in about://tracing or ui.perfetto.dev)
 //	-metrics                 # print the metrics registry as JSON after the run
+//
+// Execution tiers (see docs/PARALLEL.md):
+//
+//	-par N                   # lane budget for the parallel loop tier
+//	                         # (default NumCPU; ≤1 forces every loop serial).
+//	                         # Results are byte-identical at any setting.
+//	-cachedir dir            # persistent compile cache: cold runs fill it,
+//	                         # warm runs perform zero graph compiles and
+//	                         # print a cachepersist summary line
 //
 // Without these flags experiment output is byte-identical to an
 // uninstrumented build: the tracer and registry stay nil and every
@@ -46,6 +55,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/cachesim"
+	"repro/internal/core"
 	"repro/internal/hotspot"
 	"repro/internal/isa"
 	"repro/internal/kernelc"
@@ -58,12 +68,16 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [out]|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
 	optimize := flag.Bool("O", true, "kernelc loop-nest optimizer (-O=false runs the plain interpreter tier)")
 	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
+	par := flag.Int("par", runtime.NumCPU(), "parallel loop lanes per kernel execution (≤1 keeps every loop on the serial driver)")
+	cachedir := flag.String("cachedir", "", "persistent compile cache directory (cold runs fill it; warm runs skip graph compiles)")
+	benchOut := flag.String("o", "", "benchjson: output path (overrides the positional argument)")
+	prNum := flag.Int("pr", 5, "benchjson: PR number behind the default BENCH_pr<n>.json filename")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this file")
@@ -128,15 +142,41 @@ func main() {
 	}
 	s.Attach(tr, reg)
 	s.Workers = *workers
+	s.RT.Machine.Workers = *par
+	if *cachedir != "" {
+		d, derr := core.OpenDiskCache(*cachedir, 0)
+		if derr != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", derr)
+			os.Exit(1)
+		}
+		s.RT.Disk = d
+	}
 	if *quick {
 		s.MaxRunLinear = 1 << 11
 		s.MaxRunCubic = 32
 		s.Reps = 1
 	}
 
+	if cmd == "benchjson" {
+		if *benchOut == "" && flag.Arg(1) != "" {
+			*benchOut = flag.Arg(1)
+		}
+		if *benchOut == "" {
+			*benchOut = fmt.Sprintf("BENCH_pr%d.json", *prNum)
+		}
+	}
+
 	root := tr.Start("ngen." + target)
-	err := run(s, target, *quick)
+	err := run(s, target, *quick, *benchOut)
 	root.End()
+
+	if err == nil && s.RT.Disk != nil {
+		// The cachepersist CI gate greps this line: a warm cache must
+		// report zero graph compiles.
+		ds := s.RT.Disk.Stats()
+		fmt.Printf("cachepersist: %d disk hits, %d misses, %d stores, %d corrupt, %d evicted; graph compiles: %d\n",
+			ds.Hits, ds.Misses, ds.Stores, ds.Corrupt, ds.Evictions, core.FullCompiles())
+	}
 
 	if err == nil && *traceFile != "" {
 		if werr := writeTrace(tr, *traceFile); werr != nil {
@@ -230,8 +270,17 @@ func printStats(s *bench.Suite, tr *obs.Tracer, reg *obs.Registry) {
 		100*tr.Coverage(), tr.Wall().Round(time.Millisecond))
 
 	cs := s.RT.CacheStats()
-	fmt.Printf("Compile cache:  %d hits, %d misses, %d entries\n",
-		cs.Hits, cs.Misses, cs.Entries)
+	fmt.Printf("Compile cache:  %d hits, %d misses, %d entries, %d deduped in flight (%d full compiles)\n",
+		cs.Hits, cs.Misses, cs.Entries, cs.Deduped, core.FullCompiles())
+	if s.RT.Disk != nil {
+		ds := s.RT.Disk.Stats()
+		fmt.Printf("Disk cache:     %d hits, %d misses, %d stores, %d corrupt, %d evicted (%s)\n",
+			ds.Hits, ds.Misses, ds.Stores, ds.Corrupt, ds.Evictions, s.RT.Disk.Dir())
+	}
+	if eligible, runs, fallbacks, chunks, steals := kernelc.ParStats(); eligible > 0 {
+		fmt.Printf("Parallel tier:  %d eligible loops, %d sharded runs, %d serial fallbacks, %d chunks (%d stolen)\n",
+			eligible, runs, fallbacks, chunks, steals)
+	}
 	gets, news := kernelc.PoolStats()
 	hitRate := 0.0
 	if gets > 0 {
@@ -270,7 +319,7 @@ func printStats(s *bench.Suite, tr *obs.Tracer, reg *obs.Registry) {
 	}
 }
 
-func run(s *bench.Suite, cmd string, quick bool) error {
+func run(s *bench.Suite, cmd string, quick bool, benchOut string) error {
 	switch cmd {
 	case "platform":
 		fmt.Println(s.RT.SystemReport())
@@ -294,11 +343,7 @@ func run(s *bench.Suite, cmd string, quick bool) error {
 	case "slp":
 		return slpReports()
 	case "benchjson":
-		path := flag.Arg(1)
-		if path == "" {
-			path = "BENCH_pr4.json"
-		}
-		return benchJSON(s, quick, path)
+		return benchJSON(s, quick, benchOut)
 	case "all":
 		for _, f := range []func() error{
 			func() error { fmt.Println(s.RT.SystemReport()); return nil },

@@ -42,6 +42,12 @@ type Runtime struct {
 	// Cache memoizes compiled artifacts. Forked runtimes share it; set
 	// it to nil to force every Compile through the full pipeline.
 	Cache *CompileCache
+	// Disk is the optional persistent tier below Cache: a
+	// content-addressed on-disk store consulted on memory misses and
+	// filled after full compiles. A disk hit skips verification and C
+	// generation and pays only interpreter lowering. Nil by default
+	// (the CLI attaches one via -cachedir); forks share it.
+	Disk *DiskCache
 	// Tracer and Metrics, when set, receive a span per pipeline stage
 	// (ngen.compile → cgen.emit / kernelc.compile / toolchain.link, and
 	// call:<kernel> per invocation) and the cache hit/miss counters.
@@ -100,8 +106,10 @@ func DefaultRuntime() *Runtime {
 // shared; the fork's Span starts nil so each worker re-parents its own
 // spans.
 func (rt *Runtime) Fork() *Runtime {
+	m := vm.NewMachine(rt.Arch)
+	m.Workers = rt.Machine.Workers
 	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
-		Machine: vm.NewMachine(rt.Arch), Cache: rt.Cache,
+		Machine: m, Cache: rt.Cache, Disk: rt.Disk,
 		Tracer: rt.Tracer, Metrics: rt.Metrics, Opt: rt.Opt}
 }
 
@@ -145,13 +153,64 @@ type artifact struct {
 type CompileCache struct {
 	mu      sync.RWMutex
 	entries map[cacheKey]*artifact
+	fmu     sync.Mutex
+	flight  map[cacheKey]*flightCall
 	hits    atomic.Int64
 	misses  atomic.Int64
+	dedups  atomic.Int64
 }
 
 // NewCompileCache creates an empty cache.
 func NewCompileCache() *CompileCache {
-	return &CompileCache{entries: map[cacheKey]*artifact{}}
+	return &CompileCache{
+		entries: map[cacheKey]*artifact{},
+		flight:  map[cacheKey]*flightCall{},
+	}
+}
+
+// flightCall is one in-progress compile other goroutines wait on
+// instead of duplicating the work.
+type flightCall struct {
+	done chan struct{}
+	art  *artifact
+	err  error
+}
+
+// once is the single-flight gate: the first caller for a key runs fn
+// and publishes the artifact; concurrent callers for the same key block
+// on that flight and share its result, so a fan-out of workers staging
+// the same kernel compiles (and writes the persistent entry) exactly
+// once. Failed flights are not cached — the next caller retries.
+func (c *CompileCache) once(key cacheKey, fn func() (*artifact, error)) (*artifact, error) {
+	c.fmu.Lock()
+	if f, ok := c.flight[key]; ok {
+		c.fmu.Unlock()
+		c.dedups.Add(1)
+		<-f.done
+		return f.art, f.err
+	}
+	// Losing a lookup/insert race is legal; re-check under the flight
+	// lock so a just-completed flight is observed instead of re-run.
+	c.mu.RLock()
+	art, ok := c.entries[key]
+	c.mu.RUnlock()
+	if ok {
+		c.fmu.Unlock()
+		return art, nil
+	}
+	f := &flightCall{done: make(chan struct{})}
+	c.flight[key] = f
+	c.fmu.Unlock()
+
+	f.art, f.err = fn()
+	if f.err == nil {
+		f.art = c.insert(key, f.art)
+	}
+	c.fmu.Lock()
+	delete(c.flight, key)
+	c.fmu.Unlock()
+	close(f.done)
+	return f.art, f.err
 }
 
 // lookup returns the cached artifact for key, counting a hit or miss.
@@ -185,6 +244,9 @@ type CacheStats struct {
 	Hits    int64
 	Misses  int64
 	Entries int
+	// Deduped counts misses that piggybacked on another goroutine's
+	// in-flight compile of the same key instead of compiling again.
+	Deduped int64
 }
 
 // Stats returns hit/miss counters and the live entry count.
@@ -192,7 +254,8 @@ func (c *CompileCache) Stats() CacheStats {
 	c.mu.RLock()
 	n := len(c.entries)
 	c.mu.RUnlock()
-	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(), Entries: n}
+	return CacheStats{Hits: c.hits.Load(), Misses: c.misses.Load(),
+		Entries: n, Deduped: c.dedups.Load()}
 }
 
 // CacheStats reports the runtime's compile-cache effectiveness. A
@@ -226,6 +289,22 @@ func (rt *Runtime) PublishMetrics() {
 	resets, slots := kernelc.ArenaStats()
 	r.Gauge("vec.arena.resets").Set(resets)
 	r.Gauge("vec.arena.slots").Set(slots)
+	eligible, runs, fallbacks, chunks, steals := kernelc.ParStats()
+	r.Gauge("kernelc.par.eligible").Set(eligible)
+	r.Gauge("kernelc.par.runs").Set(runs)
+	r.Gauge("kernelc.par.fallbacks").Set(fallbacks)
+	r.Gauge("kernelc.par.chunks").Set(chunks)
+	r.Gauge("kernelc.par.steals").Set(steals)
+	r.Gauge("ngen.cache.deduped").Set(st.Deduped)
+	r.Gauge("ngen.compile.full").Set(FullCompiles())
+	if rt.Disk != nil {
+		ds := rt.Disk.Stats()
+		r.Gauge("ngen.disk.hits").Set(ds.Hits)
+		r.Gauge("ngen.disk.misses").Set(ds.Misses)
+		r.Gauge("ngen.disk.stores").Set(ds.Stores)
+		r.Gauge("ngen.disk.corrupt").Set(ds.Corrupt)
+		r.Gauge("ngen.disk.evictions").Set(ds.Evictions)
+	}
 	rt.Machine.Counts.Publish(r, "vm.op.")
 }
 
@@ -291,14 +370,70 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 		sp.SetAttr("cache", "miss")
 		rt.Metrics.Counter("ngen.cache.miss").Add(1)
 		var err error
-		art, err = rt.build(k, sp)
+		art, err = rt.Cache.once(key, func() (*artifact, error) {
+			return rt.compileKey(k, key, sp)
+		})
 		if err != nil {
 			return nil, err
 		}
-		art = rt.Cache.insert(key, art)
 	}
 	return rt.newKernel(art), nil
 }
+
+// compileKey produces the artifact for one cache key, consulting the
+// persistent tier before paying for a full graph compile. A disk hit
+// reuses the stored verifier verdict, generated C, and link command and
+// only re-runs interpreter lowering — the dlopen analog. Full compiles
+// are written back so the next process starts warm.
+func (rt *Runtime) compileKey(k *dsl.Kernel, key cacheKey, parent *obs.Span) (*artifact, error) {
+	if rt.Disk != nil {
+		fp := rt.diskFingerprint()
+		dsp := parent.Child("diskcache.load")
+		ent, ok := rt.Disk.load(key, fp)
+		dsp.End()
+		if ok {
+			parent.SetAttr("disk", "hit")
+			rt.Metrics.Counter("ngen.disk.hit").Add(1)
+			lsp := parent.Child("kernelc.compile")
+			prog, err := kernelc.CompileTier(k.F, rt.Opt)
+			lsp.End()
+			if err == nil {
+				return &artifact{f: k.F, prog: prog, source: ent.Source,
+					command: ent.Command, verify: ent.Verify}, nil
+			}
+			// A persisted entry that no longer lowers predates an
+			// interpreter change the fingerprint missed: fall through to
+			// a full rebuild, which overwrites it.
+		} else {
+			parent.SetAttr("disk", "miss")
+			rt.Metrics.Counter("ngen.disk.miss").Add(1)
+		}
+	}
+	art, err := rt.build(k, parent)
+	if err != nil {
+		return nil, err
+	}
+	if rt.Disk != nil {
+		ssp := parent.Child("diskcache.store")
+		rt.Disk.store(key, rt.diskFingerprint(), art)
+		ssp.End()
+		rt.Metrics.Counter("ngen.disk.store").Add(1)
+	}
+	return art, nil
+}
+
+// fullCompiles counts uncached graph compiles — runs of the full
+// verify → cgen → lower → link pipeline — across every runtime in the
+// process. The cachepersist CI gate asserts a warm-disk-cache run keeps
+// this at zero.
+var fullCompiles atomic.Int64
+
+// FullCompiles returns how many full graph compiles the process has
+// performed (cache hits at either tier do not count).
+func FullCompiles() int64 { return fullCompiles.Load() }
+
+// ResetFullCompiles zeroes the full-compile counter (tests).
+func ResetFullCompiles() { fullCompiles.Store(0) }
 
 // newKernel wraps an artifact for this runtime, precomputing the
 // per-call span name so the Call hot path never concatenates.
@@ -309,6 +444,7 @@ func (rt *Runtime) newKernel(art *artifact) *Kernel {
 
 // build runs the uncached pipeline, one child span per stage.
 func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
+	fullCompiles.Add(1)
 	sp := parent.Child("irverify.run")
 	res := irverify.Verify(k.F, rt.Arch)
 	sp.End()

@@ -1,0 +1,252 @@
+package core
+
+// Persistent second level of the compile cache. The in-memory
+// CompileCache dies with the process, so every `ngen` invocation used
+// to re-verify and re-emit every kernel it touched. DiskCache stores
+// the machine-independent compile products — generated C, native
+// compile command, verifier verdict — content-addressed by the same
+// key the memory cache uses (graph hash ⊕ kernel ⊕ microarch ⊕
+// toolchain ⊕ tier) plus a toolchain fingerprint (Go runtime version,
+// persistence format, feature set), so a stale or foreign entry can
+// never be mistaken for a hit.
+//
+// A disk hit skips verification and C generation — the expensive
+// "graph compile" — and goes straight to interpreter lowering, the
+// analog of dlopen'ing a previously built shared object. Writes are
+// atomic (temp file + rename in the cache directory), loads are
+// corruption-tolerant (any parse, key, or checksum mismatch deletes
+// the entry and falls back to a full rebuild), and the directory is
+// kept under a byte budget by least-recently-used eviction (hits
+// refresh mtimes).
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/irverify"
+)
+
+// nowForMtime stamps LRU-refresh mtimes; a variable so eviction tests
+// can order entries without sleeping.
+var nowForMtime = time.Now
+
+// persistVersion is bumped whenever the entry schema or the meaning of
+// a field changes; it is folded into the fingerprint, so old entries
+// miss instead of misparse.
+const persistVersion = 1
+
+// DefaultDiskCacheBytes is the eviction budget used by the CLI.
+const DefaultDiskCacheBytes = 256 << 20
+
+// DiskCache is an on-disk, content-addressed compile cache directory.
+type DiskCache struct {
+	dir      string
+	maxBytes int64
+	mu       sync.Mutex // serialises store+evict scans
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	stores    atomic.Int64
+	corrupt   atomic.Int64
+	evictions atomic.Int64
+}
+
+// OpenDiskCache opens (creating if needed) a cache directory with the
+// given eviction budget in bytes (≤0 selects DefaultDiskCacheBytes).
+func OpenDiskCache(dir string, maxBytes int64) (*DiskCache, error) {
+	if maxBytes <= 0 {
+		maxBytes = DefaultDiskCacheBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("core: disk cache: %w", err)
+	}
+	return &DiskCache{dir: dir, maxBytes: maxBytes}, nil
+}
+
+// Dir returns the cache directory.
+func (d *DiskCache) Dir() string { return d.dir }
+
+// DiskCacheStats is a point-in-time view of persistent-cache traffic.
+type DiskCacheStats struct {
+	Hits, Misses, Stores, Corrupt, Evictions int64
+}
+
+// Stats returns the cache's cumulative counters.
+func (d *DiskCache) Stats() DiskCacheStats {
+	return DiskCacheStats{
+		Hits: d.hits.Load(), Misses: d.misses.Load(), Stores: d.stores.Load(),
+		Corrupt: d.corrupt.Load(), Evictions: d.evictions.Load(),
+	}
+}
+
+// diskEntry is the persisted form of one artifact. Program closures
+// cannot serialise, so the entry carries everything needed to rebuild
+// one cheaply: the verifier verdict (skipping irverify) and the
+// generated C and link command (skipping cgen). Interpreter lowering
+// re-runs on load — that is the dlopen analog, not a graph compile.
+type diskEntry struct {
+	Hash        string           `json:"hash"`
+	Kernel      string           `json:"kernel"`
+	Arch        string           `json:"arch"`
+	Toolchain   string           `json:"toolchain"`
+	Tier        string           `json:"tier"`
+	Fingerprint string           `json:"fingerprint"`
+	Source      string           `json:"source"`
+	Command     string           `json:"command"`
+	Verify      *irverify.Result `json:"verify"`
+	Sum         uint64           `json:"sum"` // fnv-1a over the entry with Sum=0
+}
+
+func (e *diskEntry) checksum() uint64 {
+	shadow := *e
+	shadow.Sum = 0
+	raw, err := json.Marshal(&shadow)
+	if err != nil {
+		return 0
+	}
+	h := fnv.New64a()
+	h.Write(raw)
+	return h.Sum64()
+}
+
+// matches verifies the entry belongs to (key, fingerprint) and its
+// checksum holds.
+func (e *diskEntry) matches(key cacheKey, fp string) bool {
+	return e.Hash == fmt.Sprintf("%016x", key.hash) &&
+		e.Kernel == key.name &&
+		e.Arch == key.arch &&
+		e.Toolchain == key.toolchain &&
+		e.Tier == key.tier.String() &&
+		e.Fingerprint == fp &&
+		e.Sum == e.checksum()
+}
+
+// path derives the entry filename: the graph hash plus an fnv of the
+// remaining key dimensions, so kernels sharing a graph at different
+// tiers or toolchains occupy distinct files.
+func (d *DiskCache) path(key cacheKey, fp string) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s", key.name, key.arch, key.toolchain, key.tier, fp)
+	return filepath.Join(d.dir, fmt.Sprintf("%016x-%016x.json", key.hash, h.Sum64()))
+}
+
+// load returns the entry for (key, fingerprint) when present and
+// intact. Corrupt or mismatched files are removed so the next store
+// rewrites them.
+func (d *DiskCache) load(key cacheKey, fp string) (*diskEntry, bool) {
+	path := d.path(key, fp)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		d.misses.Add(1)
+		return nil, false
+	}
+	var ent diskEntry
+	if json.Unmarshal(raw, &ent) != nil || !ent.matches(key, fp) {
+		d.corrupt.Add(1)
+		d.misses.Add(1)
+		os.Remove(path) // best-effort: recompile will rewrite it
+		return nil, false
+	}
+	d.hits.Add(1)
+	now := nowForMtime()
+	os.Chtimes(path, now, now) // refresh LRU position; best-effort
+	return &ent, true
+}
+
+// store persists an artifact under (key, fingerprint) with an atomic
+// rename, then enforces the byte budget.
+func (d *DiskCache) store(key cacheKey, fp string, art *artifact) {
+	ent := &diskEntry{
+		Hash:        fmt.Sprintf("%016x", key.hash),
+		Kernel:      key.name,
+		Arch:        key.arch,
+		Toolchain:   key.toolchain,
+		Tier:        key.tier.String(),
+		Fingerprint: fp,
+		Source:      art.source,
+		Command:     art.command,
+		Verify:      art.verify,
+	}
+	ent.Sum = ent.checksum()
+	raw, err := json.Marshal(ent)
+	if err != nil {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "tmp-*.json")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(raw)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), d.path(key, fp)) != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.stores.Add(1)
+	d.evict()
+}
+
+// evict removes least-recently-used entries until the directory fits
+// the byte budget. Called with mu held.
+func (d *DiskCache) evict() {
+	dents, err := os.ReadDir(d.dir)
+	if err != nil {
+		return
+	}
+	type fileInfo struct {
+		path  string
+		size  int64
+		mtime int64
+	}
+	var files []fileInfo
+	var total int64
+	for _, de := range dents {
+		if de.IsDir() || filepath.Ext(de.Name()) != ".json" {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, fileInfo{
+			path: filepath.Join(d.dir, de.Name()), size: info.Size(),
+			mtime: info.ModTime().UnixNano(),
+		})
+		total += info.Size()
+	}
+	if total <= d.maxBytes {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= d.maxBytes {
+			break
+		}
+		if os.Remove(f.path) == nil {
+			total -= f.size
+			d.evictions.Add(1)
+		}
+	}
+}
+
+// diskFingerprint identifies everything outside the cache key that
+// shapes a persisted artifact: the Go toolchain that built this
+// binary, the persistence schema, and the exact feature set behind the
+// microarchitecture name.
+func (rt *Runtime) diskFingerprint() string {
+	return fmt.Sprintf("%s;fmt%d;%s", runtime.Version(), persistVersion, rt.Arch.Features)
+}

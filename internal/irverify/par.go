@@ -1,0 +1,32 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+	"repro/internal/loopdep"
+)
+
+// parPass explains, for every staged loop the parallel execution tier
+// cannot shard, why the loop stays serial. The verdict comes from the
+// same dependence analysis (internal/loopdep) the kernel compiler
+// consults, so what `ngen vet` prints is exactly what the runtime will
+// do, up to the runtime address probe (wraparound or parameter aliasing
+// can still demote an eligible loop at execution time; the
+// kernelc.par.fallbacks counter records those). Parallelizable loops
+// are silent — sharding is the expected state, not an observation worth
+// a line per loop. Everything here is Info severity: serial loops are
+// correct, just not sharded. Waivable as "vet:allow par".
+func (v *verifier) parPass() {
+	const pass = "par"
+	for _, vi := range v.visits {
+		if vi.n.Def.Op != ir.OpLoop {
+			continue
+		}
+		rep := loopdep.Analyze(v.f, vi.n)
+		if !rep.OK {
+			v.report(vi, pass, Info,
+				fmt.Sprintf("loop stays serial: %s", rep.Reason), "")
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package irverify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+// TestParPassSilentOnShardableLoop: the par pass reports only loops
+// that stay serial; a plain elementwise loop (the shardable default)
+// produces no diagnostic.
+func TestParPassSilentOnShardableLoop(t *testing.T) {
+	k := dsl.NewKernel("par_elem", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, i)
+	})
+	res := Verify(k.F, arch(t, "haswell"))
+	for _, d := range res.Diags {
+		if d.Pass == "par" {
+			t.Fatalf("shardable loop flagged: %s", d)
+		}
+	}
+}
+
+// TestParPassExplainsSerialLoop: a float accumulator is never
+// whitelisted (reassociation changes rounding), so the pass must emit
+// an Info diagnostic naming why the loop stays serial — the line
+// `ngen vet` users read to learn why their kernel ignores -par.
+func TestParPassExplainsSerialLoop(t *testing.T) {
+	k := dsl.NewKernel("par_fsum", isa.Haswell.Features)
+	b := k.ParamF32Ptr()
+	n := k.ParamInt()
+	sum := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+		func(i dsl.Int, acc dsl.F32) dsl.F32 {
+			return acc.Add(b.At(i))
+		})
+	k.Return(sum)
+	res := Verify(k.F, arch(t, "haswell"))
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass != "par" {
+			continue
+		}
+		if d.Sev != Info {
+			t.Fatalf("par diagnostics must be Info (serial is correct, just not sharded): %s", d)
+		}
+		if strings.Contains(d.Msg, "stays serial") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no par-pass explanation for the serial float reduction:\n%s", res.Render())
+	}
+}

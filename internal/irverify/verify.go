@@ -59,6 +59,7 @@ func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result 
 		v.alignPass()
 		v.deadPass()
 		v.loopPass()
+		v.parPass()
 	}
 	v.res.sortDiags()
 	return v.res

@@ -321,6 +321,9 @@ type compiler struct {
 	// compileBlock leaves them out of the body so the loop driver can
 	// run them at entry (hoisted) or incrementally (strength-reduced).
 	skip map[int]bool
+	// prog is the program under construction; loop drivers keep a
+	// backreference so parallel lanes can draw frames from its pool.
+	prog *Program
 }
 
 // strided reports whether an index expression strides by the innermost
@@ -376,6 +379,7 @@ func CompileWith(f *ir.Func, o Options) (*Program, error) {
 		uses: map[int]int{}, fuse: o.Fuse, opt: o.Optimize, skip: map[int]bool{}}
 	c.countUses(f.G.Root())
 	p := &Program{F: f}
+	c.prog = p
 	for _, prm := range f.Params {
 		p.params = append(p.params, c.slot(prm))
 	}
@@ -850,77 +854,169 @@ func (c *compiler) compileLoop(n *ir.Node) (op, error) {
 	nDer := len(derivedOps)
 	saveOff := c.scratchNext
 	c.scratchNext += 2 * nDer // derived save/step area in the frame arena
-	return func(fr *frame) error {
-		start := args[0].get(fr).AsInt()
-		end := args[1].get(fr).AsInt()
-		stride := args[2].get(fr).AsInt()
-		if stride <= 0 {
-			return fmt.Errorf("forloop stride %d must be positive", stride)
+	lc := &loopCode{
+		prog: c.prog, args: args, iv: iv, carried: carried,
+		accSlot: accSlot, dst: dst, next: next,
+		bodyOps: bodyOps, bodyCounts: bodyCounts,
+		hoistedOps: hoistedOps, derivedOps: derivedOps,
+		derSlots: derSlots, saveOff: saveOff, nDer: nDer,
+		loopKey: loopKey,
+	}
+	// The parallel tier: when the dependence analysis proves iterations
+	// independent, attach the probe plan; the driver decides per
+	// execution (trip count, worker budget, runtime probe) whether to
+	// shard.
+	pp, err := c.buildParPlan(n, body)
+	if err != nil {
+		return nil, err
+	}
+	if pp != nil {
+		lc.par = pp
+		parEligible.Add(1)
+	}
+	return lc.run, nil
+}
+
+// loopCode is one optimized loop's compiled driver state, shared by the
+// serial loop and the parallel lanes.
+type loopCode struct {
+	prog    *Program
+	args    []argRef // start, end, stride[, init]
+	iv      int
+	carried bool
+	accSlot int
+	dst     int
+	next    argRef
+	bodyOps []op
+	// bodyCounts is the body's static count vector, applied once scaled
+	// by the trip count.
+	bodyCounts []countDelta
+	hoistedOps []op
+	derivedOps []op
+	derSlots   []int
+	saveOff    int // derived save/step area in the frame arena
+	nDer       int
+	loopKey    string
+	par        *parPlan // nil when the loop is statically serial
+}
+
+// run is the optimized loop driver. Hoisted and strength-reduced nodes
+// execute at loop entry (guarded by start < end, so zero-trip loops
+// behave as before); their static counts were merged into bodyCounts,
+// keeping the dynamic count stream identical to the plain tier.
+// Strength-reduced (derived) nodes are affine i32 functions of the
+// induction variable: their per-stride step is measured once by
+// evaluating the chain at start and start+stride — exact because i32
+// arithmetic is linear in the ring Z/2^32 and truncation commutes with
+// it — then each iteration advances them with one masked add instead of
+// re-running the chain.
+func (lc *loopCode) run(fr *frame) error {
+	args := lc.args
+	start := args[0].get(fr).AsInt()
+	end := args[1].get(fr).AsInt()
+	stride := args[2].get(fr).AsInt()
+	if stride <= 0 {
+		return fmt.Errorf("forloop stride %d must be positive", stride)
+	}
+	if lc.carried {
+		fr.regs[lc.accSlot] = args[3].get(fr)
+	}
+	var iters int64
+	if start < end {
+		iters = (end - start + stride - 1) / stride
+		fr.regs[lc.iv] = vm.Value{Kind: ir.KindI32, I: start}
+		for _, o := range lc.hoistedOps {
+			if err := o(fr); err != nil {
+				return err
+			}
 		}
-		if carried {
-			fr.regs[accSlot] = args[3].get(fr)
-		}
-		if start < end {
-			fr.regs[iv] = vm.Value{Kind: ir.KindI32, I: start}
-			for _, o := range hoistedOps {
+		if lc.nDer > 0 {
+			for _, o := range lc.derivedOps {
 				if err := o(fr); err != nil {
 					return err
 				}
 			}
-			if nDer > 0 {
-				for _, o := range derivedOps {
-					if err := o(fr); err != nil {
-						return err
-					}
-				}
-				for j, s := range derSlots {
-					fr.scratch[saveOff+j].I = fr.regs[s].I
-				}
-				fr.regs[iv].I = start + stride
-				for _, o := range derivedOps {
-					if err := o(fr); err != nil {
-						return err
-					}
-				}
-				for j, s := range derSlots {
-					fr.scratch[saveOff+nDer+j].I = fr.regs[s].I - fr.scratch[saveOff+j].I
-					fr.regs[s].I = fr.scratch[saveOff+j].I
-				}
-				fr.regs[iv].I = start
+			for j, s := range lc.derSlots {
+				fr.scratch[lc.saveOff+j].I = fr.regs[s].I
 			}
-		}
-		iters := int64(0)
-		for i := start; i < end; i += stride {
-			if i != start {
-				// The iv Value was fully initialised at entry; later
-				// iterations only need the integer field bumped.
-				fr.regs[iv].I = i
-				for j, s := range derSlots {
-					r := &fr.regs[s]
-					r.I = int64(int32(r.I + fr.scratch[saveOff+nDer+j].I))
-				}
-			}
-			for _, o := range bodyOps {
+			fr.regs[lc.iv].I = start + stride
+			for _, o := range lc.derivedOps {
 				if err := o(fr); err != nil {
 					return err
 				}
 			}
-			if carried {
-				fr.regs[accSlot] = next.get(fr)
+			for j, s := range lc.derSlots {
+				fr.scratch[lc.saveOff+lc.nDer+j].I = fr.regs[s].I - fr.scratch[lc.saveOff+j].I
+				fr.regs[s].I = fr.scratch[lc.saveOff+j].I
 			}
-			iters++
+			fr.regs[lc.iv].I = start
 		}
-		fr.arena += iters
-		fr.m.Counts.Add(OpLoopIter, iters)
-		fr.m.Counts.Add(loopKey, iters)
-		for _, cd := range bodyCounts {
-			fr.m.Counts.Add(cd.key, cd.n*iters)
+		if lc.par != nil && iters >= parMinIters && fr.m.Workers > 1 && fr.m.Cache == nil {
+			// The cache simulator is order-sensitive shared state, so
+			// simulated runs always take the serial driver.
+			if done, err := lc.runParallel(fr, start, stride, iters); done {
+				if err != nil {
+					return err
+				}
+				if lc.carried {
+					fr.regs[lc.dst] = fr.regs[lc.accSlot]
+				}
+				return nil
+			}
+			parFallbacks.Add(1)
 		}
-		if carried {
-			fr.regs[dst] = fr.regs[accSlot]
+	}
+	// Completed iterations feed the arena tally even when the body
+	// errors mid-loop, so ArenaStats never undercounts recycled frames.
+	completed, err := lc.span(fr, start, stride, iters)
+	fr.arena += completed
+	if err != nil {
+		return err
+	}
+	lc.addCounts(fr.m, iters)
+	if lc.carried {
+		fr.regs[lc.dst] = fr.regs[lc.accSlot]
+	}
+	return nil
+}
+
+// span executes cnt consecutive iterations starting at induction value
+// i0, assuming the iv register and derived registers already hold the
+// i0 state. It returns how many iterations completed.
+func (lc *loopCode) span(fr *frame, i0, stride, cnt int64) (int64, error) {
+	i := i0
+	for t := int64(0); t < cnt; t++ {
+		if t != 0 {
+			// The iv Value was fully initialised at entry; later
+			// iterations only need the integer field bumped.
+			fr.regs[lc.iv].I = i
+			for j, s := range lc.derSlots {
+				r := &fr.regs[s]
+				r.I = int64(int32(r.I + fr.scratch[lc.saveOff+lc.nDer+j].I))
+			}
 		}
-		return nil
-	}, nil
+		for _, o := range lc.bodyOps {
+			if err := o(fr); err != nil {
+				return t, err
+			}
+		}
+		if lc.carried {
+			fr.regs[lc.accSlot] = lc.next.get(fr)
+		}
+		i += stride
+	}
+	return cnt, nil
+}
+
+// addCounts applies the loop's contribution to the dynamic op stream:
+// one iteration count, the per-loop attribution key, and the body's
+// static vector scaled by the trip count.
+func (lc *loopCode) addCounts(m *vm.Machine, iters int64) {
+	m.Counts.Add(OpLoopIter, iters)
+	m.Counts.Add(lc.loopKey, iters)
+	for _, cd := range lc.bodyCounts {
+		m.Counts.Add(cd.key, cd.n*iters)
+	}
 }
 
 func (c *compiler) compileIf(n *ir.Node) (op, error) {

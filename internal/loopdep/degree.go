@@ -1,0 +1,92 @@
+package loopdep
+
+import "repro/internal/ir"
+
+// degVariant marks a value that depends on per-iteration state in a way
+// the address probe cannot extrapolate. The lattice mirrors the
+// strength-reduction pass in kernelc (degree 0 invariant, 1 affine), but
+// runs over the raw block nodes so irverify and kernelc agree without
+// sharing a schedule. One deliberate difference: the probe evaluates
+// address chains at concrete iterations instead of stepping them
+// incrementally, so affine degrees are accepted at every integer width,
+// not just i32 — the three-point linearity check catches wraparound.
+const degVariant = 99
+
+// expDegree is the degree of an operand expression.
+func expDegree(e ir.Exp, iv ir.Sym, bodyDefined map[int]bool, deg map[int]int) int {
+	switch x := e.(type) {
+	case ir.Const:
+		return 0
+	case ir.Sym:
+		if x.ID == iv.ID {
+			return 1
+		}
+		if !bodyDefined[x.ID] {
+			return 0 // parameters, outer-loop values: invariant here
+		}
+		if dg, ok := deg[x.ID]; ok {
+			return dg
+		}
+		return degVariant
+	default:
+		return degVariant
+	}
+}
+
+// nodeDegree computes a def's degree in the induction variable.
+func nodeDegree(d *ir.Def, iv ir.Sym, bodyDefined map[int]bool, deg map[int]int) int {
+	if len(d.Blocks) != 0 || !d.Effect.IsPure() {
+		return degVariant
+	}
+	argDeg := func(e ir.Exp) int { return expDegree(e, iv, bodyDefined, deg) }
+	switch d.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpShl, ir.OpNeg:
+		// Linear-capable: degree arithmetic below.
+	case ir.OpDiv, ir.OpRem, ir.OpShr, ir.OpNot, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpMin, ir.OpMax, ir.OpConv, ir.OpSel,
+		ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe:
+		// Invariant-only whitelist.
+		for _, a := range d.Args {
+			if argDeg(a) != 0 {
+				return degVariant
+			}
+		}
+		return 0
+	case ir.OpPtrAdd:
+		// Pointer chains are chased separately (ptrDegree); as a plain
+		// value a ptradd inherits the displacement's degree.
+		if len(d.Args) == 2 && argDeg(d.Args[0]) == 0 {
+			return argDeg(d.Args[1])
+		}
+		return degVariant
+	default:
+		return degVariant
+	}
+	out := degVariant
+	switch d.Op {
+	case ir.OpAdd, ir.OpSub:
+		if len(d.Args) == 2 {
+			a, b := argDeg(d.Args[0]), argDeg(d.Args[1])
+			out = a
+			if b > out {
+				out = b
+			}
+		}
+	case ir.OpMul:
+		if len(d.Args) == 2 {
+			out = argDeg(d.Args[0]) + argDeg(d.Args[1])
+		}
+	case ir.OpShl:
+		if len(d.Args) == 2 && argDeg(d.Args[1]) == 0 {
+			out = argDeg(d.Args[0])
+		}
+	case ir.OpNeg:
+		if len(d.Args) == 1 {
+			out = argDeg(d.Args[0])
+		}
+	}
+	if out > 1 {
+		return degVariant
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package loopdep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// TestSpanTablesMatchRegistry holds the byte-footprint tables to the
+// live interpreter: every op they name must exist in the vm intrinsic
+// registry (a renamed or removed intrinsic must not linger here with a
+// stale footprint), and the direction encoded by the table must match
+// the mnemonic.
+func TestSpanTablesMatchRegistry(t *testing.T) {
+	for op, w := range loadSpan {
+		if _, ok := vm.Lookup(op); !ok {
+			t.Errorf("loadSpan[%q] names an intrinsic the vm does not implement", op)
+		}
+		if w <= 0 || w > 64 {
+			t.Errorf("loadSpan[%q] = %d bytes is not a plausible SIMD span", op, w)
+		}
+		if strings.Contains(op, "_store") || strings.Contains(op, "_stream_s") {
+			t.Errorf("loadSpan[%q] looks like a store mnemonic", op)
+		}
+	}
+	for op, w := range storeSpan {
+		if _, ok := vm.Lookup(op); !ok {
+			t.Errorf("storeSpan[%q] names an intrinsic the vm does not implement", op)
+		}
+		if w <= 0 || w > 64 {
+			t.Errorf("storeSpan[%q] = %d bytes is not a plausible SIMD span", op, w)
+		}
+		if !strings.Contains(op, "store") && !strings.Contains(op, "stream") {
+			t.Errorf("storeSpan[%q] does not look like a store mnemonic", op)
+		}
+		if _, dup := loadSpan[op]; dup {
+			t.Errorf("%q appears in both span tables", op)
+		}
+	}
+	for _, op := range []string{"_mm256_loadu_ps", "_mm256_storeu_ps"} {
+		if _, _, known := intrinsicSpan(op); !known {
+			t.Errorf("intrinsicSpan(%q) should be known", op)
+		}
+	}
+	if _, _, known := intrinsicSpan("_mm256_add_ps"); known {
+		t.Error("non-memory intrinsic must not have a span")
+	}
+}
+
+// topLoop finds the first top-level loop node of a staged kernel.
+func topLoop(t *testing.T, f *ir.Func) *ir.Node {
+	t.Helper()
+	for _, n := range f.G.Root().Nodes {
+		if n.Def.Op == ir.OpLoop {
+			return n
+		}
+	}
+	t.Fatal("kernel has no top-level loop")
+	return nil
+}
+
+// TestAnalyzeElementwise: a[i] = 2*b[i] is the canonical shardable
+// loop — two affine probes, a write and a read, no reduction.
+func TestAnalyzeElementwise(t *testing.T) {
+	k := dsl.NewKernel("dep_elem", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	b := k.ParamI32Ptr()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, b.At(i).Mul(k.ConstInt(2)))
+	})
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if !rep.OK {
+		t.Fatalf("elementwise loop judged serial: %s", rep.Reason)
+	}
+	if rep.Writes() != 1 || len(rep.Probes) != 2 {
+		t.Fatalf("want 2 probes (1 write), got %d probes (%d writes)",
+			len(rep.Probes), rep.Writes())
+	}
+	if rep.Reduce != nil {
+		t.Fatalf("plain loop reported a reduction: %v", rep.Reduce)
+	}
+}
+
+// TestAnalyzeIntReduction: an integer scalar accumulator is a
+// whitelisted exact reduction.
+func TestAnalyzeIntReduction(t *testing.T) {
+	k := dsl.NewKernel("dep_isum", isa.Haswell.Features)
+	b := k.ParamI32Ptr()
+	n := k.ParamInt()
+	sum := k.ForAccInt(k.ConstInt(0), n, 1, k.ConstInt(0),
+		func(i dsl.Int, acc dsl.Int) dsl.Int {
+			return acc.Add(b.At(i))
+		})
+	k.Return(sum)
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if !rep.OK {
+		t.Fatalf("integer sum judged serial: %s", rep.Reason)
+	}
+	if rep.Reduce == nil || rep.Reduce.Op != "add" || rep.Reduce.Vec {
+		t.Fatalf("want scalar add reduction, got %+v", rep.Reduce)
+	}
+}
+
+// TestAnalyzeFloatReductionSerial: float accumulation is never
+// whitelisted — reassociating it changes rounding, and the parallel
+// tier's contract is byte-identical results.
+func TestAnalyzeFloatReductionSerial(t *testing.T) {
+	k := dsl.NewKernel("dep_fsum", isa.Haswell.Features)
+	b := k.ParamF32Ptr()
+	n := k.ParamInt()
+	sum := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+		func(i dsl.Int, acc dsl.F32) dsl.F32 {
+			return acc.Add(b.At(i))
+		})
+	k.Return(sum)
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if rep.OK {
+		t.Fatal("float accumulation must stay serial")
+	}
+	if !strings.Contains(rep.Reason, "reduction") && !strings.Contains(rep.Reason, "carried") {
+		t.Fatalf("reason should name the carried accumulator, got %q", rep.Reason)
+	}
+}
+
+// TestAnalyzeIndirectStoreSerial: a[b[i]] = i scatters through a
+// data-dependent index; no static or probe-based disjointness proof
+// exists, so the verdict must be serial.
+func TestAnalyzeIndirectStoreSerial(t *testing.T) {
+	k := dsl.NewKernel("dep_scatter", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	b := k.ParamI32Ptr()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(b.At(i), i)
+	})
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if rep.OK {
+		t.Fatal("data-dependent store index must stay serial")
+	}
+}
+
+// TestAnalyzeIndirectReadFreeRoot: reading at a data-dependent address
+// (a gather) is fine as long as the gathered buffer is not written —
+// the analysis records the root for the runtime distinctness check
+// instead of going serial.
+func TestAnalyzeIndirectReadFreeRoot(t *testing.T) {
+	k := dsl.NewKernel("dep_gather", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	b := k.ParamI32Ptr()
+	idx := k.ParamI32Ptr()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		a.Set(i, b.At(idx.At(i)))
+	})
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if !rep.OK {
+		t.Fatalf("gather-read loop judged serial: %s", rep.Reason)
+	}
+	if len(rep.FreeRoots) == 0 {
+		t.Fatal("gather read should surface free roots for the runtime aliasing check")
+	}
+}
+
+// TestAnalyzeNestedWriteSerial: a loop whose body contains another
+// loop that writes has no per-iteration window the probe can bound.
+func TestAnalyzeNestedWriteSerial(t *testing.T) {
+	k := dsl.NewKernel("dep_nested", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamI32Ptr())
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 1, func(i dsl.Int) {
+		k.For(k.ConstInt(0), n, 1, func(j dsl.Int) {
+			a.Set(j, i)
+		})
+	})
+	rep := Analyze(k.F, topLoop(t, k.F))
+	if rep.OK {
+		t.Fatal("loop with nested writing loop must stay serial")
+	}
+}

@@ -1,0 +1,50 @@
+package loopdep
+
+// Byte footprints of the memory intrinsics the interpreter implements
+// (mirrors internal/vm/ops_mem.go: every access moves a fixed span
+// starting at the pointer's displaced element offset). Intrinsics
+// absent from both tables have data-dependent footprints — masked
+// loads/stores, gathers — or unknown destinations (rdrand-style) and
+// are never probed: reads fall back to root-distinctness checks,
+// writes force a serial verdict. The table is cross-checked against the
+// live vm registry by the package tests.
+
+var loadSpan = map[string]int{
+	"_mm_load_ss": 4, "_mm_load_ps1": 4, "_mm256_broadcast_ss": 4,
+	"_mm_loaddup_pd": 8, "_mm256_broadcast_sd": 8,
+	"_mm_loadu_ps": 16, "_mm_load_ps": 16,
+	"_mm_loadu_pd": 16, "_mm_load_pd": 16,
+	"_mm_loadu_si128": 16, "_mm_load_si128": 16, "_mm_lddqu_si128": 16,
+	"_mm_stream_load_si128": 16,
+	"_mm256_broadcast_ps":   16, "_mm256_broadcast_pd": 16,
+	"_mm256_loadu_ps": 32, "_mm256_load_ps": 32,
+	"_mm256_loadu_pd": 32, "_mm256_load_pd": 32,
+	"_mm256_loadu_si256": 32, "_mm256_load_si256": 32,
+	"_mm256_lddqu_si256": 32,
+	"_mm512_loadu_ps":    64, "_mm512_loadu_pd": 64, "_mm512_loadu_si512": 64,
+}
+
+var storeSpan = map[string]int{
+	"_mm_store_ss":  4,
+	"_mm_storeu_ps": 16, "_mm_store_ps": 16, "_mm_store_ps1": 16,
+	"_mm_storeu_pd": 16, "_mm_store_pd": 16, "_mm_store_pd1": 16,
+	"_mm_storeu_si128": 16, "_mm_store_si128": 16, "_mm_stream_si128": 16,
+	"_mm256_storeu_ps": 32, "_mm256_store_ps": 32, "_mm256_stream_ps": 32,
+	"_mm256_storeu_pd": 32, "_mm256_store_pd": 32, "_mm256_stream_pd": 32,
+	"_mm256_storeu_si256": 32, "_mm256_store_si256": 32,
+	"_mm256_stream_si256": 32,
+	"_mm512_storeu_ps":    64, "_mm512_storeu_pd": 64, "_mm512_storeu_si512": 64,
+	"_mm512_storenrngo_pd": 64,
+}
+
+// intrinsicSpan returns the byte span and direction of a memory
+// intrinsic, or known=false when the footprint is not statically fixed.
+func intrinsicSpan(op string) (bytes int, store, known bool) {
+	if w, ok := storeSpan[op]; ok {
+		return w, true, true
+	}
+	if w, ok := loadSpan[op]; ok {
+		return w, false, true
+	}
+	return 0, false, false
+}

@@ -21,6 +21,12 @@ type Machine struct {
 	// set-associative hierarchy — used to validate the analytical
 	// memory model. Nil by default (simulation costs time).
 	Cache *cachesim.Hierarchy
+	// Workers is the lane budget for the parallel loop tier: loops the
+	// dependence analysis proves independent shard across up to this
+	// many goroutines. 0 or 1 keeps every loop on the serial driver.
+	// Sharded execution is disabled while Cache is attached (the
+	// simulator is order-sensitive shared state).
+	Workers int
 }
 
 // Touch routes one memory access through the cache simulator, when
@@ -36,6 +42,14 @@ func (m *Machine) Touch(b *Buffer, byteOff, size int) {
 // xorshift so experiments replay exactly).
 func NewMachine(arch *isa.Microarch) *Machine {
 	return &Machine{Arch: arch, Rand: NewXorshift(0x9E3779B97F4A7C15), Counts: Counter{}}
+}
+
+// Worker derives a lane-private machine for one shard of a parallel
+// loop: same architecture, fresh deterministic RNG, an empty counter
+// the scheduler merges after the join, no cache simulator, and a zero
+// worker budget so nested loops inside the shard stay serial.
+func (m *Machine) Worker() *Machine {
+	return NewMachine(m.Arch)
 }
 
 // Counter counts dynamically executed operations by op name.
