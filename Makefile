@@ -2,17 +2,18 @@
 # build, tests, the race detector over the concurrency-bearing packages
 # (compile cache + single-flight, parallel sweeps, the sharded loop
 # scheduler, pooled interpreter frames, the lock-free machine counters,
-# the observability sinks), a bounded fuzz smoke over the vm and
-# scheduler property targets, the persistent-cache cold/warm gate, and
-# the package-documentation check.
+# the observability sinks, the backend registry), a bounded fuzz smoke
+# over the vm and scheduler property targets, the persistent-cache
+# cold/warm gate, the native-vs-vm differential, the benchmark
+# regression diff, and the package-documentation check.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/...
 FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race fuzz bench benchsmoke cachepersist docs
+.PHONY: ci fmt vet build test race fuzz bench benchsmoke benchdiff cachepersist nativediff docs
 
-ci: fmt vet build test race fuzz benchsmoke cachepersist docs
+ci: fmt vet build test race fuzz benchsmoke benchdiff cachepersist nativediff docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -42,12 +43,33 @@ fuzz:
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) run ./cmd/ngen -o BENCH_pr5.json benchjson
+	$(GO) run ./cmd/ngen -o BENCH_pr6.json benchjson
 
 # benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
 # schema-valid file, without the full sweep cost.
 benchsmoke:
 	$(GO) run ./cmd/ngen -quick benchjson /tmp/bench_smoke.json
+
+# benchdiff compares this PR's committed benchmark record against the
+# previous PR's; any figure more than 10% slower fails the gate.
+benchdiff:
+	$(GO) run ./cmd/ngen benchdiff BENCH_pr5.json BENCH_pr6.json
+
+# nativediff is the native-backend gate: every registered kernel must be
+# byte-identical (results, memory, dynamic op counts, error text)
+# between the vm interpreter and the plugin-compiled native tier. Hosts
+# that cannot build or load plugins skip with a visible notice instead
+# of failing.
+nativediff:
+	@out=$$($(GO) test -count=1 -run 'TestNativeDifferentialAllKernels' -v ./internal/backend/native) \
+		|| { echo "$$out"; exit 1; }; \
+	if echo "$$out" | grep -q -- "--- SKIP"; then \
+		echo "nativediff: SKIPPED on this host:"; \
+		echo "$$out" | grep -m1 "native backend unavailable"; \
+	else \
+		n=$$(echo "$$out" | grep -c -- "--- PASS: TestNativeDifferentialAllKernels/"); \
+		echo "nativediff: $$n kernels byte-identical native vs vm"; \
+	fi
 
 # cachepersist is the persistent-cache gate: a cold run populates the
 # cache directory, and the warm run — a fresh process, empty in-memory

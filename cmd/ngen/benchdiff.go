@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/bench"
+)
+
+// slowdownTolerance is the per-figure wall-time regression benchdiff
+// tolerates before failing: CI runs on shared machines, so small
+// deltas are noise, but a >10% slowdown on any figure is a real
+// regression the PR must explain.
+const slowdownTolerance = 0.10
+
+// benchdiffCmd compares two benchjson records figure by figure and
+// returns an error (→ exit 1) when any figure present in both runs got
+// more than slowdownTolerance slower. Figures missing from either side
+// are reported but never fail the diff — a PR may add or retire a
+// figure legitimately.
+func benchdiffCmd(oldPath, newPath string, w io.Writer) error {
+	oldRep, err := bench.ReadBenchJSON(oldPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: %w", err)
+	}
+	newRep, err := bench.ReadBenchJSON(newPath)
+	if err != nil {
+		return fmt.Errorf("benchdiff: %w", err)
+	}
+
+	names := map[string]bool{}
+	for name := range oldRep {
+		names[name] = true
+	}
+	for name := range newRep {
+		names[name] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for name := range names {
+		sorted = append(sorted, name)
+	}
+	sort.Strings(sorted)
+
+	fmt.Fprintf(w, "benchdiff: %s → %s\n", oldPath, newPath)
+	fmt.Fprintf(w, "  %-8s %10s %10s %8s %12s %12s\n",
+		"figure", "old(s)", "new(s)", "Δtime", "old all/op", "new all/op")
+	var regressions []string
+	for _, name := range sorted {
+		o, haveOld := oldRep[name]
+		n, haveNew := newRep[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "  %-8s %10s %10.2f %8s (new figure)\n", name, "-", n.Seconds, "-")
+		case !haveNew:
+			fmt.Fprintf(w, "  %-8s %10.2f %10s %8s (figure removed)\n", name, o.Seconds, "-", "-")
+		default:
+			delta := (n.Seconds - o.Seconds) / o.Seconds
+			mark := ""
+			if delta > slowdownTolerance {
+				mark = "  << REGRESSION"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.2fs → %.2fs (%+.1f%%)", name, o.Seconds, n.Seconds, 100*delta))
+			}
+			fmt.Fprintf(w, "  %-8s %10.2f %10.2f %+7.1f%% %12.4f %12.4f%s\n",
+				name, o.Seconds, n.Seconds, 100*delta, o.AllocsPerOp, n.AllocsPerOp, mark)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("benchdiff: %d figure(s) regressed beyond %.0f%%: %v",
+			len(regressions), 100*slowdownTolerance, regressions)
+	}
+	return nil
+}

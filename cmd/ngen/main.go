@@ -18,6 +18,8 @@
 //	ngen benchjson [out]     # run the figure sweeps and write the
 //	                         # machine-readable benchmark record
 //	                         # (-o out, default BENCH_pr<n>.json from -pr)
+//	ngen benchdiff old new   # compare two benchjson records per figure;
+//	                         # exits 1 when any figure runs >10% slower
 //	ngen all   [-quick]      # everything
 //	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
 //	                         # print per-stage time totals, compile-cache and
@@ -29,11 +31,14 @@
 //	                         # (load in about://tracing or ui.perfetto.dev)
 //	-metrics                 # print the metrics registry as JSON after the run
 //
-// Execution tiers (see docs/PARALLEL.md):
+// Execution tiers (see docs/PARALLEL.md and docs/BACKENDS.md):
 //
 //	-par N                   # lane budget for the parallel loop tier
 //	                         # (default NumCPU; ≤1 forces every loop serial).
 //	                         # Results are byte-identical at any setting.
+//	-backend native          # compile kernels to Go plugins and run them
+//	                         # natively; unavailable hosts fall back to the
+//	                         # vm interpreter with a notice, results identical
 //	-cachedir dir            # persistent compile cache: cold runs fill it,
 //	                         # warm runs perform zero graph compiles and
 //	                         # print a cachepersist summary line
@@ -53,6 +58,7 @@ import (
 	"strings"
 	"time"
 
+	_ "repro/internal/backend/native" // registers the native execution backend
 	"repro/internal/bench"
 	"repro/internal/cachesim"
 	"repro/internal/core"
@@ -68,16 +74,17 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|benchdiff old.json new.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
 	optimize := flag.Bool("O", true, "kernelc loop-nest optimizer (-O=false runs the plain interpreter tier)")
+	backendName := flag.String("backend", "", "execution backend: vm (interpreter, default) or native (plugin-compiled Go; falls back to vm with a notice when unavailable)")
 	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
 	par := flag.Int("par", runtime.NumCPU(), "parallel loop lanes per kernel execution (≤1 keeps every loop on the serial driver)")
 	cachedir := flag.String("cachedir", "", "persistent compile cache directory (cold runs fill it; warm runs skip graph compiles)")
 	benchOut := flag.String("o", "", "benchjson: output path (overrides the positional argument)")
-	prNum := flag.Int("pr", 5, "benchjson: PR number behind the default BENCH_pr<n>.json filename")
+	prNum := flag.Int("pr", 6, "benchjson: PR number behind the default BENCH_pr<n>.json filename")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON file of the run to this file")
@@ -94,6 +101,19 @@ func main() {
 		// pure static analysis over freshly staged graphs. Accept -json
 		// before or after the subcommand (flag parsing stops at `vet`).
 		if err := vetCmd(*jsonOut || flag.Arg(1) == "-json"); err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "benchdiff" {
+		// benchdiff compares two benchjson records; like vet it needs no
+		// suite or runtime.
+		if flag.NArg() != 3 {
+			fmt.Fprintln(os.Stderr, "usage: ngen benchdiff old.json new.json")
+			os.Exit(2)
+		}
+		if err := benchdiffCmd(flag.Arg(1), flag.Arg(2), os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ngen:", err)
 			os.Exit(1)
 		}
@@ -150,6 +170,17 @@ func main() {
 			os.Exit(1)
 		}
 		s.RT.Disk = d
+	}
+	if *backendName != "" && *backendName != "vm" {
+		// Backend selection degrades gracefully: an unavailable backend
+		// (no toolchain, unsupported OS, race build) prints why and the
+		// run proceeds on the interpreter with identical results.
+		if berr := s.RT.UseBackend(*backendName); berr != nil {
+			fmt.Fprintf(os.Stderr, "ngen: backend %q unavailable, running on vm: %v\n",
+				*backendName, berr)
+		} else {
+			fmt.Printf("backend: %s\n", *backendName)
+		}
 	}
 	if *quick {
 		s.MaxRunLinear = 1 << 11

@@ -1,0 +1,311 @@
+package native
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// loadWidth / storeWidth give the register width in bytes for the
+// memory intrinsics the registered kernels use. Anything absent from
+// these maps and the switch below is simply not native-lowerable and
+// stays on the vm interpreter — the emitter set grows with the kernel
+// suite, not with the vm's full intrinsic catalogue.
+var loadWidth = map[string]int{
+	"_mm_loadu_ps":       16,
+	"_mm_loadu_si128":    16,
+	"_mm256_loadu_ps":    32,
+	"_mm256_loadu_si256": 32,
+	"_mm512_loadu_ps":    64,
+}
+
+var storeWidth = map[string]int{
+	"_mm_storeu_ps":    16,
+	"_mm256_storeu_ps": 32,
+}
+
+func (g *gen) intrinsic(n *ir.Node) error {
+	d := n.Def
+	name := d.Op
+	id := n.Sym.ID
+	x := vname(n.Sym)
+	vecArg := func(i int) (string, error) {
+		s, ok := d.Args[i].(ir.Sym)
+		if !ok || s.Typ.Kind != ir.KindVec {
+			return "", fmt.Errorf("%s: argument %d is not a vector register", name, i)
+		}
+		return vname(s), nil
+	}
+	immArg := func(i int) (string, error) {
+		e, err := g.asInt(d.Args[i])
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("int(%s)", e), nil
+	}
+	// wrapErr emits the interpreter's intrinsic error wrapping: the vm's
+	// runtime error prefixed with the intrinsic name (kernelc then adds
+	// the "kernelc: <kernel>:" outer layer on the host side).
+	wrapErr := func() {
+		g.p("if e%d != nil {", id)
+		g.ind++
+		g.p("err = fmt.Errorf(%q, e%d)", name+": %w", id)
+		g.p("return")
+		g.ind--
+		g.p("}")
+	}
+	emit := func(expr string) {
+		g.p("%s := %s", x, expr)
+		g.p("_ = %s", x)
+	}
+
+	if bytes, ok := loadWidth[name]; ok {
+		ps, err := ptrArg(d.Args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		es := ps.Typ.Elem.Bits() / 8
+		g.p("%s, e%d := loadv(%s, %d, %s, %d)", x, id, pd(ps), es, po(ps), bytes)
+		wrapErr()
+		g.p("_ = %s", x)
+		return nil
+	}
+	if bytes, ok := storeWidth[name]; ok {
+		ps, err := ptrArg(d.Args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		es := ps.Typ.Elem.Bits() / 8
+		v, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		g.p("e%d := storev(%s, %d, %s, %s, %d)", id, pd(ps), es, po(ps), v, bytes)
+		wrapErr()
+		return nil
+	}
+
+	// Single-vector-arg helpers.
+	un := func(fn string, bits int) error {
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		if bits == 0 {
+			emit(fmt.Sprintf("%s(%s)", fn, a))
+		} else {
+			emit(fmt.Sprintf("%s(%d, %s)", fn, bits, a))
+		}
+		return nil
+	}
+	bin := func(fn string, bits int) error {
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		b, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("%s(%d, %s, %s)", fn, bits, a, b))
+		return nil
+	}
+	binImm := func(fn string, bits int) error {
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		b, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		imm, err := immArg(2)
+		if err != nil {
+			return err
+		}
+		if bits == 0 {
+			emit(fmt.Sprintf("%s(%s, %s, %s)", fn, a, b, imm))
+		} else {
+			emit(fmt.Sprintf("%s(%d, %s, %s, %s)", fn, bits, a, b, imm))
+		}
+		return nil
+	}
+
+	switch name {
+	case "_mm256_broadcast_ss":
+		ps, err := ptrArg(d.Args[0])
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		g.p("%s, e%d := bcastss(%s, %s)", x, id, pd(ps), po(ps))
+		wrapErr()
+		g.p("_ = %s", x)
+		return nil
+
+	case "_mm_add_ps":
+		return bin("addps", 128)
+	case "_mm256_add_ps":
+		return bin("addps", 256)
+	case "_mm256_sub_ps":
+		return bin("subps", 256)
+	case "_mm_mul_ps":
+		return bin("mulps", 128)
+	case "_mm256_mul_ps":
+		return bin("mulps", 256)
+	case "_mm256_div_ps":
+		return bin("divps", 256)
+
+	case "_mm256_fmadd_ps", "_mm512_fmadd_ps":
+		bits := 256
+		if name == "_mm512_fmadd_ps" {
+			bits = 512
+		}
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		b, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		c, err := vecArg(2)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("fmaddps(%d, %s, %s, %s)", bits, a, b, c))
+		return nil
+
+	case "_mm_set1_ps", "_mm256_set1_ps", "_mm512_set1_ps":
+		bits := map[string]int{"_mm_set1_ps": 128, "_mm256_set1_ps": 256, "_mm512_set1_ps": 512}[name]
+		f, err := g.asFloat(d.Args[0])
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("set1ps(%d, %s)", bits, f))
+		return nil
+	case "_mm256_set1_epi8":
+		i, err := g.asInt(d.Args[0])
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("set1epi8(256, %s)", i))
+		return nil
+	case "_mm256_set1_epi16":
+		i, err := g.asInt(d.Args[0])
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("set1epi16(256, %s)", i))
+		return nil
+
+	case "_mm256_setzero_ps", "_mm256_setzero_si256", "_mm512_setzero_ps":
+		emit("vec{}")
+		return nil
+
+	case "_mm256_and_si256":
+		return bin("bitand", 256)
+	case "_mm256_or_si256":
+		return bin("bitor", 256)
+	case "_mm256_cmpeq_epi8":
+		return bin("cmpeqepi8", 256)
+	case "_mm256_abs_epi8":
+		return un("absepi8", 256)
+	case "_mm256_sign_epi8":
+		return bin("signepi8", 256)
+	case "_mm256_add_epi32":
+		return bin("addepi32", 256)
+	case "_mm256_madd_epi16":
+		return bin("maddepi16", 256)
+	case "_mm256_maddubs_epi16":
+		return bin("maddubsepi16", 256)
+
+	case "_mm256_srli_epi16":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		imm, err := immArg(1)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("srliepi16(256, %s, %s)", a, imm))
+		return nil
+
+	case "_mm256_shuffle_epi8":
+		return bin("shufepi8", 256)
+	case "_mm256_shuffle_ps":
+		return binImm("shufps", 256)
+	case "_mm256_hadd_ps":
+		return bin("haddps", 256)
+	case "_mm256_permute2f128_ps":
+		return binImm("perm2f128", 0)
+
+	case "_mm256_extractf128_ps":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		imm, err := immArg(1)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("extractf128(%s, %s)", a, imm))
+		return nil
+
+	case "_mm256_unpacklo_ps":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		b, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("unpck(256, 4, true, %s, %s)", a, b))
+		return nil
+	case "_mm256_unpackhi_ps":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		b, err := vecArg(1)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("unpck(256, 4, false, %s, %s)", a, b))
+		return nil
+
+	case "_mm256_broadcastsi128_si256":
+		return un("bsi128", 0)
+	case "_mm256_castps256_ps128":
+		// Reinterpreting cast: the vm passes the full register through.
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		emit(a)
+		return nil
+	case "_mm256_cvtepi32_ps":
+		return un("cvtepi32ps", 256)
+	case "_mm256_cvtph_ps":
+		return un("cvtphps", 0)
+	case "_mm256_exp_ps":
+		return un("expps", 256)
+
+	case "_mm_cvtss_f32":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("float64(%s.f32(0))", a))
+		return nil
+	case "_mm512_reduce_add_ps":
+		a, err := vecArg(0)
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("reduceaddps(%s)", a))
+		return nil
+	}
+	return fmt.Errorf("intrinsic %s has no native emitter (stays on vm)", name)
+}

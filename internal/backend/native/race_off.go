@@ -1,0 +1,9 @@
+//go:build !race
+
+package native
+
+// raceEnabled reports whether this binary carries race instrumentation.
+// A race-instrumented host cannot load plugins built without it, so the
+// native backend declares itself unavailable under -race rather than
+// failing at plugin.Open time.
+const raceEnabled = false

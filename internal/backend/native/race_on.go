@@ -1,0 +1,7 @@
+//go:build race
+
+package native
+
+// See race_off.go; under -race the plugin ABI does not match and the
+// backend reports unavailable.
+const raceEnabled = true

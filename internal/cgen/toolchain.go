@@ -2,6 +2,10 @@ package cgen
 
 import (
 	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -104,4 +108,19 @@ func (t Toolchain) Flags(fs isa.FeatureSet) []string {
 // generated source file.
 func (t Toolchain) CommandLine(fs isa.FeatureSet, src, lib string) string {
 	return fmt.Sprintf("%s %s -o %s %s", t.Path, strings.Join(t.Flags(fs), " "), lib, src)
+}
+
+// FindGo locates the real Go tool on this host — unlike the simulated C
+// toolchain search above, this one must find an actual binary, because
+// the native backend invokes it to build kernel plugins. The PATH is
+// consulted first, then the running toolchain's GOROOT.
+func FindGo() (string, error) {
+	if p, err := exec.LookPath("go"); err == nil {
+		return p, nil
+	}
+	p := filepath.Join(runtime.GOROOT(), "bin", "go")
+	if _, err := os.Stat(p); err == nil {
+		return p, nil
+	}
+	return "", fmt.Errorf("cgen: no go tool found on PATH or in GOROOT %s", runtime.GOROOT())
 }

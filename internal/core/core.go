@@ -16,11 +16,13 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/backend"
 	"repro/internal/cgen"
 	"repro/internal/dsl"
 	"repro/internal/ir"
@@ -66,6 +68,15 @@ type Runtime struct {
 	// tier is part of the compile-cache key, so runtimes at different
 	// tiers sharing one cache never cross-contaminate.
 	Opt kernelc.Tier
+	// Backend, when non-nil, is tried ahead of the interpreter: Compile
+	// asks it for an Executable alongside the kernelc program, and Call
+	// routes through it unless a particular invocation signals
+	// backend.ErrFallback (then the interpreter serves that call). A
+	// backend Compile failure is not an error — the kernel stays on the
+	// vm and the reason is retained (Kernel.BackendFallback). Nil means
+	// interpreter-only, exactly the pre-Backend behavior. The backend
+	// name is part of the compile-cache key.
+	Backend backend.Backend
 }
 
 // span opens one pipeline-stage span under the runtime's current
@@ -110,13 +121,67 @@ func (rt *Runtime) Fork() *Runtime {
 	m.Workers = rt.Machine.Workers
 	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
 		Machine: m, Cache: rt.Cache, Disk: rt.Disk,
-		Tracer: rt.Tracer, Metrics: rt.Metrics, Opt: rt.Opt}
+		Tracer: rt.Tracer, Metrics: rt.Metrics, Opt: rt.Opt,
+		Backend: rt.Backend}
 }
 
 // NewKernel starts staging a kernel against this runtime's detected
 // features.
 func (rt *Runtime) NewKernel(name string) *dsl.Kernel {
 	return dsl.NewKernel(name, rt.Arch.Features)
+}
+
+// UseBackend selects the named execution backend for subsequent
+// compiles. "vm" (or "") restores the interpreter-only default. An
+// unknown or unavailable backend returns an error with the reason; the
+// runtime is left unchanged so the caller can report it and keep
+// running on the vm.
+func (rt *Runtime) UseBackend(name string) error {
+	be, err := backend.Lookup(name)
+	if err != nil {
+		return err
+	}
+	if err := be.Available(); err != nil {
+		return err
+	}
+	if be.Name() == "vm" {
+		rt.Backend = nil
+		return nil
+	}
+	rt.Backend = be
+	return nil
+}
+
+// backendName returns the cache-key name of the active backend.
+func (rt *Runtime) backendName() string {
+	if rt.Backend == nil {
+		return "vm"
+	}
+	return rt.Backend.Name()
+}
+
+// backendCompile asks the active backend for an executable, attaching
+// the disk cache as its artifact store first so built objects persist.
+// A nil return with a reason means the kernel stays on the interpreter;
+// backend compilation failures are routing decisions, never errors.
+func (rt *Runtime) backendCompile(f *ir.Func, parent *obs.Span) (backend.Executable, string) {
+	if rt.Backend == nil {
+		return nil, ""
+	}
+	if sa, ok := rt.Backend.(backend.StoreAware); ok && rt.Disk != nil {
+		sa.SetStore(rt.Disk)
+	}
+	sp := parent.Child("backend.compile")
+	exe, err := rt.Backend.Compile(f, rt.Opt)
+	sp.SetAttr("backend", rt.Backend.Name())
+	if err != nil {
+		sp.SetAttr("fallback", err.Error())
+		sp.End()
+		rt.Metrics.Counter("backend.fallback").Add(1)
+		return nil, err.Error()
+	}
+	sp.End()
+	return exe, ""
 }
 
 // --- compile cache ----------------------------------------------------------
@@ -132,6 +197,10 @@ type cacheKey struct {
 	arch      string
 	toolchain string
 	tier      kernelc.Tier
+	// backend names the execution backend the artifact was compiled
+	// for ("vm" for interpreter-only). Two backends may lower the same
+	// graph to very different executables, so they never share an entry.
+	backend string
 }
 
 // artifact is the immutable, machine-independent product of one compile:
@@ -147,6 +216,23 @@ type artifact struct {
 	// to code generation (warnings only — errors abort the build). It
 	// rides in the cache with the artifact, so hits reuse the verdict.
 	verify *irverify.Result
+	// exec, when non-nil, is the backend executable tried ahead of prog;
+	// fallback records why the backend declined this kernel (empty when
+	// exec is set or no backend was requested).
+	exec     backend.Executable
+	fallback string
+}
+
+// run executes the artifact: the backend executable first, re-routing
+// to the interpreter program when a call signals backend.ErrFallback.
+func (a *artifact) run(m *vm.Machine, args ...vm.Value) (vm.Value, error) {
+	if a.exec != nil {
+		out, err := a.exec.Run(m, args...)
+		if !errors.Is(err, backend.ErrFallback) {
+			return out, err
+		}
+	}
+	return a.prog.Run(m, args...)
 }
 
 // CompileCache memoizes compile artifacts across runtimes.
@@ -305,6 +391,17 @@ func (rt *Runtime) PublishMetrics() {
 		r.Gauge("ngen.disk.corrupt").Set(ds.Corrupt)
 		r.Gauge("ngen.disk.evictions").Set(ds.Evictions)
 	}
+	// Backend build/load statistics publish as backend.<name>.<stat>
+	// through an optional interface, so core stays ignorant of concrete
+	// backend internals.
+	if rt.Backend != nil {
+		if bc, ok := rt.Backend.(interface{ Counters() map[string]int64 }); ok {
+			prefix := "backend." + rt.Backend.Name() + "."
+			for k, v := range bc.Counters() {
+				r.Gauge(prefix + k).Set(v)
+			}
+		}
+	}
 	rt.Machine.Counts.Publish(r, "vm.op.")
 }
 
@@ -354,6 +451,7 @@ func (rt *Runtime) Compile(k *dsl.Kernel) (*Kernel, error) {
 		arch:      rt.Arch.Name,
 		toolchain: rt.Toolchain.Name + " " + rt.Toolchain.Version,
 		tier:      rt.Opt,
+		backend:   rt.backendName(),
 	}
 	if sp != nil {
 		sp.SetAttr("hash", fmt.Sprintf("%016x", key.hash))
@@ -398,8 +496,13 @@ func (rt *Runtime) compileKey(k *dsl.Kernel, key cacheKey, parent *obs.Span) (*a
 			prog, err := kernelc.CompileTier(k.F, rt.Opt)
 			lsp.End()
 			if err == nil {
+				// The backend re-resolves its own artifact here too: with
+				// the disk cache attached as its store, a warm native run
+				// loads the built plugin without touching the toolchain.
+				exe, why := rt.backendCompile(k.F, parent)
 				return &artifact{f: k.F, prog: prog, source: ent.Source,
-					command: ent.Command, verify: ent.Verify}, nil
+					command: ent.Command, verify: ent.Verify,
+					exec: exe, fallback: why}, nil
 			}
 			// A persisted entry that no longer lowers predates an
 			// interpreter change the fingerprint missed: fall through to
@@ -482,12 +585,15 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 	lib := "lib" + k.Name() + ".so"
 	command := rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib)
 	sp.End()
+	exe, why := rt.backendCompile(k.F, parent)
 	return &artifact{
-		f:       k.F,
-		prog:    prog,
-		source:  src,
-		command: command,
-		verify:  res,
+		f:        k.F,
+		prog:     prog,
+		source:   src,
+		command:  command,
+		verify:   res,
+		exec:     exe,
+		fallback: why,
 	}, nil
 }
 
@@ -502,6 +608,12 @@ func (kn *Kernel) CompileCommand() string { return kn.art.command }
 // structurally identical instance, keeping its symbol ids consistent
 // with the cached program's internal counters.
 func (kn *Kernel) Func() *ir.Func { return kn.art.f }
+
+// BackendFallback reports why the requested execution backend declined
+// this kernel at compile time ("" when it compiled, or when no backend
+// beyond the interpreter was requested). The kernel still runs — on the
+// vm — so this is diagnostic, surfaced by the CLI's backend report.
+func (kn *Kernel) BackendFallback() string { return kn.art.fallback }
 
 // Verify exposes the static-analysis verdict the kernel's graph passed
 // before code generation. On cache hits this is the verdict of the
@@ -619,7 +731,7 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 		}
 	}
 	m.Counts.Add(JNICall, 1)
-	out, err := kn.art.prog.Run(m, vals...)
+	out, err := kn.art.run(m, vals...)
 	for i := range kn.pins {
 		kn.pins[i].copyBack()
 	}
@@ -634,7 +746,7 @@ func (kn *Kernel) CallValues(args ...vm.Value) (vm.Value, error) {
 	sp := kn.rt.span(kn.spanName)
 	kn.calls.Add(1)
 	kn.rt.Machine.Counts.Add(JNICall, 1)
-	out, err := kn.art.prog.Run(kn.rt.Machine, args...)
+	out, err := kn.art.run(kn.rt.Machine, args...)
 	sp.End()
 	return out, err
 }

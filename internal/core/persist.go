@@ -40,8 +40,9 @@ var nowForMtime = time.Now
 
 // persistVersion is bumped whenever the entry schema or the meaning of
 // a field changes; it is folded into the fingerprint, so old entries
-// miss instead of misparse.
-const persistVersion = 1
+// miss instead of misparse. v2 added the execution-backend dimension to
+// the key.
+const persistVersion = 2
 
 // DefaultDiskCacheBytes is the eviction budget used by the CLI.
 const DefaultDiskCacheBytes = 256 << 20
@@ -98,6 +99,7 @@ type diskEntry struct {
 	Arch        string           `json:"arch"`
 	Toolchain   string           `json:"toolchain"`
 	Tier        string           `json:"tier"`
+	Backend     string           `json:"backend"`
 	Fingerprint string           `json:"fingerprint"`
 	Source      string           `json:"source"`
 	Command     string           `json:"command"`
@@ -125,16 +127,18 @@ func (e *diskEntry) matches(key cacheKey, fp string) bool {
 		e.Arch == key.arch &&
 		e.Toolchain == key.toolchain &&
 		e.Tier == key.tier.String() &&
+		e.Backend == key.backend &&
 		e.Fingerprint == fp &&
 		e.Sum == e.checksum()
 }
 
 // path derives the entry filename: the graph hash plus an fnv of the
 // remaining key dimensions, so kernels sharing a graph at different
-// tiers or toolchains occupy distinct files.
+// tiers, toolchains, or execution backends occupy distinct files.
 func (d *DiskCache) path(key cacheKey, fp string) string {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s", key.name, key.arch, key.toolchain, key.tier, fp)
+	fmt.Fprintf(h, "%s\x00%s\x00%s\x00%s\x00%s\x00%s",
+		key.name, key.arch, key.toolchain, key.tier, key.backend, fp)
 	return filepath.Join(d.dir, fmt.Sprintf("%016x-%016x.json", key.hash, h.Sum64()))
 }
 
@@ -170,6 +174,7 @@ func (d *DiskCache) store(key cacheKey, fp string, art *artifact) {
 		Arch:        key.arch,
 		Toolchain:   key.toolchain,
 		Tier:        key.tier.String(),
+		Backend:     key.backend,
 		Fingerprint: fp,
 		Source:      art.source,
 		Command:     art.command,
@@ -241,6 +246,59 @@ func (d *DiskCache) evict() {
 			d.evictions.Add(1)
 		}
 	}
+}
+
+// --- blob sidecars -----------------------------------------------------------
+//
+// Backend build products (native plugin objects) persist as opaque
+// .so sidecars next to the JSON entries, satisfying
+// backend.ArtifactStore. Sidecars are deliberately exempt from the
+// LRU eviction scan (which only considers .json files): a loaded Go
+// plugin stays mapped for the process lifetime, so deleting its file
+// out from under a running process buys nothing, and the canonical
+// path must stay stable because the plugin runtime keys loaded modules
+// by path.
+
+// BlobPath returns the canonical sidecar path for key, whether or not
+// a blob exists there.
+func (d *DiskCache) BlobPath(key string) string {
+	return filepath.Join(d.dir, "blob-"+key+".so")
+}
+
+// LoadBlob reports the canonical path of the stored blob for key, if
+// present.
+func (d *DiskCache) LoadBlob(key string) (string, bool) {
+	p := d.BlobPath(key)
+	if _, err := os.Stat(p); err != nil {
+		return "", false
+	}
+	return p, true
+}
+
+// StoreBlob atomically writes data under key and returns its canonical
+// path.
+func (d *DiskCache) StoreBlob(key string, data []byte) (string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "tmp-*.so")
+	if err != nil {
+		return "", err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return "", werr
+		}
+		return "", cerr
+	}
+	p := d.BlobPath(key)
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return p, nil
 }
 
 // diskFingerprint identifies everything outside the cache key that

@@ -77,7 +77,7 @@ func (d Diagnostic) String() string {
 
 // PassOrder lists the passes in execution order; diagnostic sorting uses
 // this as the secondary key.
-var PassOrder = []string{"ssa", "type", "effect", "isa", "align", "dead", "loop", "par"}
+var PassOrder = []string{"ssa", "type", "effect", "isa", "align", "dead", "loop", "par", "native"}
 
 func passRank(name string) int {
 	for i, p := range PassOrder {

@@ -1,0 +1,26 @@
+package irverify
+
+import (
+	"fmt"
+
+	"repro/internal/backend/native"
+)
+
+// nativePass explains why a kernel would stay on the vm interpreter
+// were the native plugin backend requested. The verdict is the native
+// code generator's own lowering dry-run, so what `ngen vet` prints is
+// exactly the fallback reason the runtime would record. Lowerable
+// kernels are silent — native execution is the expected state once the
+// backend is requested, not an observation worth a line per kernel.
+// Everything here is Info severity: an interpreter-bound kernel is
+// correct, just slower. Waivable as "vet:allow native".
+func (v *verifier) nativePass() {
+	const pass = "native"
+	if len(v.visits) > 0 && v.visits[0].waived[pass] {
+		return
+	}
+	if err := native.Lowerable(v.f); err != nil {
+		v.reportFunc(pass, Info,
+			fmt.Sprintf("kernel stays on the vm interpreter under -backend=native: %v", err))
+	}
+}

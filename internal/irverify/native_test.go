@@ -1,0 +1,65 @@
+package irverify
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/isa"
+)
+
+// TestNativePassSilentOnLowerableKernel: a kernel the native backend
+// can fully lower produces no native diagnostic — interpreter escape is
+// the observation, native execution the expected state.
+func TestNativePassSilentOnLowerableKernel(t *testing.T) {
+	k := dsl.NewKernel("native_ok", isa.Haswell.Features)
+	a := dsl.Mutable(k, k.ParamF32Ptr())
+	b := k.ParamF32Ptr()
+	n := k.ParamInt()
+	k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+		k.MM256StoreuPs(a, i, k.MM256AddPs(k.MM256LoaduPs(a, i), k.MM256LoaduPs(b, i)))
+	})
+	res := VerifyForVet(k.F, arch(t, "haswell"), SpecIndex())
+	for _, d := range res.Diags {
+		if d.Pass == "native" {
+			t.Fatalf("lowerable kernel flagged: %s", d)
+		}
+	}
+}
+
+// TestNativePassExplainsInterpreterEscape: an intrinsic outside the
+// native emitter set must yield an Info diagnostic carrying the code
+// generator's own reason — the line `ngen vet` users read to learn why
+// their kernel ignores -backend=native. The pass is vet-only: the
+// compile pipeline's Verify must stay silent about it.
+func TestNativePassExplainsInterpreterEscape(t *testing.T) {
+	stage := func() *dsl.Kernel {
+		k := dsl.NewKernel("native_escape", isa.Haswell.Features)
+		a := dsl.Mutable(k, k.ParamF32Ptr())
+		aa := dsl.Aligned(k, a, 32)
+		v := k.MM256LoadPs(aa, k.ConstInt(0)) // aligned load: no native emitter
+		k.MM256StorePs(aa, k.ConstInt(0), v)
+		return k
+	}
+	res := VerifyForVet(stage().F, arch(t, "haswell"), SpecIndex())
+	found := false
+	for _, d := range res.Diags {
+		if d.Pass != "native" {
+			continue
+		}
+		if d.Sev != Info {
+			t.Fatalf("native diagnostics must be Info (interpreted is correct, just slower): %s", d)
+		}
+		if strings.Contains(d.Msg, "no native emitter") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no native-pass explanation for the unlowerable kernel:\n%s", res.Render())
+	}
+	for _, d := range Verify(stage().F, arch(t, "haswell")).Diags {
+		if d.Pass == "native" {
+			t.Fatalf("native pass leaked into the compile pipeline's Verify: %s", d)
+		}
+	}
+}

@@ -44,6 +44,20 @@ func Verify(f *ir.Func, arch *isa.Microarch) *Result {
 // VerifyWithSpec is Verify with an explicit signature index (tests
 // inject hand-built specs).
 func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result {
+	return verify(f, arch, ix, false)
+}
+
+// VerifyForVet is VerifyWithSpec plus the vet-only passes — currently
+// "native", which dry-runs the native backend's code generator to
+// explain which kernels would stay interpreted under -backend=native.
+// It is kept out of the compile pipeline's Verify: the verdict does not
+// gate compilation (fallback is graceful by design) and the pipeline
+// should not pay a second lowering walk per compile.
+func VerifyForVet(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result {
+	return verify(f, arch, ix, true)
+}
+
+func verify(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index, vetPasses bool) *Result {
 	v := &verifier{
 		f: f, arch: arch, ix: ix,
 		res: &Result{Kernel: f.Name, Arch: arch.Name},
@@ -60,6 +74,9 @@ func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result 
 		v.deadPass()
 		v.loopPass()
 		v.parPass()
+		if vetPasses {
+			v.nativePass()
+		}
 	}
 	v.res.sortDiags()
 	return v.res

@@ -54,7 +54,7 @@ func Vet(targets []VetTarget, machines []*isa.Microarch) *VetReport {
 			} else if f, err := t.Build(m.Features); err != nil {
 				e.Err = err
 			} else {
-				e.Result = VerifyWithSpec(f, m, ix)
+				e.Result = VerifyForVet(f, m, ix)
 			}
 			rep.Entries = append(rep.Entries, e)
 		}

@@ -103,13 +103,17 @@ const (
 	TierPlain
 )
 
-// String names the tier for cache keys and span attributes.
+// String names the tier for cache keys and span attributes. Unknown
+// values render as "tier(<n>)" so a miskeyed tier stays visible in
+// cache paths and obs labels instead of silently aliasing "opt".
 func (t Tier) String() string {
 	switch t {
+	case TierOpt:
+		return "opt"
 	case TierPlain:
 		return "plain"
 	default:
-		return "opt"
+		return fmt.Sprintf("tier(%d)", int(t))
 	}
 }
 
