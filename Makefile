@@ -8,12 +8,12 @@
 # regression diff, and the package-documentation check.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/...
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/... ./internal/server
 FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race fuzz bench benchsmoke benchdiff cachepersist nativediff docs
+.PHONY: ci fmt vet build test race fuzz bench benchsmoke benchdiff cachepersist nativediff servecheck docs
 
-ci: fmt vet build test race fuzz benchsmoke benchdiff cachepersist nativediff docs
+ci: fmt vet build test race fuzz benchsmoke benchdiff cachepersist nativediff servecheck docs
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -43,17 +43,18 @@ fuzz:
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) run ./cmd/ngen -o BENCH_pr6.json benchjson
+	$(GO) run ./cmd/ngen -o BENCH_pr7.json benchjson
 
 # benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
 # schema-valid file, without the full sweep cost.
 benchsmoke:
 	$(GO) run ./cmd/ngen -quick benchjson /tmp/bench_smoke.json
 
-# benchdiff compares this PR's committed benchmark record against the
-# previous PR's; any figure more than 10% slower fails the gate.
+# benchdiff walks the full committed benchmark series (oldest first):
+# the printed trajectory surfaces slow creep across PRs, and any figure
+# more than 10% slower on the newest step fails the gate.
 benchdiff:
-	$(GO) run ./cmd/ngen benchdiff BENCH_pr5.json BENCH_pr6.json
+	$(GO) run ./cmd/ngen benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json
 
 # nativediff is the native-backend gate: every registered kernel must be
 # byte-identical (results, memory, dynamic op counts, error text)
@@ -85,6 +86,37 @@ cachepersist:
 	line=$$(echo "$$out" | grep "^cachepersist:"); echo "$$line"; \
 	case "$$line" in *"graph compiles: 0"*) ;; *) \
 		echo "warm run re-ran graph compiles"; exit 1;; esac
+
+# servecheck is the daemon smoke gate: build ngend, boot it on an
+# ephemeral port with a job store and compile cache, walk the serving
+# path over real HTTP (healthz → stage → execute job → result), then
+# shut down gracefully and require the clean-exit handshake.
+servecheck:
+	@tmp=$$(mktemp -d); fail=1; \
+	$(GO) build -o "$$tmp/ngend" ./cmd/ngend || { rm -rf "$$tmp"; exit 1; }; \
+	"$$tmp/ngend" -addr 127.0.0.1:0 -store "$$tmp/jobs" -cachedir "$$tmp/cache" \
+		>"$$tmp/log" 2>&1 & pid=$$!; \
+	for i in $$(seq 1 50); do \
+		grep -q "^ngend: listening on " "$$tmp/log" && break; sleep 0.1; done; \
+	addr=$$(sed -n 's/^ngend: listening on //p' "$$tmp/log"); \
+	if [ -n "$$addr" ]; then fail=0; \
+		curl -fsS "http://$$addr/healthz" | grep -q '"status": "ok"' || fail=1; \
+		curl -fsS -X POST "http://$$addr/v1/stage" -d '{"kernel":"saxpy"}' \
+			| grep -q '"hash"' || fail=1; \
+		id=$$(curl -fsS -X POST "http://$$addr/v1/jobs" \
+			-d '{"type":"execute","kernel":"saxpy","n":64}' \
+			| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'); \
+		[ -n "$$id" ] || fail=1; \
+		ok=1; for i in $$(seq 1 50); do \
+			curl -fsS "http://$$addr/v1/jobs/$$id/result" >"$$tmp/result" 2>/dev/null \
+				&& { ok=0; break; }; sleep 0.1; done; \
+		[ $$ok -eq 0 ] && grep -q '"vm_ops"' "$$tmp/result" || fail=1; \
+	fi; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	grep -q "^ngend: stopped" "$$tmp/log" || fail=1; \
+	if [ $$fail -ne 0 ]; then echo "servecheck: FAILED"; cat "$$tmp/log"; fi; \
+	rm -rf "$$tmp"; \
+	[ $$fail -eq 0 ] && echo "servecheck: healthz + stage + execute round-trip over HTTP ok"
 
 # Every internal package must carry a godoc package comment
 # ("// Package <name> ..."), canonically in its doc.go.

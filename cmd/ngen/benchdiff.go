@@ -3,38 +3,46 @@ package main
 import (
 	"fmt"
 	"io"
+	"path/filepath"
 	"sort"
 
 	"repro/internal/bench"
 )
 
 // slowdownTolerance is the per-figure wall-time regression benchdiff
-// tolerates before failing: CI runs on shared machines, so small
-// deltas are noise, but a >10% slowdown on any figure is a real
-// regression the PR must explain.
+// tolerates on the newest step before failing: CI runs on shared
+// machines, so small deltas are noise, but a >10% slowdown on any
+// figure is a real regression the PR must explain.
 const slowdownTolerance = 0.10
 
-// benchdiffCmd compares two benchjson records figure by figure and
-// returns an error (→ exit 1) when any figure present in both runs got
-// more than slowdownTolerance slower. Figures missing from either side
-// are reported but never fail the diff — a PR may add or retire a
-// figure legitimately.
-func benchdiffCmd(oldPath, newPath string, w io.Writer) error {
-	oldRep, err := bench.ReadBenchJSON(oldPath)
-	if err != nil {
-		return fmt.Errorf("benchdiff: %w", err)
+// benchdiffCmd compares a series of benchjson records (oldest first)
+// figure by figure. Two records give the classic pairwise diff; more
+// print the full per-PR trajectory, one wall-time column per record,
+// so a slow creep across PRs is visible even when every single step
+// stays inside the tolerance. The failure gate is unchanged either
+// way: only the newest step (last record vs the one before it) can
+// fail, and only when a figure present in both got more than
+// slowdownTolerance slower. Figures missing from either side of the
+// gate are reported but never fail — a PR may add or retire a figure
+// legitimately.
+func benchdiffCmd(paths []string, w io.Writer) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("benchdiff: need at least two records, got %d", len(paths))
 	}
-	newRep, err := bench.ReadBenchJSON(newPath)
-	if err != nil {
-		return fmt.Errorf("benchdiff: %w", err)
+	reports := make([]bench.BenchReport, len(paths))
+	for i, path := range paths {
+		rep, err := bench.ReadBenchJSON(path)
+		if err != nil {
+			return fmt.Errorf("benchdiff: %w", err)
+		}
+		reports[i] = rep
 	}
 
 	names := map[string]bool{}
-	for name := range oldRep {
-		names[name] = true
-	}
-	for name := range newRep {
-		names[name] = true
+	for _, rep := range reports {
+		for name := range rep {
+			names[name] = true
+		}
 	}
 	sorted := make([]string, 0, len(names))
 	for name := range names {
@@ -42,18 +50,32 @@ func benchdiffCmd(oldPath, newPath string, w io.Writer) error {
 	}
 	sort.Strings(sorted)
 
-	fmt.Fprintf(w, "benchdiff: %s → %s\n", oldPath, newPath)
-	fmt.Fprintf(w, "  %-8s %10s %10s %8s %12s %12s\n",
-		"figure", "old(s)", "new(s)", "Δtime", "old all/op", "new all/op")
+	// Header: one wall-time column per record, labeled by file name.
+	fmt.Fprintf(w, "benchdiff: trajectory over %d records\n", len(paths))
+	fmt.Fprintf(w, "  %-8s", "figure")
+	for _, path := range paths {
+		fmt.Fprintf(w, " %14s", filepath.Base(path))
+	}
+	fmt.Fprintf(w, " %8s %12s\n", "Δlast", "allocs/op")
+
+	oldRep, newRep := reports[len(reports)-2], reports[len(reports)-1]
 	var regressions []string
 	for _, name := range sorted {
+		fmt.Fprintf(w, "  %-8s", name)
+		for _, rep := range reports {
+			if st, ok := rep[name]; ok {
+				fmt.Fprintf(w, " %13.2fs", st.Seconds)
+			} else {
+				fmt.Fprintf(w, " %14s", "-")
+			}
+		}
 		o, haveOld := oldRep[name]
 		n, haveNew := newRep[name]
 		switch {
-		case !haveOld:
-			fmt.Fprintf(w, "  %-8s %10s %10.2f %8s (new figure)\n", name, "-", n.Seconds, "-")
 		case !haveNew:
-			fmt.Fprintf(w, "  %-8s %10.2f %10s %8s (figure removed)\n", name, o.Seconds, "-", "-")
+			fmt.Fprintf(w, " %8s (figure removed)\n", "-")
+		case !haveOld:
+			fmt.Fprintf(w, " %8s %12.4f (new figure)\n", "-", n.AllocsPerOp)
 		default:
 			delta := (n.Seconds - o.Seconds) / o.Seconds
 			mark := ""
@@ -62,12 +84,11 @@ func benchdiffCmd(oldPath, newPath string, w io.Writer) error {
 				regressions = append(regressions,
 					fmt.Sprintf("%s: %.2fs → %.2fs (%+.1f%%)", name, o.Seconds, n.Seconds, 100*delta))
 			}
-			fmt.Fprintf(w, "  %-8s %10.2f %10.2f %+7.1f%% %12.4f %12.4f%s\n",
-				name, o.Seconds, n.Seconds, 100*delta, o.AllocsPerOp, n.AllocsPerOp, mark)
+			fmt.Fprintf(w, " %+7.1f%% %12.4f%s\n", 100*delta, n.AllocsPerOp, mark)
 		}
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("benchdiff: %d figure(s) regressed beyond %.0f%%: %v",
+		return fmt.Errorf("benchdiff: %d figure(s) regressed beyond %.0f%% on the newest step: %v",
 			len(regressions), 100*slowdownTolerance, regressions)
 	}
 	return nil

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func writeRecord(t *testing.T, dir, name string, rep bench.BenchReport) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := bench.WriteBenchJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestBenchdiffTrajectory checks the multi-record behaviors: every
+// record gets a wall-time column, a regression in a non-final step
+// does not fail the gate, and a regression on the newest step does.
+func TestBenchdiffTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	rec := func(sec float64) bench.BenchReport {
+		return bench.BenchReport{"fig6a": {Seconds: sec, AllocsPerOp: 0.1, Ops: 1000}}
+	}
+	// Middle step regresses 50%, final step recovers: must pass.
+	paths := []string{
+		writeRecord(t, dir, "a.json", rec(1.0)),
+		writeRecord(t, dir, "b.json", rec(1.5)),
+		writeRecord(t, dir, "c.json", rec(1.0)),
+	}
+	var out strings.Builder
+	if err := benchdiffCmd(paths, &out); err != nil {
+		t.Fatalf("mid-series regression must not fail the gate: %v", err)
+	}
+	for _, col := range []string{"a.json", "b.json", "c.json", "1.00s", "1.50s"} {
+		if !strings.Contains(out.String(), col) {
+			t.Fatalf("trajectory output missing %q:\n%s", col, out.String())
+		}
+	}
+
+	// Final step regresses beyond 10%: must fail.
+	paths[2] = writeRecord(t, dir, "d.json", rec(2.0))
+	out.Reset()
+	err := benchdiffCmd(paths, &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("newest-step regression must fail the gate, got %v", err)
+	}
+	if !strings.Contains(out.String(), "<< REGRESSION") {
+		t.Fatalf("regression not marked in output:\n%s", out.String())
+	}
+}
+
+// TestBenchdiffFigureChurn checks added/removed figures never fail.
+func TestBenchdiffFigureChurn(t *testing.T) {
+	dir := t.TempDir()
+	old := bench.BenchReport{
+		"fig6a": {Seconds: 1, AllocsPerOp: 0, Ops: 1},
+		"fig7":  {Seconds: 1, AllocsPerOp: 0, Ops: 1},
+	}
+	novel := bench.BenchReport{
+		"fig6a": {Seconds: 1, AllocsPerOp: 0, Ops: 1},
+		"fig6b": {Seconds: 9, AllocsPerOp: 0, Ops: 1},
+	}
+	paths := []string{
+		writeRecord(t, dir, "old.json", old),
+		writeRecord(t, dir, "new.json", novel),
+	}
+	var out strings.Builder
+	if err := benchdiffCmd(paths, &out); err != nil {
+		t.Fatalf("figure churn must not fail: %v", err)
+	}
+	if !strings.Contains(out.String(), "new figure") || !strings.Contains(out.String(), "figure removed") {
+		t.Fatalf("churn not reported:\n%s", out.String())
+	}
+}
+
+// TestBenchdiffTooFewRecords checks the arity guard.
+func TestBenchdiffTooFewRecords(t *testing.T) {
+	if err := benchdiffCmd([]string{"only.json"}, os.Stdout); err == nil {
+		t.Fatal("single record must be rejected")
+	}
+}

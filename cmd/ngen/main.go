@@ -18,8 +18,10 @@
 //	ngen benchjson [out]     # run the figure sweeps and write the
 //	                         # machine-readable benchmark record
 //	                         # (-o out, default BENCH_pr<n>.json from -pr)
-//	ngen benchdiff old new   # compare two benchjson records per figure;
-//	                         # exits 1 when any figure runs >10% slower
+//	ngen benchdiff a b [...] # compare a series of benchjson records per
+//	                         # figure (oldest first): prints the per-PR
+//	                         # wall-time trajectory; exits 1 when any
+//	                         # figure runs >10% slower on the newest step
 //	ngen all   [-quick]      # everything
 //	ngen stats [experiment]  # run an experiment (default: -quick fig6a), then
 //	                         # print per-stage time totals, compile-cache and
@@ -74,7 +76,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|benchdiff old.json new.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|benchdiff oldest.json [...] newest.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
@@ -107,13 +109,13 @@ func main() {
 		return
 	}
 	if cmd == "benchdiff" {
-		// benchdiff compares two benchjson records; like vet it needs no
-		// suite or runtime.
-		if flag.NArg() != 3 {
-			fmt.Fprintln(os.Stderr, "usage: ngen benchdiff old.json new.json")
+		// benchdiff compares a series of benchjson records; like vet it
+		// needs no suite or runtime.
+		if flag.NArg() < 3 {
+			fmt.Fprintln(os.Stderr, "usage: ngen benchdiff oldest.json [...] newest.json")
 			os.Exit(2)
 		}
-		if err := benchdiffCmd(flag.Arg(1), flag.Arg(2), os.Stdout); err != nil {
+		if err := benchdiffCmd(flag.Args()[1:], os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "ngen:", err)
 			os.Exit(1)
 		}
@@ -429,53 +431,32 @@ func table3() error {
 	return nil
 }
 
-func sizes6a(quick bool) []int {
-	if quick {
-		return bench.Pow2Sizes(6, 16)
+// sizes delegates to the shared figure axis (bench.FigureSizes), the
+// same points ngend sweep jobs measure.
+func sizes(figure string, quick bool) []int {
+	out, err := bench.FigureSizes(figure, quick)
+	if err != nil {
+		panic(err) // only called with known figures
 	}
-	return bench.Pow2Sizes(6, 22)
+	return out
 }
 
-func sizes6b(quick bool) []int {
-	if quick {
-		return []int{8, 64, 128, 256, 512}
-	}
-	return bench.MMMSizes()
-}
-
-func sizes7(quick bool) []int {
-	if quick {
-		return bench.Pow2Sizes(7, 18)
-	}
-	return bench.Pow2Sizes(7, 26)
-}
-
-func fig6a(s *bench.Suite, quick bool) error {
-	ss, err := s.Fig6a(sizes6a(quick))
+// runFigure prints one figure sweep through the shared RunFigure path,
+// so CLI and ngend output stay byte-identical by construction.
+func runFigure(s *bench.Suite, figure string, quick bool) error {
+	out, err := s.RunFigure(figure, sizes(figure, quick))
 	if err != nil {
 		return err
 	}
-	fmt.Print(bench.Format("Figure 6a — SAXPY", "flops/cycle", ss))
+	fmt.Print(out)
 	return nil
 }
 
-func fig6b(s *bench.Suite, quick bool) error {
-	ss, err := s.Fig6b(sizes6b(quick))
-	if err != nil {
-		return err
-	}
-	fmt.Print(bench.Format("Figure 6b — Matrix-Matrix-Multiplication", "flops/cycle", ss))
-	return nil
-}
+func fig6a(s *bench.Suite, quick bool) error { return runFigure(s, "fig6a", quick) }
 
-func fig7(s *bench.Suite, quick bool) error {
-	ss, err := s.Fig7(sizes7(quick))
-	if err != nil {
-		return err
-	}
-	fmt.Print(bench.Format("Figure 7 — Variable Precision dot product", "ops/cycle", ss))
-	return nil
-}
+func fig6b(s *bench.Suite, quick bool) error { return runFigure(s, "fig6b", quick) }
+
+func fig7(s *bench.Suite, quick bool) error { return runFigure(s, "fig7", quick) }
 
 // warmup traces a method through the tiered JVM: interpreter → C1 → C2,
 // the "full-tiered compilation" the paper observes with
@@ -608,9 +589,9 @@ func benchJSON(s *bench.Suite, quick bool, path string) error {
 		name string
 		run  func() error
 	}{
-		{"fig6a", func() error { _, err := s.Fig6a(sizes6a(quick)); return err }},
-		{"fig6b", func() error { _, err := s.Fig6b(sizes6b(quick)); return err }},
-		{"fig7", func() error { _, err := s.Fig7(sizes7(quick)); return err }},
+		{"fig6a", func() error { _, err := s.Fig6a(sizes("fig6a", quick)); return err }},
+		{"fig6b", func() error { _, err := s.Fig6b(sizes("fig6b", quick)); return err }},
+		{"fig7", func() error { _, err := s.Fig7(sizes("fig7", quick)); return err }},
 	}
 	var ms0, ms1 runtime.MemStats
 	for _, fig := range figures {
@@ -660,14 +641,14 @@ func speedups(s *bench.Suite, quick bool) error {
 	fmt.Println("Headline speedups (max over sizes, LMS vs Java)")
 	fmt.Printf("%-28s %10s %10s\n", "Experiment", "Paper", "Measured")
 
-	mm, err := s.Fig6b(sizes6b(quick))
+	mm, err := s.Fig6b(sizes("fig6b", quick))
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%-28s %10s %9.1fx\n", "MMM vs blocked Java", "5x", bench.Speedup(mm[1], mm[2]))
 	fmt.Printf("%-28s %10s %9.1fx\n", "MMM vs triple-loop Java", "7.8x", bench.Speedup(mm[0], mm[2]))
 
-	dots, err := s.Fig7(sizes7(quick))
+	dots, err := s.Fig7(sizes("fig7", quick))
 	if err != nil {
 		return err
 	}

@@ -90,6 +90,17 @@ type Suite struct {
 	// and registry cost nothing.
 	Tracer  *obs.Tracer
 	Metrics *obs.Registry
+	// OnPoint, when set, is invoked after each measured sweep point
+	// with the sweep name and the completed/total point counts. Points
+	// measure concurrently when Workers > 1, so implementations must be
+	// safe for concurrent use. The serving layer streams these as job
+	// progress events; nil (the default) changes nothing.
+	OnPoint func(sweep string, done, total int)
+	// Interrupt, when set, is polled before each point measurement; a
+	// non-nil return aborts the sweep with that error. This is how a
+	// long sweep running as an ngend job observes cancellation and
+	// shutdown. Must be safe for concurrent use; nil never interrupts.
+	Interrupt func() error
 }
 
 // NewSuite builds the default Haswell suite.

@@ -1,0 +1,67 @@
+package bench
+
+import "fmt"
+
+// Figure titles and metric labels as cmd/ngen prints them. RunFigure
+// renders through the same Format call as the CLI, so a sweep served
+// over HTTP by ngend is byte-identical to the terminal output.
+var figureMeta = map[string]struct{ title, metric string }{
+	"fig6a": {"Figure 6a — SAXPY", "flops/cycle"},
+	"fig6b": {"Figure 6b — Matrix-Matrix-Multiplication", "flops/cycle"},
+	"fig7":  {"Figure 7 — Variable Precision dot product", "ops/cycle"},
+}
+
+// Figures lists the runnable figure sweeps in their CLI order.
+func FigureNames() []string { return []string{"fig6a", "fig6b", "fig7"} }
+
+// FigureSizes returns the size axis cmd/ngen sweeps for one figure —
+// the single source of truth shared by the CLI and the ngend sweep
+// jobs, so both measure identical points. quick selects the smoke-run
+// axis the CLI uses under -quick.
+func FigureSizes(figure string, quick bool) ([]int, error) {
+	switch figure {
+	case "fig6a":
+		if quick {
+			return Pow2Sizes(6, 16), nil
+		}
+		return Pow2Sizes(6, 22), nil
+	case "fig6b":
+		if quick {
+			return []int{8, 64, 128, 256, 512}, nil
+		}
+		return MMMSizes(), nil
+	case "fig7":
+		if quick {
+			return Pow2Sizes(7, 18), nil
+		}
+		return Pow2Sizes(7, 26), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown figure %q", figure)
+	}
+}
+
+// RunFigure runs one named figure sweep over the given sizes (nil
+// means the figure's full axis) and returns the formatted table text,
+// exactly the bytes cmd/ngen prints for the same figure and sizes.
+func (s *Suite) RunFigure(figure string, sizes []int) (string, error) {
+	meta, ok := figureMeta[figure]
+	if !ok {
+		return "", fmt.Errorf("bench: unknown figure %q", figure)
+	}
+	var (
+		ss  []Series
+		err error
+	)
+	switch figure {
+	case "fig6a":
+		ss, err = s.Fig6a(sizes)
+	case "fig6b":
+		ss, err = s.Fig6b(sizes)
+	case "fig7":
+		ss, err = s.Fig7(sizes)
+	}
+	if err != nil {
+		return "", err
+	}
+	return Format(meta.title, meta.metric, ss), nil
+}

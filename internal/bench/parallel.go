@@ -180,8 +180,16 @@ func (s *Suite) forEachPoint(name string, points int, fn func(i int, w *sweepWor
 	}()
 
 	// measure runs point i on worker w with the point span as the
-	// worker runtime's span parent.
+	// worker runtime's span parent. The Interrupt poll happens before
+	// the measurement so a cancelled sweep stops at the next point
+	// boundary; OnPoint fires after it with the completed count.
+	var done atomic.Int64
 	measure := func(i int, w *sweepWorker) error {
+		if s.Interrupt != nil {
+			if err := s.Interrupt(); err != nil {
+				return err
+			}
+		}
 		sp := pointSpans[i]
 		sp.Restart().SetTid(w.id + 1)
 		w.rt.Span = sp
@@ -189,6 +197,9 @@ func (s *Suite) forEachPoint(name string, points int, fn func(i int, w *sweepWor
 		w.rt.Span = nil
 		sp.End()
 		w.points++
+		if err == nil && s.OnPoint != nil {
+			s.OnPoint(name, int(done.Add(1)), points)
+		}
 		return err
 	}
 

@@ -125,6 +125,51 @@ func (rt *Runtime) Fork() *Runtime {
 		Backend: rt.Backend}
 }
 
+// ForkTenant returns a runtime serving one tenant's work: Fork's
+// shared-cache/private-machine split, optionally retargeted at a
+// different microarchitecture (nil keeps the parent's). Compiled
+// artifacts are still shared across tenants — the cache key includes
+// the microarchitecture, so retargeted forks never cross-contaminate —
+// while dynamic machine state (op counters, RNG, cache sim) stays
+// private to the tenant. This is the isolation unit ngend hands each
+// request: one process-wide compile cache serving many machines.
+func (rt *Runtime) ForkTenant(arch *isa.Microarch) *Runtime {
+	f := rt.Fork()
+	if arch != nil && arch != rt.Arch {
+		m := vm.NewMachine(arch)
+		m.Workers = rt.Machine.Workers
+		f.Arch = arch
+		f.Machine = m
+	}
+	return f
+}
+
+// BackendName reports the cache-key name of the active execution
+// backend ("vm" when interpreter-only).
+func (rt *Runtime) BackendName() string { return rt.backendName() }
+
+// BackendCounters exposes the active backend's build/load statistics
+// (nil when no backend beyond the interpreter is attached, or when the
+// backend publishes none).
+func (rt *Runtime) BackendCounters() map[string]int64 {
+	if rt.Backend == nil {
+		return nil
+	}
+	if bc, ok := rt.Backend.(interface{ Counters() map[string]int64 }); ok {
+		return bc.Counters()
+	}
+	return nil
+}
+
+// DiskStats reports the persistent cache tier's statistics. ok is
+// false when no disk cache is attached.
+func (rt *Runtime) DiskStats() (DiskCacheStats, bool) {
+	if rt.Disk == nil {
+		return DiskCacheStats{}, false
+	}
+	return rt.Disk.Stats(), true
+}
+
 // NewKernel starts staging a kernel against this runtime's detected
 // features.
 func (rt *Runtime) NewKernel(name string) *dsl.Kernel {

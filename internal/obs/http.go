@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// InstrumentHTTP wraps an http.Handler with per-route serving metrics:
+//
+//	http.<route>.requests   counter    requests served
+//	http.<route>.status.<c> counter    responses per status class (2xx…5xx)
+//	http.<route>.us         histogram  request latency in microseconds
+//	http.inflight           gauge      requests currently being served
+//
+// route is a short static label ("healthz", "jobs.submit"), never the
+// raw URL — per-URL cardinality would flood the registry. A nil
+// registry returns h unchanged, preserving the package's
+// disabled-observability-costs-nothing contract. The wrapped response
+// writer forwards Flush, so chunked streaming handlers keep working
+// behind the middleware.
+func (r *Registry) InstrumentHTTP(route string, h http.Handler) http.Handler {
+	if r == nil {
+		return h
+	}
+	prefix := "http." + route + "."
+	requests := r.Counter(prefix + "requests")
+	latency := r.Histogram(prefix + "us")
+	inflight := r.Gauge("http.inflight")
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		requests.Add(1)
+		n := inflightCount.Add(1)
+		inflight.Set(n)
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		h.ServeHTTP(sw, req)
+		latency.Observe(time.Since(start).Microseconds())
+		inflight.Set(inflightCount.Add(-1))
+		class := strconv.Itoa(sw.status()/100) + "xx"
+		r.Counter(prefix + "status." + class).Add(1)
+	})
+}
+
+// inflightCount backs the single cross-route http.inflight gauge: the
+// gauge API is set-only, so the middleware tracks the live count here.
+var inflightCount atomicCounter
+
+type atomicCounter struct{ c Counter }
+
+func (a *atomicCounter) Add(n int64) int64 {
+	a.c.Add(n)
+	return a.c.Load()
+}
+
+// statusWriter records the response status while forwarding Flush for
+// streaming responses. An unset status means the handler wrote a body
+// (or nothing) without WriteHeader — net/http sends 200 for those.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.InstrumentHTTP("probe", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		if _, ok := w.(http.Flusher); !ok {
+			t.Error("instrumented writer must forward Flush")
+		}
+		w.Write([]byte("ok")) // implicit 200
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for _, path := range []string{"/", "/boom", "/"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["http.probe.requests"]; got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+	if got := snap.Counters["http.probe.status.2xx"]; got != 2 {
+		t.Errorf("2xx = %d, want 2", got)
+	}
+	if got := snap.Counters["http.probe.status.5xx"]; got != 1 {
+		t.Errorf("5xx = %d, want 1", got)
+	}
+	if h := snap.Hists["http.probe.us"]; h.Count != 3 {
+		t.Errorf("latency observations = %d, want 3", h.Count)
+	}
+	if _, ok := snap.Gauges["http.inflight"]; !ok {
+		t.Error("inflight gauge missing")
+	}
+}
+
+func TestInstrumentHTTPNilRegistry(t *testing.T) {
+	var reg *Registry
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := reg.InstrumentHTTP("x", h); got == nil {
+		t.Fatal("nil registry must still return the handler")
+	}
+}

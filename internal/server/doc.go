@@ -1,0 +1,20 @@
+// Package server is ngend — NGen as a service. It wraps the staged
+// compile/execute pipeline (internal/core) and the sweep harness
+// (internal/bench) in a long-running HTTP daemon: kernel-stage,
+// execute, and figure-sweep requests arrive as JSON, queue FIFO under
+// admission control (429 + Retry-After when the bounded queue is
+// full), and run on a fixed worker pool where every job gets a
+// per-tenant isolated runtime via core.ForkTenant — one process-wide
+// compile cache (plus the optional persistent DiskCache, which makes
+// warm serving essentially compile-free) shared across tenants whose
+// machine state never mixes.
+//
+// Job lifecycle is pending → running → done/failed/cancelled, with
+// every transition persisted to a filesystem job store (atomic-rename
+// JSON records, corruption-tolerant loads, restart recovery of the
+// index). Sweep jobs stream progress as chunked JSON lines; sweep
+// results are byte-identical to the ngen CLI's figure tables by
+// construction (both render through bench.RunFigure). Shutdown drains
+// in-flight jobs against a deadline, cancels what remains, and leaves
+// the store consistent. docs/SERVER.md is the operator runbook.
+package server

@@ -1,0 +1,388 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Config sizes the daemon. Zero values pick serving defaults (one
+// worker, queue of 16, in-memory-only job store, Haswell machine).
+type Config struct {
+	// Addr is the listen address (":0" picks an ephemeral port; the
+	// bound address is printed and available via Addr()).
+	Addr string
+	// Workers is the job-executor pool size.
+	Workers int
+	// Queue bounds the pending-job queue; a full queue rejects
+	// submissions with 429 + Retry-After instead of buffering without
+	// limit (admission control).
+	Queue int
+	// Machine names the daemon's default microarchitecture ("" =
+	// Haswell, the paper's platform).
+	Machine string
+	// Backend selects the execution backend ("" or "vm" = interpreter;
+	// "native" degrades gracefully when unavailable).
+	Backend string
+	// CacheDir enables the persistent compile cache — a warm directory
+	// makes serving compile-free.
+	CacheDir string
+	// StoreDir enables the filesystem job store; jobs survive restarts.
+	StoreDir string
+	// Drain bounds graceful shutdown: in-flight jobs get this long to
+	// finish before their contexts are cancelled. Zero means 5s.
+	Drain time.Duration
+}
+
+// Server is the ngend daemon: one shared base runtime (compile caches),
+// per-tenant forked runtimes, a bounded FIFO job queue drained by a
+// fixed worker pool, and a filesystem-backed job history.
+type Server struct {
+	cfg Config
+	// RT is the base runtime every tenant forks from. Exposed so tests
+	// can swap the backend (e.g. the nonexistent-GoTool trick).
+	RT  *core.Runtime
+	Reg *obs.Registry
+
+	store   *fsStore
+	jobs    *index
+	tenants *tenantSet
+	queue   chan *job
+
+	httpSrv  *http.Server
+	listener net.Listener
+	workers  sync.WaitGroup
+	draining atomic.Bool
+	rejected atomic.Int64
+
+	// Test seams: beforeJob blocks a worker before it picks the job up
+	// (queue-overflow tests), pointHook runs inside every sweep point
+	// (cancellation tests). Both nil in production.
+	beforeJob func()
+	pointHook func()
+}
+
+// New builds a server from cfg: base runtime (machine, backend, disk
+// cache), job store recovery, and the worker pool. The HTTP listener
+// is not started until Start.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Queue <= 0 {
+		cfg.Queue = 16
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 5 * time.Second
+	}
+
+	rt, err := baseRuntime(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:     cfg,
+		RT:      rt,
+		Reg:     obs.NewRegistry(),
+		jobs:    newIndex(),
+		tenants: newTenantSet(rt),
+		queue:   make(chan *job, cfg.Queue),
+	}
+
+	if cfg.StoreDir != "" {
+		st, err := openFSStore(cfg.StoreDir)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+		if err := s.recover(); err != nil {
+			return nil, err
+		}
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+// baseRuntime assembles the daemon's shared runtime from the config.
+func baseRuntime(cfg Config) (*core.Runtime, error) {
+	rt := core.DefaultRuntime()
+	if cfg.Machine != "" {
+		arch, err := archFor(cfg.Machine)
+		if err != nil {
+			return nil, err
+		}
+		rt = rt.ForkTenant(arch)
+	}
+	if cfg.CacheDir != "" {
+		d, err := core.OpenDiskCache(cfg.CacheDir, 0)
+		if err != nil {
+			return nil, err
+		}
+		rt.Disk = d
+	}
+	if cfg.Backend != "" && cfg.Backend != "vm" {
+		if err := rt.UseBackend(cfg.Backend); err != nil {
+			// Same graceful degradation as the CLI: serve on the
+			// interpreter, results identical.
+			fmt.Printf("ngend: backend %q unavailable, serving on vm: %v\n", cfg.Backend, err)
+		}
+	}
+	return rt, nil
+}
+
+// recover replays the job store. Terminal records become browsable
+// history; jobs that were pending or running when the process died are
+// marked failed — their work is gone, and silently re-running side
+// effects on boot would surprise more than a visible failure does.
+func (s *Server) recover() error {
+	recs, err := s.store.loadAll()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if !rec.State.Terminal() {
+			rec.Error = fmt.Sprintf("ngend restarted while job was %s", rec.State)
+			rec.State = StateFailed
+			rec.FinishedNS = time.Now().UnixNano()
+			if err := s.store.put(rec); err != nil {
+				return err
+			}
+		}
+		s.jobs.adopt(rec)
+	}
+	return nil
+}
+
+// submit validates, registers, persists and enqueues one job.
+// A full queue returns errBusy without registering anything.
+func (s *Server) submit(spec Spec) (*job, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, err
+	}
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	// Reserve the queue slot first: admission control must not create
+	// a job record it then cannot queue.
+	j := s.jobs.add(spec)
+	select {
+	case s.queue <- j:
+	default:
+		s.jobs.drop(j)
+		s.rejected.Add(1)
+		return nil, errBusy
+	}
+	s.persist(j)
+	j.stream.publish(Event{Event: "state", State: StatePending}, false)
+	return j, nil
+}
+
+var (
+	errBusy     = fmt.Errorf("job queue full")
+	errDraining = fmt.Errorf("server is shutting down")
+)
+
+// worker drains the queue until it closes.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		if s.beforeJob != nil {
+			s.beforeJob()
+		}
+		s.execute(j)
+	}
+}
+
+// execute runs one job through its lifecycle, persisting every
+// transition and publishing stream events.
+func (s *Server) execute(j *job) {
+	j.mu.Lock()
+	if j.rec.State != StatePending { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.rec.State = StateRunning
+	j.rec.StartedNS = time.Now().UnixNano()
+	j.mu.Unlock()
+	s.persist(j)
+	j.stream.publish(Event{Event: "state", State: StateRunning}, false)
+
+	payload, ctype, counts, err := s.runJob(j)
+	if counts != nil {
+		s.tenants.get(j.snapshot().Spec.Tenant).absorb(counts)
+	}
+
+	j.mu.Lock()
+	j.rec.FinishedNS = time.Now().UnixNano()
+	switch {
+	case j.ctx.Err() != nil || err == context.Canceled:
+		j.rec.State = StateCancelled
+		j.rec.Error = "cancelled"
+	case err != nil:
+		j.rec.State = StateFailed
+		j.rec.Error = err.Error()
+	default:
+		j.rec.State = StateDone
+		j.rec.Result = payload
+		j.rec.ResultType = ctype
+	}
+	final := j.rec
+	j.mu.Unlock()
+	j.cancel()
+	s.persist(j)
+	j.stream.publish(Event{Event: "done", State: final.State, Error: final.Error}, true)
+}
+
+// cancelJob cancels a pending or running job. Pending jobs transition
+// immediately; running jobs transition when the executor observes the
+// context (sweeps poll it at point granularity).
+func (s *Server) cancelJob(j *job) bool {
+	j.mu.Lock()
+	rec := j.rec
+	if rec.State.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	wasPending := rec.State == StatePending
+	if wasPending {
+		j.rec.State = StateCancelled
+		j.rec.Error = "cancelled"
+		j.rec.FinishedNS = time.Now().UnixNano()
+	}
+	j.mu.Unlock()
+	if j.cancel != nil {
+		j.cancel()
+	}
+	if wasPending {
+		s.persist(j)
+		j.stream.publish(Event{Event: "done", State: StateCancelled, Error: "cancelled"}, true)
+	}
+	return true
+}
+
+// persist writes the job's current record through the store (no-op
+// without one).
+func (s *Server) persist(j *job) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.put(j.snapshot()); err != nil {
+		fmt.Printf("ngend: job store write failed: %v\n", err)
+	}
+}
+
+// Start binds the listener and serves until Shutdown. It returns once
+// the listener is bound; the printed line is the startup handshake
+// scripts wait for.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	fmt.Printf("ngend: listening on %s\n", ln.Addr())
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Printf("ngend: serve: %v\n", err)
+		}
+	}()
+	return nil
+}
+
+// Addr reports the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return s.cfg.Addr
+	}
+	return s.listener.Addr().String()
+}
+
+// Shutdown drains gracefully: stop admitting, cancel still-queued
+// jobs, give in-flight jobs the drain deadline to finish, then cancel
+// whatever remains and close the HTTP server.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	close(s.queue)
+
+	// Cancel jobs still sitting in the queue — workers will skip them.
+	for _, rec := range s.jobs.list() {
+		if rec.State == StatePending {
+			if j, ok := s.jobs.get(rec.ID); ok {
+				s.cancelJob(j)
+			}
+		}
+	}
+
+	done := make(chan struct{})
+	go func() { s.workers.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(s.cfg.Drain):
+		// Deadline passed: cancel in-flight jobs and wait for the
+		// workers to observe it.
+		for _, rec := range s.jobs.list() {
+			if rec.State == StateRunning {
+				if j, ok := s.jobs.get(rec.ID); ok {
+					s.cancelJob(j)
+				}
+			}
+		}
+		<-done
+	}
+
+	if s.httpSrv != nil {
+		return s.httpSrv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// publishMetrics refreshes the server-level gauges and counters; the
+// HTTP middleware maintains the per-endpoint series continuously.
+func (s *Server) publishMetrics() {
+	r := s.Reg
+	r.Gauge("server.queue.depth").Set(int64(len(s.queue)))
+	r.Gauge("server.queue.capacity").Set(int64(cap(s.queue)))
+	r.Gauge("server.workers").Set(int64(s.cfg.Workers))
+	r.Gauge("server.jobs.rejected").Set(s.rejected.Load())
+	for state, n := range s.jobs.byState() {
+		r.Gauge("server.jobs." + string(state)).Set(int64(n))
+	}
+	var dropped int64
+	for _, rec := range s.jobs.list() {
+		if j, ok := s.jobs.get(rec.ID); ok {
+			dropped += j.stream.droppedCount()
+		}
+	}
+	r.Gauge("server.stream.dropped").Set(dropped)
+	r.Gauge("server.store.corrupt").Set(s.store.Corrupt())
+
+	cs := s.RT.CacheStats()
+	r.Gauge("server.cache.hits").Set(cs.Hits)
+	r.Gauge("server.cache.misses").Set(cs.Misses)
+	r.Gauge("server.cache.entries").Set(int64(cs.Entries))
+	if total := cs.Hits + cs.Misses; total > 0 {
+		r.Gauge("server.cache.hit_ratio_pct").Set(cs.Hits * 100 / total)
+	}
+	r.Gauge("server.compile.full").Set(core.FullCompiles())
+	if ds, ok := s.RT.DiskStats(); ok {
+		r.Gauge("server.diskcache.hits").Set(ds.Hits)
+		r.Gauge("server.diskcache.misses").Set(ds.Misses)
+		r.Gauge("server.diskcache.stores").Set(ds.Stores)
+	}
+	for name, v := range s.RT.BackendCounters() {
+		r.Gauge("server.backend." + name).Set(v)
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// fsStore persists job records, one JSON file per job, in the same
+// durability idiom as core.DiskCache: writes go to a temp file in the
+// directory and atomically rename into place, so a crash mid-write
+// leaves either the old record or the new one, never a torn file. A
+// checksum over the record's identity fields catches the remaining
+// corruption modes (truncated disks, hand-edited files); corrupt
+// records are counted and skipped at load, never fatal.
+type fsStore struct {
+	dir     string
+	mu      sync.Mutex // serializes writes per process; rename is the cross-process guard
+	corrupt atomic.Int64
+}
+
+// openFSStore creates dir if needed and returns the store.
+func openFSStore(dir string) (*fsStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("server: job store: %w", err)
+	}
+	return &fsStore{dir: dir}, nil
+}
+
+// checksum covers the fields whose silent corruption would change what
+// a recovered server believes happened: identity, outcome, and result.
+func (r Record) checksum() string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%s|%s|%s|%s|%d", r.ID, r.Spec.Type, r.State, r.Error, r.Result, r.CreatedNS)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (st *fsStore) path(id string) string {
+	return filepath.Join(st.dir, "job-"+id+".json")
+}
+
+// put persists one record (called on every state transition).
+func (st *fsStore) put(rec Record) error {
+	if st == nil {
+		return nil
+	}
+	rec.Checksum = rec.checksum()
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tmp, err := os.CreateTemp(st.dir, "job-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), st.path(rec.ID))
+}
+
+// loadAll reads every persisted record, skipping (and counting)
+// corrupt files. Records return sorted by id so recovery replays in
+// submission order.
+func (st *fsStore) loadAll() ([]Record, error) {
+	if st == nil {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(st.dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "job-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(st.dir, name))
+		if err != nil {
+			st.corrupt.Add(1)
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			st.corrupt.Add(1)
+			continue
+		}
+		if rec.ID == "" || rec.Checksum != rec.checksum() {
+			st.corrupt.Add(1)
+			continue
+		}
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Corrupt reports how many store files failed to load.
+func (st *fsStore) Corrupt() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.corrupt.Load()
+}

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// Event is one progress line on a job's stream — marshaled as a single
+// JSON object per line (NDJSON), the chunked wire format of
+// GET /v1/jobs/{id}/stream.
+type Event struct {
+	Event string `json:"event"`           // "state" | "progress" | "done"
+	State State  `json:"state,omitempty"` // on state/done events
+	Error string `json:"error,omitempty"`
+	Sweep string `json:"sweep,omitempty"` // on progress events
+	Done  int    `json:"done,omitempty"`
+	Total int    `json:"total,omitempty"`
+}
+
+// stream fans one job's progress events out to any number of HTTP
+// subscribers. Events are retained for the job's lifetime, so a late
+// subscriber replays history before going live — every consumer sees
+// the same ordered line sequence. Publishing never blocks the
+// executing worker: a subscriber that cannot keep up has events
+// dropped (they still appear in its replay-free history gap counter),
+// and the terminal event closes every subscriber.
+type stream struct {
+	mu     sync.Mutex
+	lines  []string
+	subs   map[chan string]struct{}
+	closed bool
+	// dropped counts events a slow subscriber missed; surfaced as the
+	// server.stream.dropped counter.
+	dropped int64
+}
+
+func newStream() *stream {
+	return &stream{subs: map[chan string]struct{}{}}
+}
+
+// publish appends one event and fans it out. terminal closes the
+// stream after delivery.
+func (st *stream) publish(ev Event, terminal bool) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return // Event is marshal-safe by construction
+	}
+	line := string(data)
+	st.mu.Lock()
+	if st.closed {
+		st.mu.Unlock()
+		return
+	}
+	st.lines = append(st.lines, line)
+	for ch := range st.subs {
+		select {
+		case ch <- line:
+		default:
+			st.dropped++
+		}
+	}
+	if terminal {
+		st.closed = true
+		for ch := range st.subs {
+			close(ch)
+		}
+		st.subs = map[chan string]struct{}{}
+	}
+	st.mu.Unlock()
+}
+
+// close marks the stream finished without a new event (recovered
+// terminal jobs).
+func (st *stream) close() {
+	st.mu.Lock()
+	if !st.closed {
+		st.closed = true
+		for ch := range st.subs {
+			close(ch)
+		}
+		st.subs = map[chan string]struct{}{}
+	}
+	st.mu.Unlock()
+}
+
+// subscribe returns the replay history and, when the stream is still
+// live, a channel of subsequent lines (nil once closed — the history
+// is complete).
+func (st *stream) subscribe() ([]string, chan string) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	history := make([]string, len(st.lines))
+	copy(history, st.lines)
+	if st.closed {
+		return history, nil
+	}
+	ch := make(chan string, 64)
+	st.subs[ch] = struct{}{}
+	return history, ch
+}
+
+// unsubscribe detaches a live subscriber (client went away).
+func (st *stream) unsubscribe(ch chan string) {
+	st.mu.Lock()
+	if _, ok := st.subs[ch]; ok {
+		delete(st.subs, ch)
+		close(ch)
+	}
+	st.mu.Unlock()
+}
+
+// droppedCount reports fan-out drops for metrics.
+func (st *stream) droppedCount() int64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.dropped
+}

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// tenant is one isolation domain: a core.ForkTenant runtime whose
+// machine accumulates the tenant's dynamic op counts across jobs,
+// while compiled artifacts stay in the process-wide shared caches.
+// Jobs never execute on the tenant runtime directly — each job forks
+// its own (so two of the tenant's jobs can run concurrently without
+// racing on counters) and the worker merges the job's counts back
+// here when it finishes.
+type tenant struct {
+	name string
+	mu   sync.Mutex
+	rt   *core.Runtime
+	jobs int64
+}
+
+// fork checks out a private runtime for one job, retargeted at arch
+// when the request names a non-default machine.
+func (t *tenant) fork(arch *isa.Microarch) *core.Runtime {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rt.ForkTenant(arch)
+}
+
+// absorb folds a finished job's machine counts into the tenant total.
+func (t *tenant) absorb(counts vm.Counter) {
+	t.mu.Lock()
+	t.rt.Machine.Counts.Merge(counts)
+	t.jobs++
+	t.mu.Unlock()
+}
+
+// TenantInfo is the client-visible view of one tenant.
+type TenantInfo struct {
+	Name    string `json:"name"`
+	Machine string `json:"machine"`
+	Jobs    int64  `json:"jobs"`
+	VMOps   int64  `json:"vm_ops"`
+}
+
+func (t *tenant) info() TenantInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return TenantInfo{
+		Name:    t.name,
+		Machine: t.rt.Arch.Name,
+		Jobs:    t.jobs,
+		VMOps:   t.rt.Machine.Counts.Total(),
+	}
+}
+
+// tenantSet lazily creates tenants off the server's base runtime. The
+// empty tenant name maps to "default".
+type tenantSet struct {
+	mu      sync.Mutex
+	base    *core.Runtime
+	tenants map[string]*tenant
+}
+
+func newTenantSet(base *core.Runtime) *tenantSet {
+	return &tenantSet{base: base, tenants: map[string]*tenant{}}
+}
+
+func (ts *tenantSet) get(name string) *tenant {
+	if name == "" {
+		name = "default"
+	}
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	t, ok := ts.tenants[name]
+	if !ok {
+		t = &tenant{name: name, rt: ts.base.ForkTenant(nil)}
+		ts.tenants[name] = t
+	}
+	return t
+}
+
+// list returns tenant summaries sorted by name.
+func (ts *tenantSet) list() []TenantInfo {
+	ts.mu.Lock()
+	tenants := make([]*tenant, 0, len(ts.tenants))
+	for _, t := range ts.tenants {
+		tenants = append(tenants, t)
+	}
+	ts.mu.Unlock()
+	out := make([]TenantInfo, len(tenants))
+	for i, t := range tenants {
+		out[i] = t.info()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
