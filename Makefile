@@ -1,19 +1,23 @@
-# Developer entry points. `make ci` is the full gate: formatting, vet,
-# build, tests, the race detector over the concurrency-bearing packages
+# Developer entry points. `make ci` is the full gate: lint (gofmt +
+# vet), build, tests, the race detector over the concurrency-bearing packages
 # (compile cache + single-flight, parallel sweeps, the sharded loop
 # scheduler, pooled interpreter frames, the lock-free machine counters,
 # the observability sinks, the backend registry), a bounded fuzz smoke
-# over the vm and scheduler property targets, the persistent-cache
-# cold/warm gate, the native-vs-vm differential, the benchmark
-# regression diff, and the package-documentation check.
+# over the vm, scheduler, and conformance property targets, the
+# grammar-driven conformance suite, the persistent-cache cold/warm gate,
+# the native-vs-vm differential, the benchmark regression diff, and the
+# package-documentation check.
 
 GO ?= go
 RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/... ./internal/server
 FUZZTIME ?= 5s
 
-.PHONY: ci fmt vet build test race fuzz bench benchsmoke benchdiff cachepersist nativediff servecheck docs
+.PHONY: ci lint fmt vet build test race fuzz conform bench benchsmoke benchdiff cachepersist nativediff servecheck docs
 
-ci: fmt vet build test race fuzz benchsmoke benchdiff cachepersist nativediff servecheck docs
+ci: lint build test race fuzz conform benchsmoke benchdiff cachepersist nativediff servecheck docs
+
+# lint bundles the static hygiene checks: gofmt cleanliness and go vet.
+lint: fmt vet
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
@@ -40,6 +44,18 @@ fuzz:
 	done
 	@echo "fuzz FuzzShardBounds ($(FUZZTIME))"; \
 	$(GO) test -run xxx -fuzz "^FuzzShardBounds$$" -fuzztime $(FUZZTIME) ./internal/kernelc
+	@for t in FuzzConformGen FuzzConformReplay; do \
+		echo "fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run xxx -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/conform || exit 1; \
+	done
+
+# conform is the verifier/executor conformance gate: 500 grammar-drawn
+# kernels (well-formed plus every defect class) must classify exactly as
+# their defect predicts and execute identically across the scalar
+# oracle, all vm tiers, and the sampled native backend. Any divergence
+# is auto-minimized and printed (see docs/VERIFIER.md).
+conform:
+	$(GO) run ./cmd/ngen conform -seed 1 -count 500
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:

@@ -12,9 +12,19 @@
 //	ngen fig7  [-quick]      # variable-precision dot products
 //	ngen speedups [-quick]   # headline "up to N×" factors
 //	ngen warmup              # tiered-compilation trace (interpreter → C1 → C2)
-//	ngen vet [-json]         # statically verify every registered kernel on
+//	ngen vet [-json] [-strict]
+//	                         # statically verify every registered kernel on
 //	                         # every machine description (irverify pass stack);
-//	                         # exits 1 if any error-severity diagnostic fires
+//	                         # exits 1 if any error-severity diagnostic fires,
+//	                         # and with -strict also on unwaived warnings
+//	ngen conform [-seed N] [-count N] [-json] [-metrics] [-native-every N]
+//	                         # grammar-driven conformance suite: generate
+//	                         # well-typed kernels plus ill-formed mutants,
+//	                         # cross-check the verifier's verdicts, and run
+//	                         # accepted kernels differentially (scalar oracle
+//	                         # vs vm plain/opt/parallel vs native backend);
+//	                         # exits 1 on any divergence, unsound accept, or
+//	                         # missed/misclassified defect (docs/VERIFIER.md)
 //	ngen benchjson [out]     # run the figure sweeps and write the
 //	                         # machine-readable benchmark record
 //	                         # (-o out, default BENCH_pr<n>.json from -pr)
@@ -76,7 +86,7 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json]|benchdiff oldest.json [...] newest.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json] [-strict]|conform [-seed N] [-count N] [-json]|benchdiff oldest.json [...] newest.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
@@ -100,9 +110,20 @@ func main() {
 	}
 	if cmd == "vet" {
 		// vet needs no benchmark suite, runtime or observability: it is
-		// pure static analysis over freshly staged graphs. Accept -json
-		// before or after the subcommand (flag parsing stops at `vet`).
-		if err := vetCmd(*jsonOut || flag.Arg(1) == "-json"); err != nil {
+		// pure static analysis over freshly staged graphs. Subcommand
+		// flags (-json, -strict) are parsed from the remaining args
+		// (global flag parsing stops at `vet`); a global -json before
+		// the subcommand is honoured too.
+		if err := vetCmd(flag.Args()[1:], *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "conform" {
+		// conform generates its own kernels and runtimes; like vet it
+		// bypasses the benchmark suite. Flags follow the subcommand.
+		if err := conformCmd(flag.Args()[1:], *jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, "ngen:", err)
 			os.Exit(1)
 		}

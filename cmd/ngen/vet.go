@@ -1,7 +1,9 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/irverify"
@@ -9,31 +11,48 @@ import (
 	"repro/internal/kernels"
 )
 
+// vetRun is the testable core of `ngen vet`: verify every target on
+// every machine, render (text or JSON lines) to w, and return a non-nil
+// error (→ exit 1) iff an error-severity diagnostic fired — or, under
+// -strict, iff any warning survived its waivers. CI wants -strict; a
+// developer mid-refactor usually does not.
+func vetRun(targets []irverify.VetTarget, machines []*isa.Microarch, jsonOut, strict bool, w io.Writer) error {
+	rep := irverify.Vet(targets, machines)
+	if jsonOut {
+		if err := rep.WriteJSON(w); err != nil {
+			return err
+		}
+	} else {
+		rep.Render(w)
+	}
+	if n := rep.Errors(); n > 0 {
+		return fmt.Errorf("vet: %d error(s)", n)
+	}
+	if n := rep.Warnings(); strict && n > 0 {
+		return fmt.Errorf("vet: %d warning(s) with -strict", n)
+	}
+	return nil
+}
+
 // vetCmd statically verifies every registered kernel against every
 // machine description in the database — the `go vet` of staged SIMD
 // graphs. Kernel/machine pairs whose required ISA families are absent
 // are skipped (mirroring Runtime.Compile's MissingISAs rejection);
 // everything else runs the full irverify pass stack. The text report is
-// deterministic; -json switches to one JSON line per diagnostic. A
-// non-nil error (→ exit 1) is returned iff any error-severity
-// diagnostic was found.
-func vetCmd(jsonOut bool) error {
+// deterministic; -json switches to one JSON line per diagnostic;
+// -strict promotes warnings to a failing exit.
+func vetCmd(argv []string, globalJSON bool) error {
+	fs := flag.NewFlagSet("vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON lines instead of the text report")
+	strict := fs.Bool("strict", false, "exit non-zero on warnings, not just errors")
+	if err := fs.Parse(argv); err != nil {
+		return err
+	}
 	targets := make([]irverify.VetTarget, 0, len(kernels.Targets()))
 	for _, t := range kernels.Targets() {
 		targets = append(targets, irverify.VetTarget{
 			Name: t.Name, Requires: t.Requires, Build: t.Build,
 		})
 	}
-	rep := irverify.Vet(targets, isa.Microarchs())
-	if jsonOut {
-		if err := rep.WriteJSON(os.Stdout); err != nil {
-			return err
-		}
-	} else {
-		rep.Render(os.Stdout)
-	}
-	if n := rep.Errors(); n > 0 {
-		return fmt.Errorf("vet: %d error(s)", n)
-	}
-	return nil
+	return vetRun(targets, isa.Microarchs(), globalJSON || *jsonOut, *strict, os.Stdout)
 }

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/irverify"
+	"repro/internal/isa"
+)
+
+// cleanTarget builds a kernel that verifies with no diagnostics at all:
+// unaligned loads/stores, mutable dst, every lane value consumed.
+func cleanTarget() irverify.VetTarget {
+	return irverify.VetTarget{
+		Name:     "vet_clean",
+		Requires: []isa.Family{isa.AVX},
+		Build: func(fs isa.FeatureSet) (*ir.Func, error) {
+			k := dsl.NewKernel("vet_clean", fs)
+			dst := dsl.Mutable(k, k.ParamF32Ptr())
+			src := k.ParamF32Ptr()
+			n := k.ParamInt()
+			k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+				v := k.MM256LoaduPs(src, i)
+				k.MM256StoreuPs(dst, i, k.MM256AddPs(v, v))
+			})
+			return k.F, nil
+		},
+	}
+}
+
+// warnTarget builds a kernel that draws exactly one warning: an aligned
+// load through a pointer that carries no alignment fact. It is
+// otherwise well-formed, so only -strict should turn it into a failure.
+func warnTarget() irverify.VetTarget {
+	return irverify.VetTarget{
+		Name:     "vet_warn",
+		Requires: []isa.Family{isa.AVX},
+		Build: func(fs isa.FeatureSet) (*ir.Func, error) {
+			k := dsl.NewKernel("vet_warn", fs)
+			dst := dsl.Mutable(k, k.ParamF32Ptr())
+			src := k.ParamF32Ptr() // deliberately no dsl.Aligned fact
+			n := k.ParamInt()
+			k.For(k.ConstInt(0), n, 8, func(i dsl.Int) {
+				v := k.MM256LoadPs(src, i)
+				k.MM256StoreuPs(dst, i, k.MM256AddPs(v, v))
+			})
+			return k.F, nil
+		},
+	}
+}
+
+// TestVetRunExitPaths pins the contract of the -strict flag: warnings
+// never fail a default run, always fail a strict run, and a clean
+// report passes both ways.
+func TestVetRunExitPaths(t *testing.T) {
+	machines := []*isa.Microarch{isa.Haswell}
+
+	t.Run("clean/default", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := vetRun([]irverify.VetTarget{cleanTarget()}, machines, false, false, &buf); err != nil {
+			t.Fatalf("clean target failed default vet: %v\n%s", err, buf.String())
+		}
+	})
+	t.Run("clean/strict", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := vetRun([]irverify.VetTarget{cleanTarget()}, machines, false, true, &buf); err != nil {
+			t.Fatalf("clean target failed strict vet: %v\n%s", err, buf.String())
+		}
+	})
+	t.Run("warning/default", func(t *testing.T) {
+		var buf bytes.Buffer
+		if err := vetRun([]irverify.VetTarget{warnTarget()}, machines, false, false, &buf); err != nil {
+			t.Fatalf("warning failed a non-strict vet (warnings must not gate by default): %v", err)
+		}
+		if !strings.Contains(buf.String(), "align") {
+			t.Errorf("report does not mention the align warning:\n%s", buf.String())
+		}
+	})
+	t.Run("warning/strict", func(t *testing.T) {
+		var buf bytes.Buffer
+		err := vetRun([]irverify.VetTarget{warnTarget()}, machines, false, true, &buf)
+		if err == nil {
+			t.Fatalf("warning survived -strict with exit 0:\n%s", buf.String())
+		}
+		if !strings.Contains(err.Error(), "warning") {
+			t.Errorf("strict failure should blame warnings, got: %v", err)
+		}
+	})
+}
+
+// TestVetRunJSON checks the machine-readable surface: one JSON line per
+// diagnostic, carrying the pass name.
+func TestVetRunJSON(t *testing.T) {
+	var buf bytes.Buffer
+	if err := vetRun([]irverify.VetTarget{warnTarget()}, []*isa.Microarch{isa.Haswell}, true, false, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"pass"`) || !strings.Contains(buf.String(), "align") {
+		t.Errorf("JSON output missing align diagnostic:\n%s", buf.String())
+	}
+}

@@ -2,6 +2,7 @@ package native
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/ir"
 )
@@ -13,15 +14,72 @@ import (
 // suite, not with the vm's full intrinsic catalogue.
 var loadWidth = map[string]int{
 	"_mm_loadu_ps":       16,
+	"_mm_loadu_pd":       16,
 	"_mm_loadu_si128":    16,
 	"_mm256_loadu_ps":    32,
+	"_mm256_loadu_pd":    32,
 	"_mm256_loadu_si256": 32,
 	"_mm512_loadu_ps":    64,
+	// The vm treats aligned loads identically to unaligned ones (the
+	// simulated machine has no alignment faults), so they share loadv.
+	"_mm_load_ps":    16,
+	"_mm_load_pd":    16,
+	"_mm256_load_ps": 32,
+	"_mm256_load_pd": 32,
 }
 
 var storeWidth = map[string]int{
 	"_mm_storeu_ps":    16,
+	"_mm_storeu_pd":    16,
 	"_mm256_storeu_ps": 32,
+	"_mm256_storeu_pd": 32,
+	"_mm_store_ps":     16,
+	"_mm_store_pd":     16,
+	"_mm256_store_ps":  32,
+	"_mm256_store_pd":  32,
+}
+
+// laneHelper maps a packed-float lane op (stem + precision suffix,
+// prefix stripped) to its prelude helper. Both 128- and 256-bit forms
+// share one helper parameterized on the register width; the bitwise
+// helpers are precision-blind (they run over raw register bytes, as
+// the vm's regBitwise does).
+var laneHelper = map[string]struct {
+	fn    string
+	arity int
+}{
+	"add_ps": {"addps", 2}, "sub_ps": {"subps", 2},
+	"mul_ps": {"mulps", 2}, "div_ps": {"divps", 2},
+	"min_ps": {"minps", 2}, "max_ps": {"maxps", 2},
+	"sqrt_ps": {"sqrtps", 1},
+	"add_pd":  {"addpd", 2}, "sub_pd": {"subpd", 2},
+	"mul_pd": {"mulpd", 2}, "div_pd": {"divpd", 2},
+	"min_pd": {"minpd", 2}, "max_pd": {"maxpd", 2},
+	"sqrt_pd":  {"sqrtpd", 1},
+	"fmadd_ps": {"fmaddps", 3}, "fmsub_ps": {"fmsubps", 3},
+	"fnmadd_ps": {"fnmaddps", 3}, "fnmsub_ps": {"fnmsubps", 3},
+	"fmadd_pd": {"fmaddpd", 3}, "fmsub_pd": {"fmsubpd", 3},
+	"fnmadd_pd": {"fnmaddpd", 3}, "fnmsub_pd": {"fnmsubpd", 3},
+	"and_ps": {"bitand", 2}, "or_ps": {"bitor", 2},
+	"xor_ps": {"bitxor", 2}, "andnot_ps": {"bitandnot", 2},
+	"and_pd": {"bitand", 2}, "or_pd": {"bitor", 2},
+	"xor_pd": {"bitxor", 2}, "andnot_pd": {"bitandnot", 2},
+}
+
+// laneOp resolves an intrinsic name against laneHelper, returning the
+// register width its prefix implies.
+func laneOp(name string) (fn string, arity, bits int, ok bool) {
+	var rest string
+	switch {
+	case strings.HasPrefix(name, "_mm256_"):
+		bits, rest = 256, name[len("_mm256_"):]
+	case strings.HasPrefix(name, "_mm_"):
+		bits, rest = 128, name[len("_mm_"):]
+	default:
+		return "", 0, 0, false
+	}
+	h, ok := laneHelper[rest]
+	return h.fn, h.arity, bits, ok
 }
 
 func (g *gen) intrinsic(n *ir.Node) error {
@@ -131,6 +189,31 @@ func (g *gen) intrinsic(n *ir.Node) error {
 		return nil
 	}
 
+	// Packed-float lane arithmetic, shared across widths and precisions.
+	if fn, arity, bits, ok := laneOp(name); ok {
+		switch arity {
+		case 1:
+			return un(fn, bits)
+		case 2:
+			return bin(fn, bits)
+		default:
+			a, err := vecArg(0)
+			if err != nil {
+				return err
+			}
+			b, err := vecArg(1)
+			if err != nil {
+				return err
+			}
+			c, err := vecArg(2)
+			if err != nil {
+				return err
+			}
+			emit(fmt.Sprintf("%s(%d, %s, %s, %s)", fn, bits, a, b, c))
+			return nil
+		}
+	}
+
 	switch name {
 	case "_mm256_broadcast_ss":
 		ps, err := ptrArg(d.Args[0])
@@ -142,24 +225,7 @@ func (g *gen) intrinsic(n *ir.Node) error {
 		g.p("_ = %s", x)
 		return nil
 
-	case "_mm_add_ps":
-		return bin("addps", 128)
-	case "_mm256_add_ps":
-		return bin("addps", 256)
-	case "_mm256_sub_ps":
-		return bin("subps", 256)
-	case "_mm_mul_ps":
-		return bin("mulps", 128)
-	case "_mm256_mul_ps":
-		return bin("mulps", 256)
-	case "_mm256_div_ps":
-		return bin("divps", 256)
-
-	case "_mm256_fmadd_ps", "_mm512_fmadd_ps":
-		bits := 256
-		if name == "_mm512_fmadd_ps" {
-			bits = 512
-		}
+	case "_mm512_fmadd_ps":
 		a, err := vecArg(0)
 		if err != nil {
 			return err
@@ -172,7 +238,7 @@ func (g *gen) intrinsic(n *ir.Node) error {
 		if err != nil {
 			return err
 		}
-		emit(fmt.Sprintf("fmaddps(%d, %s, %s, %s)", bits, a, b, c))
+		emit(fmt.Sprintf("fmaddps(512, %s, %s, %s)", a, b, c))
 		return nil
 
 	case "_mm_set1_ps", "_mm256_set1_ps", "_mm512_set1_ps":
@@ -182,6 +248,14 @@ func (g *gen) intrinsic(n *ir.Node) error {
 			return err
 		}
 		emit(fmt.Sprintf("set1ps(%d, %s)", bits, f))
+		return nil
+	case "_mm_set1_pd", "_mm256_set1_pd":
+		bits := map[string]int{"_mm_set1_pd": 128, "_mm256_set1_pd": 256}[name]
+		f, err := g.asFloat(d.Args[0])
+		if err != nil {
+			return err
+		}
+		emit(fmt.Sprintf("set1pd(%d, %s)", bits, f))
 		return nil
 	case "_mm256_set1_epi8":
 		i, err := g.asInt(d.Args[0])

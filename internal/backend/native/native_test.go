@@ -2,9 +2,7 @@ package native
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
-	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -33,64 +31,16 @@ func firstSupporting(reqs []isa.Family) *isa.Microarch {
 	return nil
 }
 
-func fillBuffer(b *vm.Buffer, seed uint64) {
-	switch b.Prim {
-	case isa.PrimF32:
-		for i := 0; i < b.Len(); i++ {
-			v := float32(i%23)*0.375 - 3.5 + float32(seed%7)
-			binary.LittleEndian.PutUint32(b.Data[i*4:], math.Float32bits(v))
-		}
-	case isa.PrimF64:
-		for i := 0; i < b.Len(); i++ {
-			v := float64(i%23)*0.375 - 3.5 + float64(seed%7)
-			binary.LittleEndian.PutUint64(b.Data[i*8:], math.Float64bits(v))
-		}
-	default:
-		x := seed*2862933555777941757 + 3037000493
-		for i := range b.Data {
-			x ^= x << 13
-			x ^= x >> 7
-			x ^= x << 17
-			b.Data[i] = byte(x)
-		}
-	}
-}
-
 func kernelArgs(t *testing.T, f *ir.Func, n, elems int, seed uint64) ([]vm.Value, []*vm.Buffer) {
 	t.Helper()
-	var args []vm.Value
-	var bufs []*vm.Buffer
-	for _, p := range f.Params {
-		switch p.Typ.Kind {
-		case ir.KindPtr:
-			b := vm.NewBuffer(p.Typ.Elem, elems)
-			fillBuffer(b, seed+uint64(len(args)))
-			bufs = append(bufs, b)
-			args = append(args, vm.PtrValue(b, 0))
-		case ir.KindI32:
-			args = append(args, vm.IntValue(n))
-		case ir.KindI64:
-			args = append(args, vm.Value{Kind: ir.KindI64, I: int64(n)})
-		case ir.KindF32:
-			args = append(args, vm.F32Value(1.5))
-		case ir.KindF64:
-			args = append(args, vm.F64Value(1.5))
-		default:
-			t.Fatalf("%s: no argument recipe for parameter kind %v", f.Name, p.Typ.Kind)
-		}
+	args, bufs, err := kernels.BuildArgs(f, n, elems, seed)
+	if err != nil {
+		t.Fatal(err)
 	}
 	return args, bufs
 }
 
-func sameValue(a, b vm.Value) bool {
-	if a.Mem != nil || b.Mem != nil {
-		return (a.Mem == nil) == (b.Mem == nil) && a.Kind == b.Kind &&
-			a.Off == b.Off && bytes.Equal(a.Mem.Data, b.Mem.Data)
-	}
-	af, bf := a, b
-	af.F, bf.F = 0, 0
-	return af == bf && math.Float64bits(a.F) == math.Float64bits(b.F)
-}
+func sameValue(a, b vm.Value) bool { return a.Equal(b) }
 
 // TestNativeDifferentialAllKernels is the native tier's acceptance
 // gate: every registered kernel, at every interpreter tier and several

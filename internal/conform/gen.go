@@ -1,0 +1,431 @@
+package conform
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+	"repro/internal/xmlspec"
+)
+
+// Defect classes the generator can inject. Each maps to the verifier
+// pass expected to flag it and the severity of the expected diagnostic;
+// warning-severity defects still execute and must stay differentially
+// clean.
+const (
+	DefectNone      = ""          // well-formed
+	DefectArity     = "arity"     // lane op staged with a missing argument
+	DefectType      = "type"      // lane op staged at the wrong element type
+	DefectISA       = "isa"       // 256-bit kernel checked against an SSE-only machine
+	DefectEffect    = "effect"    // store intrinsic staged with a pure effect
+	DefectImmutable = "immutable" // store through a parameter never marked mutable
+	DefectAlign     = "align"     // aligned loads/stores without an alignment fact
+	DefectDead      = "dead"      // pure lane op whose result is never used
+	DefectDeadStore = "deadstore" // same address stored twice with no read between
+)
+
+// Classes lists every defect class the generator knows, in report order.
+var Classes = []string{
+	DefectArity, DefectType, DefectISA, DefectEffect,
+	DefectImmutable, DefectAlign, DefectDead, DefectDeadStore,
+}
+
+// classExpect describes what the verifier must say about a defect class.
+type classExpect struct {
+	pass     string // pass expected to flag it
+	severity string // "error" rejects the graph, "warning" does not
+	substr   string // optional message fragment that must appear
+}
+
+var expectations = map[string]classExpect{
+	DefectArity:     {pass: "type", severity: "error", substr: "arity"},
+	DefectType:      {pass: "type", severity: "error"},
+	DefectISA:       {pass: "isa", severity: "error"},
+	DefectEffect:    {pass: "effect", severity: "error"},
+	DefectImmutable: {pass: "effect", severity: "error"},
+	DefectAlign:     {pass: "align", severity: "warning"},
+	DefectDead:      {pass: "dead", severity: "warning"},
+	DefectDeadStore: {pass: "effect", severity: "warning", substr: "dead store"},
+}
+
+// rng is the generator's private xorshift64 stream: one per case, seeded
+// from (suite seed, case index), so every case replays in isolation.
+type rng struct{ s uint64 }
+
+func newRng(seed uint64) *rng {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &rng{s: seed}
+}
+
+func (r *rng) next() uint64 {
+	r.s ^= r.s << 13
+	r.s ^= r.s >> 7
+	r.s ^= r.s << 17
+	return r.s
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// stem is one lane-op production of the kernel grammar. Only stems the
+// oracle implements are listed; the pool is further filtered against the
+// spec index, the vm registry and the machine's feature set, so a
+// generated kernel never references an op some backend cannot run.
+type stem struct {
+	name  string
+	arity int
+}
+
+var laneStems = []stem{
+	{"add", 2}, {"sub", 2}, {"mul", 2}, {"div", 2}, {"min", 2}, {"max", 2},
+	{"sqrt", 1},
+	{"and", 2}, {"or", 2}, {"xor", 2}, {"andnot", 2},
+	{"fmadd", 3}, {"fmsub", 3}, {"fnmadd", 3}, {"fnmsub", 3},
+}
+
+// Recipe is the compact, shrinkable description of one generated
+// kernel. Build stages it; the shrinker mutates copies of it.
+type Recipe struct {
+	Case   int      `json:"case"`
+	Width  int      `json:"width"` // register bits: 128 or 256
+	Prim   isa.Prim `json:"-"`
+	Ops    []string `json:"ops"` // lane-op stems, applied as a chain
+	N      int      `json:"n"`   // logical element count (the runtime n argument)
+	Stride int      `json:"stride"`
+	Tail   bool     `json:"tail"`   // scalar remainder loop
+	Reduce bool     `json:"reduce"` // scalar reduction over dst (f32 only)
+	Defect string   `json:"defect,omitempty"`
+}
+
+func (r *Recipe) lanes() int { return r.Width / r.Prim.Bits() }
+
+// recipeJSON is Recipe's wire form: Prim travels as "f32"/"f64" so the
+// checked-in corpus stays readable and stable across isa enum changes.
+type recipeJSON struct {
+	Case   int      `json:"case"`
+	Width  int      `json:"width"`
+	Prim   string   `json:"prim"`
+	Ops    []string `json:"ops"`
+	N      int      `json:"n"`
+	Stride int      `json:"stride"`
+	Tail   bool     `json:"tail,omitempty"`
+	Reduce bool     `json:"reduce,omitempty"`
+	Defect string   `json:"defect,omitempty"`
+}
+
+func (r Recipe) MarshalJSON() ([]byte, error) {
+	prim := "f32"
+	if r.Prim == isa.PrimF64 {
+		prim = "f64"
+	}
+	return json.Marshal(recipeJSON{
+		Case: r.Case, Width: r.Width, Prim: prim, Ops: r.Ops,
+		N: r.N, Stride: r.Stride, Tail: r.Tail, Reduce: r.Reduce, Defect: r.Defect,
+	})
+}
+
+func (r *Recipe) UnmarshalJSON(data []byte) error {
+	var j recipeJSON
+	if err := json.Unmarshal(data, &j); err != nil {
+		return err
+	}
+	*r = Recipe{
+		Case: j.Case, Width: j.Width, Ops: j.Ops,
+		N: j.N, Stride: j.Stride, Tail: j.Tail, Reduce: j.Reduce, Defect: j.Defect,
+	}
+	switch j.Prim {
+	case "f32":
+		r.Prim = isa.PrimF32
+	case "f64":
+		r.Prim = isa.PrimF64
+	default:
+		return fmt.Errorf("conform: unknown recipe prim %q", j.Prim)
+	}
+	return nil
+}
+
+// Elems is the buffer size every pointer argument gets: N plus slack so
+// the last full vector iteration (which may start at n-1) stays in
+// bounds at any stride the grammar emits.
+func (r *Recipe) Elems() int { return r.N + 2*r.lanes()*r.Stride }
+
+func (r *Recipe) prefix() string {
+	if r.Width == 256 {
+		return "_mm256_"
+	}
+	return "_mm_"
+}
+
+func (r *Recipe) suffix() string {
+	if r.Prim == isa.PrimF64 {
+		return "_pd"
+	}
+	return "_ps"
+}
+
+func (r *Recipe) otherSuffix() string {
+	if r.Prim == isa.PrimF64 {
+		return "_ps"
+	}
+	return "_pd"
+}
+
+// Name is the staged kernel's identifier; it lands in generated C, so
+// it stays within [A-Za-z0-9_].
+func (r *Recipe) Name() string {
+	d := r.Defect
+	if d == "" {
+		d = "ok"
+	}
+	return fmt.Sprintf("conf_c%d_%s", r.Case, d)
+}
+
+func (r *Recipe) String() string {
+	return fmt.Sprintf("case=%d width=%d prim=%s ops=%v n=%d stride=%d tail=%v reduce=%v defect=%q",
+		r.Case, r.Width, r.Prim.CName(), r.Ops, r.N, r.Stride, r.Tail, r.Reduce, r.Defect)
+}
+
+// stemsFor returns the lane-op stems usable at (width, prim) on this
+// machine: present in the spec, executable in the vm, and with every
+// required CPUID family available.
+func stemsFor(width int, prim isa.Prim, features isa.FeatureSet, ix *xmlspec.Index) []stem {
+	prefix := "_mm_"
+	if width == 256 {
+		prefix = "_mm256_"
+	}
+	suffix := "_ps"
+	if prim == isa.PrimF64 {
+		suffix = "_pd"
+	}
+	var out []stem
+	for _, st := range laneStems {
+		name := prefix + st.name + suffix
+		spec, ok := ix.Lookup(name)
+		if !ok || !vm.Implemented(name) || !spec.AvailableOn(features) {
+			continue
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// genRecipe draws one recipe from the grammar. Roughly 55% of cases are
+// well-formed; the rest cycle through the defect classes so a few
+// hundred cases exercise every class.
+func genRecipe(r *rng, caseIdx int, features isa.FeatureSet, ix *xmlspec.Index) (Recipe, error) {
+	rec := Recipe{Case: caseIdx, Width: 128 + 128*r.intn(2), Prim: isa.PrimF32, Stride: 1}
+	if r.intn(2) == 1 {
+		rec.Prim = isa.PrimF64
+	}
+	if r.intn(100) >= 55 {
+		rec.Defect = Classes[r.intn(len(Classes))]
+	}
+	if rec.Defect == DefectISA {
+		// The injected unavailability is AVX on an SSE-only machine, so
+		// the kernel must actually use 256-bit ops.
+		rec.Width = 256
+	}
+	if r.intn(3) == 0 {
+		rec.Stride = 2
+	}
+	lanes := rec.lanes()
+	rec.N = lanes*(2+r.intn(6)) + r.intn(lanes) // includes non-multiple tails
+	rec.Tail = r.intn(2) == 1
+	rec.Reduce = rec.Prim == isa.PrimF32 && r.intn(3) == 0
+
+	pool := stemsFor(rec.Width, rec.Prim, features, ix)
+	if len(pool) == 0 {
+		return rec, fmt.Errorf("conform: no lane ops available at %d-bit %s", rec.Width, rec.Prim.CName())
+	}
+	nops := 1 + r.intn(4)
+	for i := 0; i < nops; i++ {
+		rec.Ops = append(rec.Ops, pool[r.intn(len(pool))].name)
+	}
+	switch rec.Defect {
+	case DefectArity, DefectType:
+		// These mutate the final lane op; a binary arithmetic stem keeps
+		// the mutation well-defined (sqrt has nothing to drop, fma's pd
+		// twin exists so "type" would stage fine).
+		rec.Ops[len(rec.Ops)-1] = "add"
+	case DefectEffect, DefectImmutable, DefectISA:
+		// Error-class kernels never execute; the satellite loops would
+		// only blur which diagnostic the class is about.
+		rec.Tail, rec.Reduce = false, false
+	}
+	return rec, nil
+}
+
+// builder stages one recipe into a dsl kernel.
+type builder struct {
+	r   *Recipe
+	k   *dsl.Kernel
+	ix  *xmlspec.Index
+	err error
+}
+
+// intr stages one intrinsic by name with its spec-resolved type and
+// CPUID families. Unknown names poison the builder (the generator only
+// emits names it validated, so this is an internal invariant).
+func (b *builder) intr(name string, eff ir.Effect, args ...ir.Exp) ir.Exp {
+	spec, ok := b.ix.Lookup(name)
+	if !ok {
+		b.err = fmt.Errorf("conform: generated unknown intrinsic %s", name)
+		return ir.ConstInt(0)
+	}
+	return b.k.Intrinsic(name, irType(spec.Ret), spec.Families, eff, args...)
+}
+
+func irType(t xmlspec.Typ) ir.Type {
+	switch {
+	case t.IsVec():
+		return ir.VecType(t.Vec)
+	case t.Ptr:
+		return ir.PtrType(t.Prim)
+	default:
+		return ir.PrimType(t.Prim)
+	}
+}
+
+// Build stages the recipe for a machine with the given features. The
+// kernel's shape: dst/a/b pointer parameters, a scalar, a count n; a
+// vector loop loading a and b, folding the lane-op chain, storing into
+// dst; then the optional scalar tail, reduction, and defect injections.
+func (r *Recipe) Build(features isa.FeatureSet, ix *xmlspec.Index) (*dsl.Kernel, error) {
+	caseRng := newRng(uint64(r.Case)*0x9E3779B97F4A7C15 + 1)
+	k := dsl.NewKernel(r.Name(), features)
+	b := &builder{r: r, k: k, ix: ix}
+
+	var dst, a, bp, s ir.Exp
+	var tail func(start int, n dsl.Int)
+	var reduce func(n dsl.Int)
+	if r.Prim == isa.PrimF64 {
+		dstW := k.ParamF64Ptr()
+		if r.Defect != DefectImmutable {
+			dsl.Mutable(k, dstW)
+		}
+		aW, bW, sW := k.ParamF64Ptr(), k.ParamF64Ptr(), k.ParamF64()
+		dst, a, bp, s = dstW.E, aW.E, bW.E, sW.E
+		tail = func(start int, n dsl.Int) {
+			k.For(k.ConstInt(start), n, 1, func(i dsl.Int) {
+				dstW.Set(i, aW.At(i).Mul(sW).Add(bW.At(i)))
+			})
+		}
+	} else {
+		dstW := k.ParamF32Ptr()
+		if r.Defect != DefectImmutable {
+			dsl.Mutable(k, dstW)
+		}
+		aW, bW, sW := k.ParamF32Ptr(), k.ParamF32Ptr(), k.ParamF32()
+		dst, a, bp, s = dstW.E, aW.E, bW.E, sW.E
+		tail = func(start int, n dsl.Int) {
+			k.For(k.ConstInt(start), n, 1, func(i dsl.Int) {
+				dstW.Set(i, aW.At(i).Mul(sW).Add(bW.At(i)))
+			})
+		}
+		reduce = func(n dsl.Int) {
+			sum := k.ForAccF32(k.ConstInt(0), n, 1, k.ConstF32(0),
+				func(i dsl.Int, acc dsl.F32) dsl.F32 { return acc.Add(dstW.At(i)) })
+			k.Return(sum)
+		}
+	}
+	n := k.ParamInt()
+
+	loadStem, storeStem := "loadu", "storeu"
+	if r.Defect == DefectAlign {
+		loadStem, storeStem = "load", "store"
+	}
+	pfx, sfx := r.prefix(), r.suffix()
+	step := r.lanes() * r.Stride
+
+	k.For(k.ConstInt(0), n, step, func(i dsl.Int) {
+		va := b.intr(pfx+loadStem+sfx, k.ReadEff(a), k.Offset(a, i))
+		vb := b.intr(pfx+loadStem+sfx, k.ReadEff(bp), k.Offset(bp, i))
+		var vs ir.Exp
+		broadcast := func() ir.Exp {
+			if vs == nil {
+				vs = b.intr(pfx+"set1"+sfx, ir.PureEffect, s)
+			}
+			return vs
+		}
+		pick := func() ir.Exp {
+			switch caseRng.intn(3) {
+			case 0:
+				return va
+			case 1:
+				return vb
+			default:
+				return broadcast()
+			}
+		}
+		cur := va
+		for oi, st := range r.Ops {
+			name := pfx + st + sfx
+			last := oi == len(r.Ops)-1
+			switch {
+			case last && r.Defect == DefectArity:
+				cur = b.intr(name, ir.PureEffect, cur) // binary op, one argument
+			case last && r.Defect == DefectType:
+				cur = b.intr(pfx+st+r.otherSuffix(), ir.PureEffect, cur, pick())
+			default:
+				switch arityOf(st) {
+				case 1:
+					cur = b.intr(name, ir.PureEffect, cur)
+				case 3:
+					cur = b.intr(name, ir.PureEffect, cur, pick(), broadcast())
+				default:
+					cur = b.intr(name, ir.PureEffect, cur, pick())
+				}
+			}
+		}
+		if r.Defect == DefectDead {
+			// A pure lane op nothing consumes; the chain's first operand
+			// is always the running value, so this never CSE-collides.
+			b.intr(pfx+"sub"+sfx, ir.PureEffect, vb, vb)
+		}
+		var eff ir.Effect
+		switch r.Defect {
+		case DefectEffect:
+			eff = ir.PureEffect
+		case DefectImmutable:
+			// Bypass dsl.WriteEff, which panics at staging time on an
+			// immutable root — the mutant must reach the verifier.
+			eff = ir.WriteEffect(dst.(ir.Sym))
+		default:
+			eff = k.WriteEff(k.Offset(dst, i))
+		}
+		b.intr(pfx+storeStem+sfx, eff, k.Offset(dst, i), cur)
+	})
+
+	if r.Tail {
+		tail(r.N-r.N%step, n)
+	}
+	if r.Defect == DefectDeadStore {
+		// Two adjacent root-block stores to dst[0]: the first is dead.
+		v := b.intr(pfx+"set1"+sfx, ir.PureEffect, s)
+		b.intr(pfx+storeStem+sfx, k.WriteEff(dst), dst, v)
+		b.intr(pfx+storeStem+sfx, k.WriteEff(dst), dst, v)
+	}
+	if r.Reduce && reduce != nil {
+		reduce(n)
+	}
+	if b.err != nil {
+		return nil, b.err
+	}
+	if missing := k.MissingISAs(); len(missing) > 0 {
+		return nil, fmt.Errorf("conform: %s staged without hardware support: %v", r.Name(), missing)
+	}
+	return k, nil
+}
+
+func arityOf(stemName string) int {
+	for _, st := range laneStems {
+		if st.name == stemName {
+			return st.arity
+		}
+	}
+	return 2
+}

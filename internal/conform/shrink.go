@@ -1,0 +1,71 @@
+package conform
+
+// shrink minimizes a failing recipe: it greedily applies structural
+// simplifications (drop a lane op, drop the tail/reduction, flatten
+// the stride, shrink N) and keeps each one that still reproduces the
+// same failure kind, until no simplification reproduces. Probes run
+// through the ordinary case driver with record=false, so they never
+// touch the report. Returns nil when the original is already minimal.
+func (h *harness) shrink(rec Recipe, kind string) *Recipe {
+	cur := rec
+	shrunk := false
+	for budget := 64; budget > 0; budget-- {
+		next, ok := h.shrinkStep(cur, kind)
+		if !ok {
+			break
+		}
+		cur = next
+		shrunk = true
+	}
+	if !shrunk {
+		return nil
+	}
+	return &cur
+}
+
+// shrinkStep tries each candidate simplification of cur in order and
+// returns the first that still fails the same way.
+func (h *harness) shrinkStep(cur Recipe, kind string) (Recipe, bool) {
+	for _, cand := range shrinkCandidates(cur) {
+		if h.runCase(cand, false) == kind {
+			return cand, true
+		}
+	}
+	return cur, false
+}
+
+// shrinkCandidates proposes one-step simplifications, cheapest first.
+// Every candidate stays inside the grammar: defect classes that pin
+// recipe fields (arity/type pin the final op to "add") keep them.
+func shrinkCandidates(cur Recipe) []Recipe {
+	var out []Recipe
+	mut := func(f func(*Recipe)) {
+		c := cur
+		c.Ops = append([]string(nil), cur.Ops...)
+		f(&c)
+		out = append(out, c)
+	}
+	if cur.Tail {
+		mut(func(c *Recipe) { c.Tail = false })
+	}
+	if cur.Reduce {
+		mut(func(c *Recipe) { c.Reduce = false })
+	}
+	if cur.Stride != 1 {
+		mut(func(c *Recipe) { c.Stride = 1 })
+	}
+	// Drop one op at a time. The last op carries the arity/type
+	// mutation, so for those classes it must survive.
+	lastPinned := cur.Defect == DefectArity || cur.Defect == DefectType
+	for i := range cur.Ops {
+		if len(cur.Ops) <= 1 || (lastPinned && i == len(cur.Ops)-1) {
+			continue
+		}
+		i := i
+		mut(func(c *Recipe) { c.Ops = append(c.Ops[:i], c.Ops[i+1:]...) })
+	}
+	if min := 2 * cur.lanes(); cur.N > min {
+		mut(func(c *Recipe) { c.N = min })
+	}
+	return out
+}

@@ -16,11 +16,16 @@ import (
 // correct, just slower. Waivable as "vet:allow native".
 func (v *verifier) nativePass() {
 	const pass = "native"
-	if len(v.visits) > 0 && v.visits[0].waived[pass] {
+	err := native.Lowerable(v.f)
+	if err == nil {
 		return
 	}
-	if err := native.Lowerable(v.f); err != nil {
-		v.reportFunc(pass, Info,
-			fmt.Sprintf("kernel stays on the vm interpreter under -backend=native: %v", err))
+	if len(v.visits) > 0 {
+		if rec := v.visits[0].waived[pass]; rec != nil {
+			rec.used = true
+			return
+		}
 	}
+	v.reportFunc(pass, Info,
+		fmt.Sprintf("kernel stays on the vm interpreter under -backend=native: %v", err))
 }

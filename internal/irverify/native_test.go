@@ -36,9 +36,8 @@ func TestNativePassExplainsInterpreterEscape(t *testing.T) {
 	stage := func() *dsl.Kernel {
 		k := dsl.NewKernel("native_escape", isa.Haswell.Features)
 		a := dsl.Mutable(k, k.ParamF32Ptr())
-		aa := dsl.Aligned(k, a, 32)
-		v := k.MM256LoadPs(aa, k.ConstInt(0)) // aligned load: no native emitter
-		k.MM256StorePs(aa, k.ConstInt(0), v)
+		v := k.MM256RcpPs(k.MM256LoaduPs(a, k.ConstInt(0))) // rcp: no native emitter
+		k.MM256StoreuPs(a, k.ConstInt(0), v)
 		return k
 	}
 	res := VerifyForVet(stage().F, arch(t, "haswell"), SpecIndex())

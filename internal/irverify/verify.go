@@ -1,6 +1,7 @@
 package irverify
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 
@@ -35,6 +36,20 @@ func SpecIndex() *xmlspec.Index {
 	return specIx
 }
 
+// Options tunes a verification run. The zero value is the compile
+// pipeline's configuration: every compile-time pass enabled, vet-only
+// passes off.
+type Options struct {
+	// Disable names passes to skip (PassOrder lists the valid names).
+	// This exists for the conformance suite's soundness cross-check: a
+	// deliberately lobotomised verifier must be caught by the generated
+	// defect corpus, proving the suite would notice a real regression.
+	Disable []string
+	// VetPasses enables the vet-only passes (currently "native") and
+	// the stale-waiver sweep, neither of which gates compilation.
+	VetPasses bool
+}
+
 // Verify runs every pass over f against the target microarchitecture,
 // using the shared spec index. This is what core.Runtime.Compile calls.
 func Verify(f *ir.Func, arch *isa.Microarch) *Result {
@@ -44,7 +59,7 @@ func Verify(f *ir.Func, arch *isa.Microarch) *Result {
 // VerifyWithSpec is Verify with an explicit signature index (tests
 // inject hand-built specs).
 func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result {
-	return verify(f, arch, ix, false)
+	return VerifyWithOptions(f, arch, ix, Options{})
 }
 
 // VerifyForVet is VerifyWithSpec plus the vet-only passes — currently
@@ -54,29 +69,44 @@ func VerifyWithSpec(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result 
 // gate compilation (fallback is graceful by design) and the pipeline
 // should not pay a second lowering walk per compile.
 func VerifyForVet(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index) *Result {
-	return verify(f, arch, ix, true)
+	return VerifyWithOptions(f, arch, ix, Options{VetPasses: true})
 }
 
-func verify(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index, vetPasses bool) *Result {
+// VerifyWithOptions is the fully-parameterised entry point.
+func VerifyWithOptions(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index, opts Options) *Result {
 	v := &verifier{
 		f: f, arch: arch, ix: ix,
-		res: &Result{Kernel: f.Name, Arch: arch.Name},
+		res:  &Result{Kernel: f.Name, Arch: arch.Name},
+		skip: map[string]bool{},
+	}
+	for _, p := range opts.Disable {
+		v.skip[p] = true
 	}
 	v.collect()
-	v.ssaPass()
+	if !v.skip["ssa"] {
+		v.ssaPass()
+	}
 	if v.res.Errors() == 0 {
 		// The remaining passes assume SSA well-formedness (they chase
 		// defs by symbol id); on a broken graph they would report noise.
-		v.typePass()
-		v.effectPass()
-		v.isaPass()
-		v.alignPass()
-		v.deadPass()
-		v.loopPass()
-		v.parPass()
-		if vetPasses {
-			v.nativePass()
+		run := func(name string, pass func()) {
+			if !v.skip[name] {
+				pass()
+			}
 		}
+		run("type", v.typePass)
+		run("effect", v.effectPass)
+		run("isa", v.isaPass)
+		run("align", v.alignPass)
+		run("dead", v.deadPass)
+		run("loop", v.loopPass)
+		run("par", v.parPass)
+		if opts.VetPasses {
+			run("native", v.nativePass)
+		}
+	}
+	if opts.VetPasses {
+		v.staleWaivers()
 	}
 	v.res.sortDiags()
 	return v.res
@@ -86,7 +116,17 @@ func verify(f *ir.Func, arch *isa.Microarch, ix *xmlspec.Index, vetPasses bool) 
 type visit struct {
 	n      *ir.Node
 	blk    *ir.Block
-	waived map[string]bool // pass name → warnings waived (nil when none)
+	waived map[string]*waiverRec // pass name → waiver in scope (nil when none)
+}
+
+// waiverRec is one pass named by one "vet:allow" comment. Records are
+// shared by pointer across the copy-on-write scope maps, so a suppression
+// anywhere in the waiver's scope marks the record used; unused records
+// surface as stale-waiver diagnostics under vet.
+type waiverRec struct {
+	pass string
+	sym  int // comment node's symbol, the diagnostic anchor
+	used bool
 }
 
 // verifier carries the state shared by the passes.
@@ -95,20 +135,24 @@ type verifier struct {
 	arch *isa.Microarch
 	ix   *xmlspec.Index
 	res  *Result
+	skip map[string]bool // passes disabled via Options
 	// visits is every node in program order (outer block before nested
 	// bodies), with inherited waivers resolved.
 	visits []visit
 	// visitIx recovers a node's visit (and so its waiver scope) for
 	// passes that walk blocks directly.
 	visitIx map[*ir.Node]visit
+	// waivers is every waiver record staged in the function, in program
+	// order, for the stale-waiver sweep.
+	waivers []*waiverRec
 }
 
 // collect flattens the graph into program-order visits, resolving
 // "vet:allow" comment waivers as it goes.
 func (v *verifier) collect() {
 	v.visitIx = map[*ir.Node]visit{}
-	var walk func(b *ir.Block, inherited map[string]bool)
-	walk = func(b *ir.Block, inherited map[string]bool) {
+	var walk func(b *ir.Block, inherited map[string]*waiverRec)
+	walk = func(b *ir.Block, inherited map[string]*waiverRec) {
 		waived, copied := inherited, false
 		for _, n := range b.Nodes {
 			if n.Def.Op == ir.OpComment {
@@ -117,7 +161,9 @@ func (v *verifier) collect() {
 						waived, copied = copyMap(inherited), true
 					}
 					for _, p := range passes {
-						waived[p] = true
+						rec := &waiverRec{pass: p, sym: n.Sym.ID}
+						v.waivers = append(v.waivers, rec)
+						waived[p] = rec
 					}
 				}
 				continue
@@ -155,8 +201,8 @@ func (v *verifier) waiverOf(n *ir.Node) ([]string, bool) {
 	return passes, len(passes) > 0
 }
 
-func copyMap(m map[string]bool) map[string]bool {
-	out := make(map[string]bool, len(m)+1)
+func copyMap(m map[string]*waiverRec) map[string]*waiverRec {
+	out := make(map[string]*waiverRec, len(m)+1)
 	for k, val := range m {
 		out[k] = val
 	}
@@ -166,8 +212,11 @@ func copyMap(m map[string]bool) map[string]bool {
 // report files a diagnostic for a node visit, honouring waivers for
 // non-error severities.
 func (v *verifier) report(vi visit, pass string, sev Severity, msg, fix string) {
-	if sev != Error && vi.waived[pass] {
-		return
+	if sev != Error {
+		if rec := vi.waived[pass]; rec != nil {
+			rec.used = true
+			return
+		}
 	}
 	v.res.Diags = append(v.res.Diags, Diagnostic{
 		Pass: pass, Sev: sev, Sym: vi.n.Sym.ID, Op: vi.n.Def.Op, Msg: msg, Fix: fix,
@@ -177,6 +226,23 @@ func (v *verifier) report(vi visit, pass string, sev Severity, msg, fix string) 
 // reportFunc files a function-level diagnostic (no node anchor).
 func (v *verifier) reportFunc(pass string, sev Severity, msg string) {
 	v.res.Diags = append(v.res.Diags, Diagnostic{Pass: pass, Sev: sev, Sym: -1, Msg: msg})
+}
+
+// staleWaivers files an info diagnostic for every "vet:allow" entry that
+// suppressed nothing — the warning it was written for has since been
+// fixed (or never fired), and the waiver would now silently swallow a
+// future regression. Vet-only: the compile pipeline never reports these.
+func (v *verifier) staleWaivers() {
+	for _, rec := range v.waivers {
+		if rec.used {
+			continue
+		}
+		v.res.Diags = append(v.res.Diags, Diagnostic{
+			Pass: rec.pass, Sev: Info, Sym: rec.sym, Op: ir.OpComment,
+			Msg: fmt.Sprintf("stale waiver: this vet:allow suppressed no %s diagnostics", rec.pass),
+			Fix: "delete the waiver comment, or narrow it to the passes it still silences",
+		})
+	}
 }
 
 // ptrArgs returns the indexes of the node's pointer-typed arguments.

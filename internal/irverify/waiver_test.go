@@ -1,0 +1,194 @@
+package irverify
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/ir"
+	"repro/internal/isa"
+)
+
+// stageAlignWarning builds a kernel whose only finding is an align
+// warning (an aligned 256-bit load through a pointer with no alignment
+// fact), optionally preceded by a waiver comment.
+func stageAlignWarning(t *testing.T, waiver string) *ir.Func {
+	t.Helper()
+	hw := arch(t, "haswell")
+	k := dsl.NewKernel("waiverprobe", hw.Features)
+	a := k.ParamF32Ptr()
+	if waiver != "" {
+		k.Comment(waiver)
+	}
+	k.Return(kernelsReduce(k, k.MM256LoadPs(a, k.ConstInt(0))))
+	return k.F
+}
+
+// A waiver naming the firing pass suppresses it; a waiver naming a
+// different pass does not (miss): matching is per pass name, not
+// per comment.
+func TestWaiverHitAndMiss(t *testing.T) {
+	hw := arch(t, "haswell")
+	if r := Verify(stageAlignWarning(t, WaivePrefix+" align"), hw); r.Warnings() != 0 {
+		t.Errorf("hit: vet:allow align left warnings standing:\n%s", r.Render())
+	}
+	if r := Verify(stageAlignWarning(t, WaivePrefix+" dead"), hw); r.Warnings() == 0 {
+		t.Error("miss: vet:allow dead suppressed an align warning")
+	}
+	// A comma list hits as long as one entry names the firing pass.
+	if r := Verify(stageAlignWarning(t, WaivePrefix+" dead, align"), hw); r.Warnings() != 0 {
+		t.Errorf("list hit: vet:allow dead,align left warnings standing:\n%s", r.Render())
+	}
+}
+
+// Errors are never waivable: the waiver scope only filters warning and
+// info severities.
+func TestWaiverCannotSuppressErrors(t *testing.T) {
+	hw := arch(t, "haswell")
+	old := arch(t, "nehalem") // SSE-only: every AVX intrinsic is an isa error
+	k := dsl.NewKernel("waivederr", hw.Features)
+	a := k.ParamF32Ptr()
+	k.Comment(WaivePrefix + " isa")
+	k.Return(kernelsReduce(k, k.MM256LoaduPs(a, k.ConstInt(0))))
+	if r := Verify(k.F, old); r.Errors() == 0 {
+		t.Errorf("vet:allow isa suppressed an error:\n%s", r.Render())
+	}
+}
+
+// A waiver that suppresses nothing is stale. Vet runs report it as an
+// info diagnostic anchored at the comment node; the compile pipeline's
+// Verify stays silent about it.
+func TestWaiverStaleReporting(t *testing.T) {
+	hw := arch(t, "haswell")
+	ix := SpecIndex()
+
+	// "dead" never fires here, so that waiver entry is stale; "align"
+	// suppresses the load warning, so it is live.
+	f := stageAlignWarning(t, WaivePrefix+" dead, align")
+	res := VerifyWithOptions(f, hw, ix, Options{VetPasses: true})
+	var stale []Diagnostic
+	for _, d := range res.Diags {
+		if strings.Contains(d.Msg, "stale waiver") {
+			stale = append(stale, d)
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("want exactly 1 stale-waiver diagnostic, got %d:\n%s", len(stale), res.Render())
+	}
+	if stale[0].Pass != "dead" || stale[0].Sev != Info || stale[0].Op != ir.OpComment {
+		t.Errorf("stale diag misattributed: %+v", stale[0])
+	}
+
+	// Entirely live waiver: no stale report.
+	res = VerifyWithOptions(stageAlignWarning(t, WaivePrefix+" align"), hw, ix, Options{VetPasses: true})
+	for _, d := range res.Diags {
+		if strings.Contains(d.Msg, "stale waiver") {
+			t.Errorf("live waiver reported stale:\n%s", res.Render())
+		}
+	}
+
+	// Compile-pipeline entry point: stale sweep must stay off.
+	if r := Verify(stageAlignWarning(t, WaivePrefix+" dead"), hw); func() bool {
+		for _, d := range r.Diags {
+			if strings.Contains(d.Msg, "stale waiver") {
+				return true
+			}
+		}
+		return false
+	}() {
+		t.Error("Verify (non-vet) reported a stale waiver")
+	}
+}
+
+// Options.Disable skips exactly the named passes — the hook the
+// conformance suite uses to prove it would catch a lobotomised verifier.
+func TestVerifyWithOptionsDisable(t *testing.T) {
+	hw := arch(t, "haswell")
+	ix := SpecIndex()
+	f := stageAlignWarning(t, "")
+	if r := VerifyWithOptions(f, hw, ix, Options{Disable: []string{"align"}}); r.Warnings() != 0 {
+		t.Errorf("align disabled but still fired:\n%s", r.Render())
+	}
+	if r := VerifyWithOptions(f, hw, ix, Options{Disable: []string{"dead"}}); r.Warnings() == 0 {
+		t.Error("disabling an unrelated pass suppressed the align warning")
+	}
+}
+
+// The JSONL stream is the machine-facing twin of Render: one object per
+// diagnostic, stable field set, omitempty on op and fix.
+func TestResultWriteJSONSchema(t *testing.T) {
+	hw := arch(t, "haswell")
+	res := Verify(stageAlignWarning(t, ""), hw)
+	if res.Warnings() == 0 {
+		t.Fatalf("probe kernel produced no warnings:\n%s", res.Render())
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(res.Diags) {
+		t.Fatalf("%d JSON lines for %d diagnostics", len(lines), len(res.Diags))
+	}
+	for i, line := range lines {
+		var got map[string]any
+		if err := json.Unmarshal([]byte(line), &got); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		for _, key := range []string{"kernel", "arch", "pass", "severity", "sym", "message"} {
+			if _, ok := got[key]; !ok {
+				t.Errorf("line %d missing required key %q: %s", i, key, line)
+			}
+		}
+		if got["kernel"] != "waiverprobe" || got["arch"] != hw.Name {
+			t.Errorf("line %d misattributed: %s", i, line)
+		}
+		d := res.Diags[i]
+		if got["pass"] != d.Pass || got["severity"] != d.Sev.String() ||
+			int(got["sym"].(float64)) != d.Sym || got["message"] != d.Msg {
+			t.Errorf("line %d does not round-trip diagnostic %d: %s", i, i, line)
+		}
+		if d.Fix == "" {
+			if _, ok := got["fix"]; ok {
+				t.Errorf("line %d has empty fix serialized: %s", i, line)
+			}
+		} else if got["fix"] != d.Fix {
+			t.Errorf("line %d fix mismatch: %s", i, line)
+		}
+	}
+}
+
+// VetReport.WriteJSON flattens every checked entry into the same
+// per-diagnostic schema; skipped and clean entries contribute no lines.
+func TestVetReportWriteJSON(t *testing.T) {
+	hw := arch(t, "haswell")
+	targets := []VetTarget{
+		{
+			Name: "warns",
+			Build: func(fs isa.FeatureSet) (*ir.Func, error) {
+				k := dsl.NewKernel("warns", fs)
+				a := k.ParamF32Ptr()
+				k.Return(kernelsReduce(k, k.MM256LoadPs(a, k.ConstInt(0))))
+				return k.F, nil
+			},
+		},
+	}
+	rep := Vet(targets, []*isa.Microarch{hw})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("vet JSON stream is empty for a warning target")
+	}
+	var got map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["kernel"] != "warns" || got["arch"] != hw.Name {
+		t.Errorf("vet JSON misattributed: %s", lines[0])
+	}
+}

@@ -1,0 +1,71 @@
+package kernels
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/ir"
+	"repro/internal/isa"
+	"repro/internal/vm"
+)
+
+// FillBuffer writes a deterministic, seed-dependent pattern into the
+// buffer: small non-degenerate floats for float primitives, an
+// xorshift byte stream for everything else. It is the shared input
+// generator of the differential harnesses (the native-vs-vm kernel
+// gate and the conformance suite), so two independently allocated
+// buffers with equal (prim, len, seed) are byte-identical.
+func FillBuffer(b *vm.Buffer, seed uint64) {
+	switch b.Prim {
+	case isa.PrimF32:
+		for i := 0; i < b.Len(); i++ {
+			v := float32(i%23)*0.375 - 3.5 + float32(seed%7)
+			binary.LittleEndian.PutUint32(b.Data[i*4:], math.Float32bits(v))
+		}
+	case isa.PrimF64:
+		for i := 0; i < b.Len(); i++ {
+			v := float64(i%23)*0.375 - 3.5 + float64(seed%7)
+			binary.LittleEndian.PutUint64(b.Data[i*8:], math.Float64bits(v))
+		}
+	default:
+		x := seed*2862933555777941757 + 3037000493
+		for i := range b.Data {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			b.Data[i] = byte(x)
+		}
+	}
+}
+
+// BuildArgs constructs one vm argument per staged parameter of f:
+// pointer parameters get a fresh elems-element buffer filled by
+// FillBuffer (seed advanced per parameter), integer parameters receive
+// n, and float scalars a fixed 1.5. The returned buffers alias the
+// pointer arguments, in parameter order, so callers can inspect memory
+// effects after a run.
+func BuildArgs(f *ir.Func, n, elems int, seed uint64) ([]vm.Value, []*vm.Buffer, error) {
+	var args []vm.Value
+	var bufs []*vm.Buffer
+	for _, p := range f.Params {
+		switch p.Typ.Kind {
+		case ir.KindPtr:
+			b := vm.NewBuffer(p.Typ.Elem, elems)
+			FillBuffer(b, seed+uint64(len(args)))
+			bufs = append(bufs, b)
+			args = append(args, vm.PtrValue(b, 0))
+		case ir.KindI32:
+			args = append(args, vm.IntValue(n))
+		case ir.KindI64:
+			args = append(args, vm.Value{Kind: ir.KindI64, I: int64(n)})
+		case ir.KindF32:
+			args = append(args, vm.F32Value(1.5))
+		case ir.KindF64:
+			args = append(args, vm.F64Value(1.5))
+		default:
+			return nil, nil, fmt.Errorf("%s: no argument recipe for parameter kind %v", f.Name, p.Typ.Kind)
+		}
+	}
+	return args, bufs, nil
+}

@@ -1,6 +1,7 @@
 package vm
 
 import (
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -383,4 +384,33 @@ func (v Value) AsFloat() float64 {
 	default:
 		return float64(v.I)
 	}
+}
+
+// Clone returns a deep copy of the buffer sharing nothing with the
+// original: the reference-interpreter harness (internal/conform) runs
+// each backend against private memory and compares the bytes afterwards.
+func (b *Buffer) Clone() *Buffer {
+	out := &Buffer{Prim: b.Prim, Data: make([]byte, len(b.Data)), Base: b.Base}
+	copy(out.Data, b.Data)
+	return out
+}
+
+// Equal reports bit-exact equality of two values. Floats compare by bit
+// pattern (NaN payloads included), pointers by displacement plus the
+// pointed-to bytes — the comparison the differential harnesses use.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind || v.I != o.I || v.U != o.U || v.B != o.B || v.V != o.V {
+		return false
+	}
+	if math.Float64bits(v.F) != math.Float64bits(o.F) {
+		return false
+	}
+	if (v.Mem == nil) != (o.Mem == nil) {
+		return false
+	}
+	if v.Mem != nil {
+		return v.Off == o.Off && v.Mem.Prim == o.Mem.Prim &&
+			bytes.Equal(v.Mem.Data, o.Mem.Data)
+	}
+	return true
 }

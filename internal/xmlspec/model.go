@@ -161,3 +161,19 @@ func (r *Resolved) HasCategory(c isa.Category) bool {
 	}
 	return false
 }
+
+// AvailableOn reports whether every CPUID family the intrinsic requires
+// is present in the feature set. SVML intrinsics are library calls, not
+// CPUID features: any vector ISA (SSE upward) satisfies them, mirroring
+// the staging frontend's rule in dsl.Kernel.Intrinsic.
+func (r *Resolved) AvailableOn(fs isa.FeatureSet) bool {
+	for _, fam := range r.Families {
+		if fam == isa.SVML && fs[isa.SSE] {
+			continue
+		}
+		if !fs[fam] {
+			return false
+		}
+	}
+	return true
+}
