@@ -50,7 +50,7 @@ func TestUpdateCorpus(t *testing.T) {
 	seen := map[string]bool{}
 	var out []Recipe
 	for i := 0; i < 500 && len(out) < 24; i++ {
-		r := newRng(1*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1)
+		r := newRng(caseSeed(1, i))
 		rec, err := genRecipe(r, i, isa.Haswell.Features, ix)
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
@@ -212,6 +212,24 @@ func TestShrinkerMinimizes(t *testing.T) {
 	}
 	if cur.N >= rec.N {
 		t.Errorf("N not shrunk: %d", cur.N)
+	}
+}
+
+// TestShrinkerProbePath drives runCase the way shrinkStep does —
+// record=false — over the whole corpus. This is the path no recorded
+// run exercises (it only fires while minimizing a real divergence), so
+// it gets its own regression test: a probe must never touch the report
+// and, above all, must not panic on the throwaway stats.
+func TestShrinkerProbePath(t *testing.T) {
+	h, err := newHarness(Options{Seed: 1, NativeEvery: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range loadCorpus(t) {
+		h.runCase(rec, false)
+	}
+	if len(h.rep.Stats) != 0 || len(h.rep.Failures) != 0 || h.rep.Shrunk != 0 {
+		t.Errorf("probe runs mutated the report: %+v", h.rep)
 	}
 }
 

@@ -93,7 +93,7 @@ func Run(opts Options) (*Report, error) {
 		return nil, err
 	}
 	for i := 0; i < h.opts.Count; i++ {
-		caseRng := newRng(h.opts.Seed*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1)
+		caseRng := newRng(caseSeed(h.opts.Seed, i))
 		rec, err := genRecipe(caseRng, i, h.opts.Arch.Features, h.ix)
 		if err != nil {
 			h.rep.stat(rec.Defect).Generated++
@@ -103,6 +103,14 @@ func Run(opts Options) (*Report, error) {
 		h.runCase(rec, true)
 	}
 	return h.rep, nil
+}
+
+// caseSeed derives the rng seed for case i of a run. It is the single
+// definition of the per-case stream: the corpus regenerator
+// (TestUpdateCorpus -update) uses it too, so a change here regenerates
+// a matching corpus instead of silently drifting from Run.
+func caseSeed(seed uint64, i int) uint64 {
+	return seed*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9 + 1
 }
 
 // Replay drives an explicit recipe list — the checked-in regression
@@ -189,16 +197,13 @@ func (h *harness) fail(rec Recipe, kind, detail string, shrunk *Recipe) {
 // ("" when clean). With record=false (shrinker probes) the report is
 // left untouched and execution failures are not themselves shrunk.
 func (h *harness) runCase(rec Recipe, record bool) string {
-	var st *ClassStat
+	// Shrinker probes (record=false) tally into a throwaway stat so the
+	// verdict paths below never have to guard a nil pointer.
+	st := &ClassStat{}
 	if record {
 		st = h.rep.stat(rec.Defect)
-		st.Generated++
 	}
-	bump := func(n *int) {
-		if st != nil {
-			*n++
-		}
-	}
+	st.Generated++
 	emit := func(kind, detail string) string {
 		if record {
 			var shrunk *Recipe
@@ -226,45 +231,45 @@ func (h *harness) runCase(rec Recipe, record bool) string {
 	res := h.opts.Verify(k.F, verifyArch)
 	accepted := res.Errors() == 0
 	if accepted {
-		bump(&st.Accepted)
+		st.Accepted++
 	} else {
-		bump(&st.Rejected)
+		st.Rejected++
 	}
 
 	exp, isDefect := expectations[rec.Defect]
 	switch {
 	case !isDefect: // well-formed: must be accepted, then execute
 		if !accepted {
-			bump(&st.Misclassified)
+			st.Misclassified++
 			return emit(KindMisclassified, "well-formed kernel rejected: "+firstError(res))
 		}
-		bump(&st.Matched)
+		st.Matched++
 	case exp.severity == "error":
 		if accepted {
-			bump(&st.Missed)
+			st.Missed++
 			return emit(KindMissed, fmt.Sprintf("%s defect accepted by verifier", rec.Defect))
 		}
 		if !diagMatches(res, irverify.Error, exp) {
-			bump(&st.Misclassified)
+			st.Misclassified++
 			return emit(KindMisclassified,
 				fmt.Sprintf("%s defect rejected, but not by the %s pass: %s", rec.Defect, exp.pass, firstError(res)))
 		}
-		bump(&st.Matched)
+		st.Matched++
 		return "" // error-class mutants never execute
 	default: // warning-class defect: must be flagged, must still run clean
 		if !accepted {
-			bump(&st.Misclassified)
+			st.Misclassified++
 			return emit(KindMisclassified,
 				fmt.Sprintf("%s defect escalated to an error: %s", rec.Defect, firstError(res)))
 		}
 		if !diagMatches(res, irverify.Warning, exp) {
-			bump(&st.Missed)
+			st.Missed++
 			return emit(KindMissed, fmt.Sprintf("%s defect drew no %s warning", rec.Defect, exp.pass))
 		}
-		bump(&st.Matched)
+		st.Matched++
 	}
 
-	bump(&st.Executed)
+	st.Executed++
 	// Native sampling: recorded runs take the native leg every k-th
 	// executed case; shrink probes always take it, so a native-only
 	// divergence stays reproducible while shrinking.
@@ -275,9 +280,9 @@ func (h *harness) runCase(rec Recipe, record bool) string {
 	kind, detail := h.execute(rec, k, withNative)
 	switch kind {
 	case KindDiverged:
-		bump(&st.Diverged)
+		st.Diverged++
 	case KindUnsound:
-		bump(&st.Unsound)
+		st.Unsound++
 	case "":
 		return ""
 	}

@@ -386,15 +386,6 @@ func (v Value) AsFloat() float64 {
 	}
 }
 
-// Clone returns a deep copy of the buffer sharing nothing with the
-// original: the reference-interpreter harness (internal/conform) runs
-// each backend against private memory and compares the bytes afterwards.
-func (b *Buffer) Clone() *Buffer {
-	out := &Buffer{Prim: b.Prim, Data: make([]byte, len(b.Data)), Base: b.Base}
-	copy(out.Data, b.Data)
-	return out
-}
-
 // Equal reports bit-exact equality of two values. Floats compare by bit
 // pattern (NaN payloads included), pointers by displacement plus the
 // pointed-to bytes — the comparison the differential harnesses use.
