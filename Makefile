@@ -48,6 +48,8 @@ fuzz:
 		echo "fuzz $$t ($(FUZZTIME))"; \
 		$(GO) test -run xxx -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/conform || exit 1; \
 	done
+	@echo "fuzz FuzzSpecCanonicalize ($(FUZZTIME))"; \
+	$(GO) test -run xxx -fuzz "^FuzzSpecCanonicalize$$" -fuzztime $(FUZZTIME) ./internal/server
 
 # conform is the verifier/executor conformance gate: 500 grammar-drawn
 # kernels (well-formed plus every defect class) must classify exactly as
@@ -59,7 +61,7 @@ conform:
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) run ./cmd/ngen -o BENCH_pr7.json benchjson
+	$(GO) run ./cmd/ngen -o BENCH_pr9.json benchjson
 
 # benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
 # schema-valid file, without the full sweep cost.
@@ -68,9 +70,11 @@ benchsmoke:
 
 # benchdiff walks the full committed benchmark series (oldest first):
 # the printed trajectory surfaces slow creep across PRs, and any figure
-# more than 10% slower on the newest step fails the gate.
+# more than 10% slower on the newest step fails the gate. (PR 8 shipped
+# no bench record — the conformance suite left figure timings untouched —
+# so the walk jumps from pr7 to pr9.)
 benchdiff:
-	$(GO) run ./cmd/ngen benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json
+	$(GO) run ./cmd/ngen benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr9.json
 
 # nativediff is the native-backend gate: every registered kernel must be
 # byte-identical (results, memory, dynamic op counts, error text)
@@ -133,6 +137,46 @@ servecheck:
 	if [ $$fail -ne 0 ]; then echo "servecheck: FAILED"; cat "$$tmp/log"; fi; \
 	rm -rf "$$tmp"; \
 	[ $$fail -eq 0 ] && echo "servecheck: healthz + stage + execute round-trip over HTTP ok"
+# The second phase is the crash/resume gate: a full fig6b sweep is
+# SIGKILLed once its first point checkpoints, the restarted daemon over
+# the same store must resume the same job from the persisted checkpoints
+# (server.resume.points > 0 proves it skipped measured points rather
+# than starting over), and the resumed table must be byte-identical to
+# an uninterrupted reference run. Result cache and coalescing are off so
+# the second run really re-executes the remainder.
+	@tmp=$$(mktemp -d); fail=0; \
+	$(GO) build -o "$$tmp/ngend" ./cmd/ngend || { rm -rf "$$tmp"; exit 1; }; \
+	boot() { "$$tmp/ngend" -addr 127.0.0.1:0 -store "$$1" -cachedir "$$tmp/cache" \
+		-resultcache=false -coalesce=false >"$$2" 2>&1 & pid=$$!; \
+		addr=; for i in $$(seq 1 50); do \
+			addr=$$(sed -n 's/^ngend: listening on //p' "$$2"); \
+			[ -n "$$addr" ] && break; sleep 0.1; done; }; \
+	submit() { curl -fsS -X POST "http://$$addr/v1/jobs" \
+		-d '{"type":"sweep","figure":"fig6b"}' \
+		| sed -n 's/.*"id": "\([^"]*\)".*/\1/p'; }; \
+	await() { for i in $$(seq 1 300); do \
+		curl -fsS "http://$$addr/v1/jobs/$$1/result" -o "$$2" 2>/dev/null \
+			&& return 0; sleep 0.2; done; return 1; }; \
+	boot "$$tmp/ref" "$$tmp/log1"; \
+	rid=$$(submit); await "$$rid" "$$tmp/table.ref" || fail=1; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	boot "$$tmp/jobs" "$$tmp/log2"; \
+	id=$$(submit); ck=1; for i in $$(seq 1 600); do \
+		[ -f "$$tmp/jobs/ckpt-$$id.json" ] && { ck=0; break; }; sleep 0.05; done; \
+	[ $$ck -eq 0 ] || fail=1; \
+	kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	boot "$$tmp/jobs" "$$tmp/log3"; \
+	await "$$id" "$$tmp/table.resumed" || fail=1; \
+	curl -fsS "http://$$addr/v1/jobs/$$id" | grep -q '"resumed": true' || fail=1; \
+	pts=$$(curl -fsS "http://$$addr/metrics" \
+		| sed -n 's/.*"server.resume.points": \([0-9]*\).*/\1/p'); \
+	[ -n "$$pts" ] && [ "$$pts" -gt 0 ] || fail=1; \
+	kill -INT $$pid 2>/dev/null; wait $$pid 2>/dev/null; \
+	cmp -s "$$tmp/table.ref" "$$tmp/table.resumed" || fail=1; \
+	if [ $$fail -ne 0 ]; then echo "servecheck: resume FAILED"; \
+		tail -20 "$$tmp/log2" "$$tmp/log3" 2>/dev/null; rm -rf "$$tmp"; exit 1; fi; \
+	echo "servecheck: killed mid-sweep, resumed $$pts checkpointed points, table byte-identical"; \
+	rm -rf "$$tmp"
 
 # Every internal package must carry a godoc package comment
 # ("// Package <name> ..."), canonically in its doc.go.

@@ -7,6 +7,8 @@
 //
 //	ngend [-addr :8035] [-workers N] [-queue N] [-machine name]
 //	      [-backend name] [-cachedir dir] [-store dir] [-drain dur]
+//	      [-resultcache] [-resultcache-mem MB] [-resultcache-disk MB]
+//	      [-coalesce] [-resume]
 //
 // The daemon prints "ngend: listening on <addr>" once the socket is
 // bound, serves until SIGINT/SIGTERM, then drains in-flight jobs
@@ -35,17 +37,27 @@ func main() {
 	cachedir := flag.String("cachedir", "", "persistent compile cache directory (warm starts serve compile-free)")
 	store := flag.String("store", "", "job store directory (jobs survive restarts; empty = in-memory only)")
 	drain := flag.Duration("drain", 5*time.Second, "graceful-shutdown deadline for in-flight jobs")
+	resultcache := flag.Bool("resultcache", true, "serve repeated identical requests from the spec-keyed result cache")
+	resultcacheMem := flag.Int64("resultcache-mem", 0, "result-cache memory budget in MB (0 = 64)")
+	resultcacheDisk := flag.Int64("resultcache-disk", 0, "result-cache disk budget in MB under <cachedir>/results (0 = 256)")
+	coalesce := flag.Bool("coalesce", true, "coalesce concurrent identical requests into one execution")
+	resume := flag.Bool("resume", true, "resume interrupted sweeps from persisted checkpoints after a restart")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
-		Addr:     *addr,
-		Workers:  *workers,
-		Queue:    *queue,
-		Machine:  *machine,
-		Backend:  *backend,
-		CacheDir: *cachedir,
-		StoreDir: *store,
-		Drain:    *drain,
+		Addr:            *addr,
+		Workers:         *workers,
+		Queue:           *queue,
+		Machine:         *machine,
+		Backend:         *backend,
+		CacheDir:        *cachedir,
+		StoreDir:        *store,
+		Drain:           *drain,
+		ResultCache:     *resultcache,
+		ResultCacheMem:  *resultcacheMem << 20,
+		ResultCacheDisk: *resultcacheDisk << 20,
+		Coalesce:        *coalesce,
+		Resume:          *resume,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ngend:", err)

@@ -101,6 +101,19 @@ type Suite struct {
 	// long sweep running as an ngend job observes cancellation and
 	// shutdown. Must be safe for concurrent use; nil never interrupts.
 	Interrupt func() error
+	// Resume maps forEachPoint indices to the series points an
+	// earlier, interrupted run of the same sweep (same figure, same
+	// sizes) already measured, as captured via OnPointDone. Restored
+	// points fill their slots bit-exactly and skip re-measurement —
+	// the checkpoint/resume half of the serving layer. Nil (the
+	// default) measures every point.
+	Resume map[int][]PointCkpt
+	// OnPointDone, when set, receives each completed point's exact-bit
+	// checkpoint payload (measured or restored) as it finishes; the
+	// serving layer persists these so an interrupted sweep can resume.
+	// Points complete concurrently when Workers > 1, so
+	// implementations must be safe for concurrent use.
+	OnPointDone func(sweep string, i int, pts []PointCkpt)
 }
 
 // NewSuite builds the default Haswell suite.

@@ -1,0 +1,74 @@
+package bench
+
+// Sweep checkpoint/resume. A figure sweep is a list of independent
+// point measurements (the forEachPoint indices); each completed index
+// can be serialized exactly and fed back into a later run of the same
+// sweep, which then fills the corresponding series slots bit-for-bit
+// and skips re-measuring them. This is what lets a restarted ngend
+// daemon resume an interrupted sweep job from the last completed
+// point — the final table is byte-identical to an uninterrupted run
+// because restored points are bit-exact, and the table is a pure
+// function of the points.
+
+import "math"
+
+// PointCkpt is the exact-bit persisted form of one completed series
+// point: the series slot it fills (an index into the figure's fixed
+// slot order) and the Point's fields, with Perf carried as raw
+// float64 bits so formatting reproduces identical bytes after a
+// JSON round trip.
+type PointCkpt struct {
+	Series   int    `json:"series"`
+	N        int    `json:"n"`
+	PerfBits uint64 `json:"perf_bits"`
+	Bound    string `json:"bound"`
+	Level    string `json:"level"`
+}
+
+func ckptOf(series int, p Point) PointCkpt {
+	return PointCkpt{Series: series, N: p.N,
+		PerfBits: math.Float64bits(p.Perf), Bound: p.Bound, Level: p.Level}
+}
+
+// point reconstructs the Point bit-exactly.
+func (c PointCkpt) point() Point {
+	return Point{N: c.N, Perf: math.Float64frombits(c.PerfBits),
+		Bound: c.Bound, Level: c.Level}
+}
+
+// restorePoint consults the Resume table for sweep job index i. On a
+// hit it writes the recorded points into the figure's series slots
+// and reports true — the caller skips measuring. A malformed entry
+// (wrong slot count or series index out of range) is ignored and the
+// point re-measures, which is always safe.
+func (s *Suite) restorePoint(i int, slots ...*Point) bool {
+	cks, ok := s.Resume[i]
+	if !ok || len(cks) != len(slots) {
+		return false
+	}
+	for _, c := range cks {
+		if c.Series < 0 || c.Series >= len(slots) {
+			return false
+		}
+	}
+	for _, c := range cks {
+		*slots[c.Series] = c.point()
+	}
+	return true
+}
+
+// notePoint reports index i's completed series points through
+// OnPointDone (checkpoint persistence). The slot order must match the
+// figure's restorePoint call — the Series field records each slot's
+// position. Fires for restored points too, so a resumed run's
+// checkpoint stream is as complete as a fresh run's.
+func (s *Suite) notePoint(sweep string, i int, slots ...*Point) {
+	if s.OnPointDone == nil {
+		return
+	}
+	cks := make([]PointCkpt, len(slots))
+	for k, p := range slots {
+		cks[k] = ckptOf(k, *p)
+	}
+	s.OnPointDone(sweep, i, cks)
+}

@@ -63,6 +63,10 @@ func (s *Suite) Fig6a(sizes []int) ([]Series, error) {
 	err := s.forEachPoint("sweep:fig6a", len(jobs), func(i int, w *sweepWorker) error {
 		jb := jobs[i]
 		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n))
+		if s.restorePoint(i, &staged.Points[i], &java.Points[i]) {
+			s.notePoint("sweep:fig6a", i, &staged.Points[i], &java.Points[i])
+			return nil
+		}
 		kn, err := w.kernel("saxpy", func() (*dsl.Kernel, error) {
 			return kernels.StagedSaxpy(s.RT.Arch.Features), nil
 		})
@@ -96,6 +100,7 @@ func (s *Suite) Fig6a(sizes []int) ([]Series, error) {
 			return err
 		}
 		java.Points[i] = q
+		s.notePoint("sweep:fig6a", i, &staged.Points[i], &java.Points[i])
 		return nil
 	})
 	if err != nil {
@@ -133,6 +138,10 @@ func (s *Suite) Fig6b(sizes []int) ([]Series, error) {
 	err := s.forEachPoint("sweep:fig6b", len(jobs), func(i int, w *sweepWorker) error {
 		jb := jobs[i]
 		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n))
+		if s.restorePoint(i, &staged.Points[i], &triple.Points[i], &blocked.Points[i]) {
+			s.notePoint("sweep:fig6b", i, &staged.Points[i], &triple.Points[i], &blocked.Points[i])
+			return nil
+		}
 		kn, err := w.kernel("mmm", func() (*dsl.Kernel, error) {
 			return kernels.StagedMMM(s.RT.Arch.Features), nil
 		})
@@ -177,6 +186,7 @@ func (s *Suite) Fig6b(sizes []int) ([]Series, error) {
 			}
 			jv.ser.Points[i] = q
 		}
+		s.notePoint("sweep:fig6b", i, &staged.Points[i], &triple.Points[i], &blocked.Points[i])
 		return nil
 	})
 	if err != nil {
@@ -235,6 +245,10 @@ func (s *Suite) Fig7(sizes []int) ([]Series, error) {
 		}
 		w.rt.Span.SetAttr("n", fmt.Sprint(jb.n)).
 			SetAttr("bits", fmt.Sprint(jb.bits)).SetAttr("series", series)
+		if s.restorePoint(i, &out[jb.series].Points[jb.point]) {
+			s.notePoint("sweep:fig7", i, &out[jb.series].Points[jb.point])
+			return nil
+		}
 		if jb.java {
 			m, err := w.method(fmt.Sprintf("java-dot-%d", jb.bits), func() (*ir.Func, error) {
 				return kernels.JavaDot(jb.bits, s.RT.Arch.Features)
@@ -251,6 +265,7 @@ func (s *Suite) Fig7(sizes []int) ([]Series, error) {
 				return err
 			}
 			out[jb.series].Points[jb.point] = p
+			s.notePoint("sweep:fig7", i, &out[jb.series].Points[jb.point])
 			return nil
 		}
 		kn, err := w.kernel(fmt.Sprintf("dot-%d", jb.bits), func() (*dsl.Kernel, error) {
@@ -268,6 +283,7 @@ func (s *Suite) Fig7(sizes []int) ([]Series, error) {
 			return err
 		}
 		out[jb.series].Points[jb.point] = p
+		s.notePoint("sweep:fig7", i, &out[jb.series].Points[jb.point])
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,159 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// captureCkpts runs one figure to completion while recording every
+// OnPointDone checkpoint, returning the formatted table and the
+// per-index checkpoint map an interrupted run would have persisted.
+func captureCkpts(t *testing.T, figure string, sizes []int) (string, map[int][]PointCkpt) {
+	t.Helper()
+	s := quickSuite()
+	var mu sync.Mutex
+	cks := map[int][]PointCkpt{}
+	s.OnPointDone = func(sweep string, i int, pts []PointCkpt) {
+		mu.Lock()
+		cks[i] = pts
+		mu.Unlock()
+	}
+	out, err := s.RunFigure(figure, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out, cks
+}
+
+var resumeFigures = []struct {
+	figure string
+	sizes  []int
+}{
+	{"fig6a", []int{64, 256, 1024, 4096}},
+	{"fig6b", []int{8, 16, 32}},
+	{"fig7", []int{128, 512}},
+}
+
+// TestResumePartialByteIdentical: feeding a prefix of a finished run's
+// checkpoints back via Resume re-measures only the remaining points and
+// reproduces the reference table byte-for-byte — the core guarantee
+// behind daemon restart resuming an interrupted sweep.
+func TestResumePartialByteIdentical(t *testing.T) {
+	for _, tc := range resumeFigures {
+		t.Run(tc.figure, func(t *testing.T) {
+			ref, cks := captureCkpts(t, tc.figure, tc.sizes)
+			if len(cks) == 0 {
+				t.Fatal("no checkpoints captured")
+			}
+			// Round-trip the checkpoints through JSON — the store
+			// persists them that way — and keep only half.
+			blob, err := json.Marshal(cks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored := map[int][]PointCkpt{}
+			if err := json.Unmarshal(blob, &restored); err != nil {
+				t.Fatal(err)
+			}
+			partial := map[int][]PointCkpt{}
+			for i, pts := range restored {
+				if i%2 == 0 {
+					partial[i] = pts
+				}
+			}
+			s := quickSuite()
+			s.Resume = partial
+			out, err := s.RunFigure(tc.figure, tc.sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != ref {
+				t.Errorf("resumed table differs from uninterrupted run\nref:\n%s\nresumed:\n%s", ref, out)
+			}
+		})
+	}
+}
+
+// TestResumeFullSkipsAllMeasurement: with every point restored the
+// sweep executes zero vm instructions (no kernel compiles or calls) and
+// still emits the identical table. OnPointDone must re-fire for
+// restored points so a resumed run's checkpoint stream stays complete.
+func TestResumeFullSkipsAllMeasurement(t *testing.T) {
+	for _, tc := range resumeFigures {
+		t.Run(tc.figure, func(t *testing.T) {
+			ref, cks := captureCkpts(t, tc.figure, tc.sizes)
+			s := quickSuite()
+			s.Resume = cks
+			refired := map[int]bool{}
+			var mu sync.Mutex
+			s.OnPointDone = func(sweep string, i int, pts []PointCkpt) {
+				mu.Lock()
+				refired[i] = true
+				mu.Unlock()
+			}
+			out, err := s.RunFigure(tc.figure, tc.sizes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != ref {
+				t.Errorf("fully-restored table differs from reference")
+			}
+			if got := s.SweepCounts.Total(); got != 0 {
+				t.Errorf("fully-restored sweep executed %d vm ops, want 0", got)
+			}
+			if len(refired) != len(cks) {
+				t.Errorf("OnPointDone re-fired for %d/%d restored points", len(refired), len(cks))
+			}
+		})
+	}
+}
+
+// TestResumeMalformedEntriesRemeasure: wrong slot counts or
+// out-of-range series indices are ignored (the point re-measures) —
+// corruption can cost time, never correctness.
+func TestResumeMalformedEntriesRemeasure(t *testing.T) {
+	ref, cks := captureCkpts(t, "fig6a", []int{64, 256})
+	bad := map[int][]PointCkpt{
+		0: cks[0][:1],                       // wrong slot count
+		1: {cks[1][0], {Series: 7, N: 256}}, // series out of range
+	}
+	s := quickSuite()
+	s.Resume = bad
+	out, err := s.RunFigure("fig6a", []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != ref {
+		t.Errorf("malformed resume entries must re-measure, got differing table")
+	}
+	if s.SweepCounts.Total() == 0 {
+		t.Error("malformed entries should force re-measurement, but no vm ops ran")
+	}
+}
+
+// TestCkptBitExact: PerfBits survives a JSON round trip bit-for-bit,
+// including values a decimal float encoding would perturb.
+func TestCkptBitExact(t *testing.T) {
+	p := Point{N: 1 << 20, Perf: 1.0 / 3.0, Bound: "memory", Level: "L3"}
+	c := ckptOf(2, p)
+	blob, err := json.Marshal(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back PointCkpt
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != c {
+		t.Fatalf("checkpoint JSON round trip changed value: %+v vs %+v", back, c)
+	}
+	q := back.point()
+	if q != p {
+		t.Fatalf("restored point differs: %+v vs %+v", q, p)
+	}
+	if fmt.Sprintf("%18.3f", q.Perf) != fmt.Sprintf("%18.3f", p.Perf) {
+		t.Fatal("formatted perf differs after round trip")
+	}
+}

@@ -1,0 +1,256 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Result-cache byte budgets (zero Config fields pick these).
+const (
+	defaultResultMemBudget  = 64 << 20  // 64 MiB of in-memory entries
+	defaultResultDiskBudget = 256 << 20 // 256 MiB under <cachedir>/results
+)
+
+// resultEntry is one cached terminal result, keyed by the canonical
+// spec hash. The canonical spec itself is stored alongside as the
+// collision guard (a 64-bit hash can collide; serving the wrong
+// figure must not be possible), and Sum is the durability checksum in
+// the core.DiskCache idiom — a mangled on-disk entry loads as a miss,
+// never as a wrong answer.
+type resultEntry struct {
+	Spec       Spec   `json:"spec"`
+	Result     string `json:"result"`
+	ResultType string `json:"result_type"`
+	Sum        string `json:"checksum,omitempty"`
+}
+
+func (e resultEntry) size() int64 { return int64(len(e.Result)) }
+
+func (e resultEntry) checksum() string {
+	shadow := e
+	shadow.Sum = ""
+	data, _ := json.Marshal(shadow)
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// matches guards against hash collisions and stale-format entries: the
+// stored canonical spec must equal the requested one exactly.
+func (e resultEntry) matches(canon Spec) bool {
+	a, _ := json.Marshal(e.Spec)
+	b, _ := json.Marshal(canon)
+	return string(a) == string(b)
+}
+
+// resultCache is the spec-keyed result store: a byte-budgeted
+// memory map in LRU order in front of an optional on-disk layer
+// (atomic-rename writes, checksum-validated loads, mtime-LRU
+// eviction — the same durability idiom as core.DiskCache). A disk
+// entry surviving a restart is what makes a warm daemon answer
+// repeated sweeps without executing anything.
+type resultCache struct {
+	mu         sync.Mutex
+	mem        map[string]resultEntry
+	order      []string // LRU order, oldest first
+	memBytes   int64
+	memBudget  int64
+	dir        string // "" = memory-only
+	diskBudget int64
+
+	hits, misses, stores, evictions atomic.Int64
+}
+
+// newResultCache builds the cache; dir "" skips the disk layer, and
+// non-positive budgets pick the defaults.
+func newResultCache(dir string, memBudget, diskBudget int64) (*resultCache, error) {
+	if memBudget <= 0 {
+		memBudget = defaultResultMemBudget
+	}
+	if diskBudget <= 0 {
+		diskBudget = defaultResultDiskBudget
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("server: result cache: %w", err)
+		}
+	}
+	return &resultCache{
+		mem:        map[string]resultEntry{},
+		memBudget:  memBudget,
+		dir:        dir,
+		diskBudget: diskBudget,
+	}, nil
+}
+
+func (rc *resultCache) path(hash string) string {
+	return filepath.Join(rc.dir, "res-"+hash+".json")
+}
+
+// get looks a canonical spec up by hash: memory first, then disk (a
+// disk hit promotes the entry back into memory).
+func (rc *resultCache) get(hash string, canon Spec) (resultEntry, bool) {
+	rc.mu.Lock()
+	if e, ok := rc.mem[hash]; ok && e.matches(canon) {
+		rc.touch(hash)
+		rc.mu.Unlock()
+		rc.hits.Add(1)
+		return e, true
+	}
+	rc.mu.Unlock()
+
+	if rc.dir != "" {
+		if e, ok := rc.load(hash); ok && e.matches(canon) {
+			rc.mu.Lock()
+			rc.insertMem(hash, e)
+			rc.mu.Unlock()
+			rc.hits.Add(1)
+			return e, true
+		}
+	}
+	rc.misses.Add(1)
+	return resultEntry{}, false
+}
+
+// put stores one terminal result under its spec hash, in memory and —
+// when the disk layer exists — durably.
+func (rc *resultCache) put(hash string, canon Spec, result, resultType string) {
+	e := resultEntry{Spec: canon, Result: result, ResultType: resultType}
+	e.Sum = e.checksum()
+	rc.mu.Lock()
+	rc.insertMem(hash, e)
+	rc.mu.Unlock()
+	rc.stores.Add(1)
+	if rc.dir == "" {
+		return
+	}
+	if err := rc.store(hash, e); err != nil {
+		fmt.Printf("ngend: result cache write failed: %v\n", err)
+		return
+	}
+	rc.evictDisk()
+}
+
+// insertMem adds or refreshes a memory entry and evicts LRU entries
+// past the byte budget. Callers hold rc.mu.
+func (rc *resultCache) insertMem(hash string, e resultEntry) {
+	if old, ok := rc.mem[hash]; ok {
+		rc.memBytes -= old.size()
+	}
+	rc.mem[hash] = e
+	rc.memBytes += e.size()
+	rc.touch(hash)
+	for rc.memBytes > rc.memBudget && len(rc.order) > 1 {
+		oldest := rc.order[0]
+		rc.order = rc.order[1:]
+		if victim, ok := rc.mem[oldest]; ok {
+			rc.memBytes -= victim.size()
+			delete(rc.mem, oldest)
+			rc.evictions.Add(1)
+		}
+	}
+}
+
+// touch moves hash to the MRU end of the order. Callers hold rc.mu.
+func (rc *resultCache) touch(hash string) {
+	for i, h := range rc.order {
+		if h == hash {
+			rc.order = append(rc.order[:i], rc.order[i+1:]...)
+			break
+		}
+	}
+	rc.order = append(rc.order, hash)
+}
+
+// load reads and validates one disk entry; any corruption is a miss.
+func (rc *resultCache) load(hash string) (resultEntry, bool) {
+	data, err := os.ReadFile(rc.path(hash))
+	if err != nil {
+		return resultEntry{}, false
+	}
+	var e resultEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return resultEntry{}, false
+	}
+	if e.Sum == "" || e.Sum != e.checksum() {
+		return resultEntry{}, false
+	}
+	return e, true
+}
+
+// store writes one disk entry via temp file + atomic rename.
+func (rc *resultCache) store(hash string, e resultEntry) error {
+	data, err := json.MarshalIndent(e, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(rc.dir, "res-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), rc.path(hash))
+}
+
+// evictDisk removes oldest-modified entries until the directory fits
+// the byte budget (mtime LRU, as in core.DiskCache).
+func (rc *resultCache) evictDisk() {
+	entries, err := os.ReadDir(rc.dir)
+	if err != nil {
+		return
+	}
+	type file struct {
+		name  string
+		size  int64
+		mtime int64
+	}
+	var files []file
+	var total int64
+	for _, ent := range entries {
+		name := ent.Name()
+		if !strings.HasPrefix(name, "res-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		files = append(files, file{name, info.Size(), info.ModTime().UnixNano()})
+		total += info.Size()
+	}
+	if total <= rc.diskBudget {
+		return
+	}
+	sort.Slice(files, func(i, j int) bool { return files[i].mtime < files[j].mtime })
+	for _, f := range files {
+		if total <= rc.diskBudget || len(files) == 1 {
+			break
+		}
+		if os.Remove(filepath.Join(rc.dir, f.name)) == nil {
+			total -= f.size
+			rc.evictions.Add(1)
+		}
+	}
+}
+
+// memSize reports the current in-memory byte footprint.
+func (rc *resultCache) memSize() int64 {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.memBytes
+}

@@ -351,9 +351,39 @@ func (s *Server) runSweep(j *job, jrt *core.Runtime) (string, vm.Counter, error)
 		if s.pointHook != nil {
 			s.pointHook()
 		}
-		j.stream.publish(Event{Event: "progress", Sweep: sweep, Done: done, Total: total}, false)
+		s.publishJob(j, Event{Event: "progress", Sweep: sweep, Done: done, Total: total}, false)
 	}
 	suite.Interrupt = func() error { return j.ctx.Err() }
+
+	// Checkpoint/resume: restore the points an interrupted run already
+	// measured, and persist each completed point so the next restart
+	// can do the same. ckptMu also covers the store write, keeping the
+	// persisted file monotonic under parallel sweep workers.
+	j.ckptMu.Lock()
+	if len(j.ckpt) > 0 {
+		// The suite reads Resume while OnPointDone grows j.ckpt, so it
+		// gets its own snapshot.
+		resume := make(map[int][]bench.PointCkpt, len(j.ckpt))
+		for i, pts := range j.ckpt {
+			resume[i] = pts
+		}
+		suite.Resume = resume
+		s.Reg.Counter("server.resume.points").Add(int64(len(resume)))
+	}
+	j.ckptMu.Unlock()
+	suite.OnPointDone = func(sweep string, i int, pts []bench.PointCkpt) {
+		j.ckptMu.Lock()
+		if j.ckpt == nil {
+			j.ckpt = map[int][]bench.PointCkpt{}
+		}
+		j.ckpt[i] = pts
+		if s.store != nil {
+			if err := s.store.putCkpt(j.rec.ID, j.ckpt); err != nil {
+				fmt.Printf("ngend: checkpoint write failed: %v\n", err)
+			}
+		}
+		j.ckptMu.Unlock()
+	}
 
 	sizes := spec.Sizes
 	if sizes == nil {

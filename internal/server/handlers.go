@@ -3,11 +3,41 @@ package server
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/isa"
 )
+
+// Retry-After clamp bounds: never tell a client to hammer faster than
+// 1s, never to go away for more than a minute.
+const (
+	retryAfterMin = 1
+	retryAfterMax = 60
+)
+
+// retryAfterSeconds estimates when a queue slot will free up: the
+// recent mean job service time (the server.job.us histogram the
+// executor feeds) times the backlog each worker faces. With no
+// history yet it falls back to the minimum — optimistic, but the next
+// rejection will know better.
+func (s *Server) retryAfterSeconds() int {
+	mean := s.Reg.Histogram("server.job.us").Snapshot().Mean() // µs
+	if mean <= 0 {
+		return retryAfterMin
+	}
+	backlog := len(s.queue) + s.cfg.Workers // queued + likely in-flight
+	secs := int(math.Ceil(mean * float64(backlog) / float64(s.cfg.Workers) / 1e6))
+	if secs < retryAfterMin {
+		return retryAfterMin
+	}
+	if secs > retryAfterMax {
+		return retryAfterMax
+	}
+	return secs
+}
 
 // Handler builds the daemon's route table. Every route is wrapped in
 // the obs HTTP middleware, so /metrics carries per-endpoint request
@@ -175,7 +205,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	case nil:
 		writeJSON(w, http.StatusAccepted, j.snapshot())
 	case errBusy:
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests, err)
 	case errDraining:
 		writeErr(w, http.StatusServiceUnavailable, err)

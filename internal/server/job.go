@@ -6,6 +6,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/bench"
 )
 
 // State is a job lifecycle state. Transitions are strictly
@@ -56,9 +58,19 @@ type Record struct {
 	Error      string `json:"error,omitempty"`
 	Result     string `json:"result,omitempty"`
 	ResultType string `json:"result_type,omitempty"`
-	CreatedNS  int64  `json:"created_ns"`
-	StartedNS  int64  `json:"started_ns,omitempty"`
-	FinishedNS int64  `json:"finished_ns,omitempty"`
+	// Cached marks a job answered from the result cache — it never
+	// occupied a queue slot or executed anything.
+	Cached bool `json:"cached,omitempty"`
+	// CoalescedWith names the leader job whose single execution this
+	// job shared (request coalescing).
+	CoalescedWith string `json:"coalesced_with,omitempty"`
+	// Resumed marks a sweep job re-adopted after a daemon restart; it
+	// continues from its persisted checkpoints instead of starting
+	// over.
+	Resumed    bool  `json:"resumed,omitempty"`
+	CreatedNS  int64 `json:"created_ns"`
+	StartedNS  int64 `json:"started_ns,omitempty"`
+	FinishedNS int64 `json:"finished_ns,omitempty"`
 	// Checksum guards the persisted record against torn or mangled
 	// files; see fsStore.
 	Checksum string `json:"checksum,omitempty"`
@@ -72,6 +84,21 @@ type job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 	stream *stream
+
+	// specHash is the canonical content hash of the spec — the
+	// single-flight and result-cache key. Set once at submission,
+	// before the job is visible to any other goroutine.
+	specHash string
+	// followers are coalesced jobs riding this job's execution: they
+	// mirror its stream events and adopt its terminal record. Guarded
+	// by mu; frozen once the record turns terminal.
+	followers []*job
+
+	// ckpt accumulates the sweep's completed-point checkpoints; ckptMu
+	// also orders the store writes so the persisted file never goes
+	// backwards. Only sweep jobs use these.
+	ckptMu sync.Mutex
+	ckpt   map[int][]bench.PointCkpt
 }
 
 // snapshot returns a copy of the record for rendering.
@@ -119,6 +146,22 @@ func (ix *index) adopt(rec Record) *job {
 	if rec.State.Terminal() {
 		j.stream.close()
 	}
+	ix.mu.Lock()
+	ix.jobs[rec.ID] = j
+	var n int
+	if _, err := fmt.Sscanf(rec.ID, "j%d", &n); err == nil && n > ix.seq {
+		ix.seq = n
+	}
+	ix.mu.Unlock()
+	return j
+}
+
+// readopt registers a recovered non-terminal job for re-execution
+// (sweep resume): unlike adopt it gets a live context and an open
+// stream, because the job is going back on the queue.
+func (ix *index) readopt(rec Record) *job {
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &job{rec: rec, ctx: ctx, cancel: cancel, stream: newStream()}
 	ix.mu.Lock()
 	ix.jobs[rec.ID] = j
 	var n int

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -39,6 +40,24 @@ type Config struct {
 	// Drain bounds graceful shutdown: in-flight jobs get this long to
 	// finish before their contexts are cancelled. Zero means 5s.
 	Drain time.Duration
+	// ResultCache enables the spec-keyed result cache: a repeated
+	// identical request is answered from the stored result without
+	// touching the queue. Entries live in a byte-budgeted memory LRU
+	// and, when CacheDir is set, under <CacheDir>/results on disk.
+	ResultCache bool
+	// ResultCacheMem / ResultCacheDisk override the cache byte budgets
+	// (zero picks 64 MiB / 256 MiB).
+	ResultCacheMem  int64
+	ResultCacheDisk int64
+	// Coalesce enables request coalescing: concurrent identical
+	// requests attach as followers to the in-flight leader job and
+	// share its single execution, progress stream, and result.
+	Coalesce bool
+	// Resume re-enqueues sweep jobs that were pending or running when
+	// the previous process died, continuing from their persisted
+	// point checkpoints. Off (the zero value), such jobs recover as
+	// failed — the pre-resume behavior.
+	Resume bool
 }
 
 // Server is the ngend daemon: one shared base runtime (compile caches),
@@ -56,11 +75,22 @@ type Server struct {
 	tenants *tenantSet
 	queue   chan *job
 
-	httpSrv  *http.Server
-	listener net.Listener
-	workers  sync.WaitGroup
-	draining atomic.Bool
-	rejected atomic.Int64
+	// results is the spec-keyed result cache (nil when disabled).
+	results *resultCache
+	// inflight is the single-flight table: canonical spec hash → the
+	// leader job currently queued or executing it. flightMu orders
+	// lookups/registrations against leader completion; lock order is
+	// flightMu > job.mu > stream.mu.
+	flightMu sync.Mutex
+	inflight map[string]*job
+
+	httpSrv   *http.Server
+	listener  net.Listener
+	workers   sync.WaitGroup
+	draining  atomic.Bool
+	rejected  atomic.Int64
+	coalesced atomic.Int64
+	resumed   atomic.Int64
 
 	// Test seams: beforeJob blocks a worker before it picks the job up
 	// (queue-overflow tests), pointHook runs inside every sweep point
@@ -89,12 +119,25 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{
-		cfg:     cfg,
-		RT:      rt,
-		Reg:     obs.NewRegistry(),
-		jobs:    newIndex(),
-		tenants: newTenantSet(rt),
-		queue:   make(chan *job, cfg.Queue),
+		cfg:      cfg,
+		RT:       rt,
+		Reg:      obs.NewRegistry(),
+		jobs:     newIndex(),
+		tenants:  newTenantSet(rt),
+		queue:    make(chan *job, cfg.Queue),
+		inflight: map[string]*job{},
+	}
+
+	if cfg.ResultCache {
+		dir := ""
+		if cfg.CacheDir != "" {
+			dir = filepath.Join(cfg.CacheDir, "results")
+		}
+		rc, err := newResultCache(dir, cfg.ResultCacheMem, cfg.ResultCacheDisk)
+		if err != nil {
+			return nil, err
+		}
+		s.results = rc
 	}
 
 	if cfg.StoreDir != "" {
@@ -143,9 +186,13 @@ func baseRuntime(cfg Config) (*core.Runtime, error) {
 }
 
 // recover replays the job store. Terminal records become browsable
-// history; jobs that were pending or running when the process died are
-// marked failed — their work is gone, and silently re-running side
-// effects on boot would surprise more than a visible failure does.
+// history. Jobs that were pending or running when the process died:
+// with Resume on, sweep jobs re-enqueue carrying their persisted point
+// checkpoints (recover runs before the worker pool starts, so the
+// buffered queue absorbs them); everything else — and every
+// interrupted job with Resume off — is marked failed, because silently
+// re-running side effects on boot would surprise more than a visible
+// failure does.
 func (s *Server) recover() error {
 	recs, err := s.store.loadAll()
 	if err != nil {
@@ -153,6 +200,9 @@ func (s *Server) recover() error {
 	}
 	for _, rec := range recs {
 		if !rec.State.Terminal() {
+			if s.cfg.Resume && rec.Spec.Type == "sweep" && s.resumeJob(rec) {
+				continue
+			}
 			rec.Error = fmt.Sprintf("ngend restarted while job was %s", rec.State)
 			rec.State = StateFailed
 			rec.FinishedNS = time.Now().UnixNano()
@@ -165,8 +215,41 @@ func (s *Server) recover() error {
 	return nil
 }
 
-// submit validates, registers, persists and enqueues one job.
-// A full queue returns errBusy without registering anything.
+// resumeJob re-enqueues one interrupted sweep as pending, restoring
+// its checkpoint map so the sweep skips every already-measured point.
+// Reports false (caller falls back to the mark-failed path) only when
+// the queue cannot hold the job.
+func (s *Server) resumeJob(rec Record) bool {
+	rec.State = StatePending
+	rec.Error = ""
+	rec.StartedNS = 0
+	rec.Resumed = true
+	j := s.jobs.readopt(rec)
+	j.specHash = hashSpec(rec.Spec, s.RT.Arch.Name)
+	if ck, err := s.store.loadCkpt(rec.ID); err == nil && len(ck) > 0 {
+		j.ckpt = ck
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.jobs.drop(j)
+		return false
+	}
+	if s.cfg.Coalesce {
+		s.inflight[j.specHash] = j
+	}
+	s.resumed.Add(1)
+	s.persist(j)
+	j.stream.publish(Event{Event: "state", State: StatePending}, false)
+	return true
+}
+
+// submit validates, registers, persists and enqueues one job. Three
+// fast paths precede the queue: a result-cache hit answers instantly
+// as a terminal job; an identical in-flight job adopts the request as
+// a coalesced follower; otherwise the job leads — it takes a queue
+// slot (a full queue returns errBusy without registering anything)
+// and registers in the single-flight table for later arrivals.
 func (s *Server) submit(spec Spec) (*job, error) {
 	if err := validateSpec(spec); err != nil {
 		return nil, err
@@ -174,9 +257,22 @@ func (s *Server) submit(spec Spec) (*job, error) {
 	if s.draining.Load() {
 		return nil, errDraining
 	}
+	hash := hashSpec(spec, s.RT.Arch.Name)
+
+	if s.results != nil {
+		if ent, ok := s.results.get(hash, canonicalSpec(spec, s.RT.Arch.Name)); ok {
+			return s.cachedJob(spec, hash, ent), nil
+		}
+	}
+
+	if s.cfg.Coalesce {
+		return s.submitCoalescing(spec, hash)
+	}
+
 	// Reserve the queue slot first: admission control must not create
 	// a job record it then cannot queue.
 	j := s.jobs.add(spec)
+	j.specHash = hash
 	select {
 	case s.queue <- j:
 	default:
@@ -187,6 +283,140 @@ func (s *Server) submit(spec Spec) (*job, error) {
 	s.persist(j)
 	j.stream.publish(Event{Event: "state", State: StatePending}, false)
 	return j, nil
+}
+
+// cachedJob materializes a result-cache hit as an already-done job:
+// browsable, streamable (single terminal event), persisted — but it
+// never occupied a queue slot or executed anything. The tenant's job
+// count still increments; its op counters don't, because no ops ran.
+func (s *Server) cachedJob(spec Spec, hash string, ent resultEntry) *job {
+	j := s.jobs.add(spec)
+	j.specHash = hash
+	now := time.Now().UnixNano()
+	j.mu.Lock()
+	j.rec.State = StateDone
+	j.rec.StartedNS = now
+	j.rec.FinishedNS = now
+	j.rec.Result = ent.Result
+	j.rec.ResultType = ent.ResultType
+	j.rec.Cached = true
+	j.mu.Unlock()
+	j.cancel()
+	s.tenants.get(spec.Tenant).absorb(nil)
+	s.persist(j)
+	j.stream.publish(Event{Event: "done", State: StateDone}, true)
+	return j
+}
+
+// submitCoalescing is the single-flight submit path. The whole
+// check-attach-or-lead sequence holds flightMu, so two identical
+// concurrent submissions cannot both become leaders, and a follower
+// can never attach to a leader that already cleared itself.
+func (s *Server) submitCoalescing(spec Spec, hash string) (*job, error) {
+	s.flightMu.Lock()
+	if leader, ok := s.inflight[hash]; ok {
+		leader.mu.Lock()
+		if !leader.rec.State.Terminal() {
+			f := s.jobs.add(spec)
+			f.specHash = hash
+			f.rec.CoalescedWith = leader.rec.ID
+			// Copy the leader's event history before registering the
+			// follower: publishJob fans out under leader.mu, so the
+			// follower's stream sees every event exactly once.
+			f.stream.adopt(leader.stream.history())
+			leader.followers = append(leader.followers, f)
+			leader.mu.Unlock()
+			s.flightMu.Unlock()
+			s.coalesced.Add(1)
+			s.persist(f)
+			return f, nil
+		}
+		// Leader reached a terminal state between hash lookup and
+		// attach — stale entry; this request leads a fresh execution.
+		leader.mu.Unlock()
+		delete(s.inflight, hash)
+	}
+
+	j := s.jobs.add(spec)
+	j.specHash = hash
+	select {
+	case s.queue <- j:
+		s.inflight[hash] = j
+		s.flightMu.Unlock()
+	default:
+		s.flightMu.Unlock()
+		s.jobs.drop(j)
+		s.rejected.Add(1)
+		return nil, errBusy
+	}
+	s.persist(j)
+	s.publishJob(j, Event{Event: "state", State: StatePending}, false)
+	return j, nil
+}
+
+// publishJob fans one event out to the job's stream and — for
+// non-terminal events — every follower's stream, while holding j.mu.
+// The lock is what makes follower attachment gap-free: an attach
+// either happens before the fan-out (the follower is in the list and
+// receives the event live) or after it (the copied history already
+// contains the event). Terminal events go to the leader's stream
+// only; finalizeFollowers closes each follower with its own record.
+func (s *Server) publishJob(j *job, ev Event, terminal bool) {
+	j.mu.Lock()
+	j.stream.publish(ev, terminal)
+	if !terminal {
+		for _, f := range j.followers {
+			f.stream.publish(ev, false)
+		}
+	}
+	j.mu.Unlock()
+}
+
+// clearInflight removes the job from the single-flight table if it is
+// still the registered leader for its hash (a fresh leader may have
+// replaced a terminal one already).
+func (s *Server) clearInflight(j *job) {
+	if j.specHash == "" {
+		return
+	}
+	s.flightMu.Lock()
+	if s.inflight[j.specHash] == j {
+		delete(s.inflight, j.specHash)
+	}
+	s.flightMu.Unlock()
+}
+
+// finalizeFollowers adopts the leader's terminal record into every
+// follower still open (one cancelled individually keeps its own
+// state), persists them, closes their streams, and attributes one job
+// (zero ops — the leader's tenant absorbed the execution's counts) to
+// each follower's tenant. The follower set is frozen: attach refuses
+// terminal leaders, and final is only taken after the leader's record
+// turned terminal.
+func (s *Server) finalizeFollowers(j *job, final Record) {
+	j.mu.Lock()
+	followers := j.followers
+	j.followers = nil
+	j.mu.Unlock()
+	for _, f := range followers {
+		f.mu.Lock()
+		if f.rec.State.Terminal() {
+			f.mu.Unlock()
+			continue
+		}
+		f.rec.State = final.State
+		f.rec.Error = final.Error
+		f.rec.Result = final.Result
+		f.rec.ResultType = final.ResultType
+		f.rec.StartedNS = final.StartedNS
+		f.rec.FinishedNS = final.FinishedNS
+		frec := f.rec
+		f.mu.Unlock()
+		f.cancel()
+		s.persist(f)
+		f.stream.publish(Event{Event: "done", State: frec.State, Error: frec.Error}, true)
+		s.tenants.get(frec.Spec.Tenant).absorb(nil)
+	}
 }
 
 var (
@@ -206,18 +436,20 @@ func (s *Server) worker() {
 }
 
 // execute runs one job through its lifecycle, persisting every
-// transition and publishing stream events.
+// transition and publishing stream events — to its own stream and,
+// through publishJob, to every coalesced follower's.
 func (s *Server) execute(j *job) {
 	j.mu.Lock()
 	if j.rec.State != StatePending { // cancelled while queued
 		j.mu.Unlock()
+		s.clearInflight(j)
 		return
 	}
 	j.rec.State = StateRunning
 	j.rec.StartedNS = time.Now().UnixNano()
 	j.mu.Unlock()
 	s.persist(j)
-	j.stream.publish(Event{Event: "state", State: StateRunning}, false)
+	s.publishJob(j, Event{Event: "state", State: StateRunning}, false)
 
 	payload, ctype, counts, err := s.runJob(j)
 	if counts != nil {
@@ -241,8 +473,21 @@ func (s *Server) execute(j *job) {
 	final := j.rec
 	j.mu.Unlock()
 	j.cancel()
+	// Unregister from the single-flight table before fan-out: any
+	// identical request arriving from here on leads a fresh execution
+	// (or hits the result cache, populated below).
+	s.clearInflight(j)
+	if final.State == StateDone && s.results != nil {
+		s.results.put(j.specHash, canonicalSpec(final.Spec, s.RT.Arch.Name),
+			final.Result, final.ResultType)
+	}
+	if final.State.Terminal() && s.store != nil {
+		s.store.delCkpt(final.ID) // checkpoints are only for interrupted jobs
+	}
+	s.Reg.Histogram("server.job.us").Observe((final.FinishedNS - final.StartedNS) / 1e3)
 	s.persist(j)
-	j.stream.publish(Event{Event: "done", State: final.State, Error: final.Error}, true)
+	s.publishJob(j, Event{Event: "done", State: final.State, Error: final.Error}, true)
+	s.finalizeFollowers(j, final)
 }
 
 // cancelJob cancels a pending or running job. Pending jobs transition
@@ -261,13 +506,19 @@ func (s *Server) cancelJob(j *job) bool {
 		j.rec.Error = "cancelled"
 		j.rec.FinishedNS = time.Now().UnixNano()
 	}
+	final := j.rec
 	j.mu.Unlock()
 	if j.cancel != nil {
 		j.cancel()
 	}
 	if wasPending {
+		// A cancelled-while-queued leader never reaches the executor's
+		// finalize path, so its followers (and the single-flight entry)
+		// are settled here.
+		s.clearInflight(j)
 		s.persist(j)
 		j.stream.publish(Event{Event: "done", State: StateCancelled, Error: "cancelled"}, true)
+		s.finalizeFollowers(j, final)
 	}
 	return true
 }
@@ -368,6 +619,19 @@ func (s *Server) publishMetrics() {
 	}
 	r.Gauge("server.stream.dropped").Set(dropped)
 	r.Gauge("server.store.corrupt").Set(s.store.Corrupt())
+
+	r.Gauge("server.coalesce.followers").Set(s.coalesced.Load())
+	s.flightMu.Lock()
+	r.Gauge("server.coalesce.inflight").Set(int64(len(s.inflight)))
+	s.flightMu.Unlock()
+	r.Gauge("server.resume.jobs").Set(s.resumed.Load())
+	if rc := s.results; rc != nil {
+		r.Gauge("server.resultcache.hits").Set(rc.hits.Load())
+		r.Gauge("server.resultcache.misses").Set(rc.misses.Load())
+		r.Gauge("server.resultcache.stores").Set(rc.stores.Load())
+		r.Gauge("server.resultcache.evictions").Set(rc.evictions.Load())
+		r.Gauge("server.resultcache.bytes").Set(rc.memSize())
+	}
 
 	cs := s.RT.CacheStats()
 	r.Gauge("server.cache.hits").Set(cs.Hits)

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+
+	"repro/internal/bench"
+	"repro/internal/isa"
+)
+
+// specVersion prefixes every canonical-spec hash. Bump it whenever the
+// canonical form or the execution semantics behind it change — old
+// cache entries then miss instead of serving stale results.
+const specVersion = "specv1|"
+
+// canonicalSpec reduces a validated spec to its execution-relevant
+// core, so that two requests hash equal exactly when they would
+// produce identical results:
+//
+//   - Tenant is dropped: tenants isolate accounting, not results.
+//   - Fields the job type ignores are zeroed (a stray "n" on a sweep
+//     must not split the cache).
+//   - Machine resolves to the microarch's canonical name; empty means
+//     the daemon's machine, so "" and its explicit name hash equal.
+//   - Sweep Workers is dropped (results are identical at any worker
+//     count) and nil Sizes resolves to the figure's default axis, so
+//     eliding the default and spelling it out hash equal. An explicit
+//     empty list stays distinct — it measures zero points.
+//
+// JSON field order and whitespace never reach the hash at all: the
+// request was decoded into the Spec struct first, and the canonical
+// encoding below is the deterministic struct-order marshal.
+func canonicalSpec(spec Spec, daemonMachine string) Spec {
+	resolve := func(name string) string {
+		if name == "" {
+			return daemonMachine
+		}
+		if arch, err := isa.LookupMicroarch(name); err == nil {
+			return arch.Name
+		}
+		return name
+	}
+	c := Spec{Type: spec.Type}
+	switch spec.Type {
+	case "stage":
+		c.Kernel = spec.Kernel
+		c.Machine = resolve(spec.Machine)
+	case "execute":
+		c.Kernel = spec.Kernel
+		c.Machine = resolve(spec.Machine)
+		c.N = spec.N
+	case "sweep":
+		c.Figure = spec.Figure
+		c.Quick = spec.Quick
+		c.Machine = daemonMachine // sweeps always run on the daemon's machine
+		c.Sizes = spec.Sizes
+		if c.Sizes == nil {
+			if sizes, err := bench.FigureSizes(spec.Figure, spec.Quick); err == nil {
+				c.Sizes = sizes
+			}
+		}
+	default:
+		c = spec
+		c.Tenant = ""
+	}
+	return c
+}
+
+// hashSpec is the canonical content hash of a request — the key of the
+// result cache and the single-flight table.
+func hashSpec(spec Spec, daemonMachine string) string {
+	data, err := json.Marshal(canonicalSpec(spec, daemonMachine))
+	if err != nil {
+		// Spec marshals by construction; a failure here must still
+		// produce a unique non-colliding key.
+		data = []byte(fmt.Sprintf("unmarshalable:%+v", spec))
+	}
+	h := fnv.New64a()
+	h.Write([]byte(specVersion))
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}

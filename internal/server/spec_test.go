@@ -1,0 +1,180 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+const testMachine = "Haswell"
+
+// decodeSpec mimics the submit path: the wire JSON decodes into Spec
+// before anything hashes, so field order and whitespace are shed here.
+func decodeSpec(t testing.TB, raw string) Spec {
+	t.Helper()
+	var spec Spec
+	if err := json.Unmarshal([]byte(raw), &spec); err != nil {
+		t.Fatalf("bad test JSON %q: %v", raw, err)
+	}
+	return spec
+}
+
+// TestSpecHashEquivalence pins the normalization rules: each group
+// lists wire bodies that must hash identically, and every group must
+// hash differently from every other.
+func TestSpecHashEquivalence(t *testing.T) {
+	groups := [][]string{
+		{ // field order, whitespace, tenant, default elision
+			`{"type":"sweep","figure":"fig6a","quick":true}`,
+			`{  "figure": "fig6a", "quick": true, "type": "sweep"  }`,
+			`{"type":"sweep","figure":"fig6a","quick":true,"tenant":"alice"}`,
+			`{"type":"sweep","figure":"fig6a","quick":true,"workers":0}`,
+			`{"type":"sweep","figure":"fig6a","quick":true,"workers":8}`,
+			// a stray execute-only field must not split the key
+			`{"type":"sweep","figure":"fig6a","quick":true,"n":64}`,
+			// spelling out the default axis equals eliding it
+			`{"type":"sweep","figure":"fig6a","quick":true,"sizes":[64,128,256,512,1024,2048,4096,8192,16384,32768,65536]}`,
+		},
+		{ // explicit non-default sizes are their own key
+			`{"type":"sweep","figure":"fig6a","quick":true,"sizes":[64,128]}`,
+		},
+		{ // quick flips the measurement knobs even at equal sizes
+			`{"type":"sweep","figure":"fig6a","sizes":[64,128]}`,
+		},
+		{
+			`{"type":"sweep","figure":"fig6b","quick":true}`,
+		},
+		{ // execute: machine "" means the daemon's machine
+			`{"type":"execute","kernel":"saxpy","n":64}`,
+			`{"type":"execute","kernel":"saxpy","n":64,"machine":"Haswell"}`,
+			`{"type":"execute","kernel":"saxpy","n":64,"tenant":"bob"}`,
+		},
+		{
+			`{"type":"execute","kernel":"saxpy","n":128}`,
+		},
+		{
+			`{"type":"execute","kernel":"saxpy","n":64,"machine":"SkylakeX"}`,
+		},
+		{ // stage never collides with execute of the same kernel: the
+			// type is part of the canonical form, and stage drops n
+			`{"type":"stage","kernel":"saxpy"}`,
+			`{"type":"stage","kernel":"saxpy","machine":"Haswell"}`,
+			`{"type":"stage","kernel":"saxpy","n":64}`,
+		},
+	}
+	seen := map[string]string{} // hash → first body
+	for gi, group := range groups {
+		ref := hashSpec(decodeSpec(t, group[0]), testMachine)
+		for _, body := range group[1:] {
+			if h := hashSpec(decodeSpec(t, body), testMachine); h != ref {
+				t.Errorf("group %d: %s hashed %s, want %s (from %s)", gi, body, h, ref, group[0])
+			}
+		}
+		if prev, dup := seen[ref]; dup {
+			t.Errorf("cross-group collision: %s vs %s", group[0], prev)
+		}
+		seen[ref] = group[0]
+	}
+}
+
+// TestCanonicalSpecEmptySizes: an explicit empty size list measures
+// zero points — it must not canonicalize into the default axis.
+func TestCanonicalSpecEmptySizes(t *testing.T) {
+	withDefault := hashSpec(Spec{Type: "sweep", Figure: "fig6a", Quick: true}, testMachine)
+	withEmpty := hashSpec(Spec{Type: "sweep", Figure: "fig6a", Quick: true, Sizes: []int{}}, testMachine)
+	if withDefault == withEmpty {
+		t.Fatal("empty sizes canonicalized into the default axis")
+	}
+}
+
+// TestRetryAfterClampBounds pins the adaptive Retry-After computation
+// to its clamp bounds: no history or fast jobs → the 1s floor, a huge
+// mean service time → the 60s ceiling, and a mid-range mean lands on
+// the backlog-scaled estimate in between.
+func TestRetryAfterClampBounds(t *testing.T) {
+	mk := func(workers, queueCap int) *Server {
+		return &Server{
+			cfg:   Config{Workers: workers, Queue: queueCap},
+			Reg:   obs.NewRegistry(),
+			queue: make(chan *job, queueCap),
+		}
+	}
+
+	s := mk(2, 4)
+	if got := s.retryAfterSeconds(); got != retryAfterMin {
+		t.Errorf("no history: %d, want the %ds floor", got, retryAfterMin)
+	}
+
+	s.Reg.Histogram("server.job.us").Observe(10) // 10µs jobs
+	if got := s.retryAfterSeconds(); got != retryAfterMin {
+		t.Errorf("fast jobs: %d, want the %ds floor", got, retryAfterMin)
+	}
+
+	s = mk(1, 4)
+	s.Reg.Histogram("server.job.us").Observe(3600 * 1e6) // one-hour jobs
+	if got := s.retryAfterSeconds(); got != retryAfterMax {
+		t.Errorf("slow jobs: %d, want the %ds ceiling", got, retryAfterMax)
+	}
+
+	// Mean 2s, 2 workers, empty queue: backlog 2 → ceil(2·2/2) = 2s.
+	s = mk(2, 4)
+	s.Reg.Histogram("server.job.us").Observe(2 * 1e6)
+	if got := s.retryAfterSeconds(); got != 2 {
+		t.Errorf("2s mean, 2 workers: %d, want 2", got)
+	}
+	// Two queued jobs raise the backlog to 4 → 4s.
+	s.queue <- &job{}
+	s.queue <- &job{}
+	if got := s.retryAfterSeconds(); got != 4 {
+		t.Errorf("2s mean, 2 queued: %d, want 4", got)
+	}
+}
+
+// FuzzSpecCanonicalize: semantically equal request JSON — shuffled
+// field order, elided defaults, extra whitespace — must hash
+// identically, and specs differing in a semantic field must not
+// collide.
+func FuzzSpecCanonicalize(f *testing.F) {
+	f.Add(uint8(0), true, false, uint8(3), "alice", uint16(64))
+	f.Add(uint8(1), false, true, uint8(0), "", uint16(8))
+	f.Add(uint8(2), true, true, uint8(7), "bob", uint16(512))
+	f.Fuzz(func(t *testing.T, figIdx uint8, quick, withSizes bool, workers uint8, tenant string, n uint16) {
+		figures := []string{"fig6a", "fig6b", "fig7"}
+		figure := figures[int(figIdx)%len(figures)]
+		if n == 0 {
+			n = 1
+		}
+		sizes := ""
+		if withSizes {
+			sizes = fmt.Sprintf(`"sizes":[%d,%d],`, n, int(n)*2)
+		}
+		tj, _ := json.Marshal(tenant)
+
+		// Canonical field order, defaults explicit where elidable.
+		a := fmt.Sprintf(`{"type":"sweep","tenant":%s,"figure":%q,"quick":%v,%s"workers":%d}`,
+			tj, figure, quick, sizes, workers)
+		// Reversed order, tenant/workers elided, noisy whitespace.
+		b := fmt.Sprintf("{ %s\"quick\": %v ,\n\t\"figure\": %q, \"type\": \"sweep\" }",
+			sizes, quick, figure)
+
+		ha := hashSpec(decodeSpec(t, a), testMachine)
+		hb := hashSpec(decodeSpec(t, b), testMachine)
+		if ha != hb {
+			t.Fatalf("equivalent specs hash apart:\n%s → %s\n%s → %s", a, ha, b, hb)
+		}
+
+		// Flip one semantic field at a time; each flip must move the hash.
+		base := decodeSpec(t, a)
+		for _, mutant := range []Spec{
+			{Type: base.Type, Figure: figures[(int(figIdx)+1)%len(figures)], Quick: base.Quick, Sizes: base.Sizes},
+			{Type: base.Type, Figure: base.Figure, Quick: !base.Quick, Sizes: base.Sizes},
+			{Type: base.Type, Figure: base.Figure, Quick: base.Quick, Sizes: append([]int{3}, base.Sizes...)},
+		} {
+			if hashSpec(mutant, testMachine) == ha {
+				t.Fatalf("mutated spec %+v collides with %s", mutant, a)
+			}
+		}
+	})
+}

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/bench"
 )
 
 // fsStore persists job records, one JSON file per job, in the same
@@ -108,6 +110,93 @@ func (st *fsStore) loadAll() ([]Record, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
+}
+
+// ckptFile is the persisted checkpoint state of one interrupted sweep
+// job: every completed point's exact-bit payload, keyed by the
+// forEachPoint index. Sum is the same durability checksum idiom as the
+// job records — a torn or mangled file loads as "no checkpoints"
+// (the sweep re-measures everything), never as wrong data.
+type ckptFile struct {
+	JobID  string                    `json:"job_id"`
+	Points map[int][]bench.PointCkpt `json:"points"`
+	Sum    string                    `json:"checksum,omitempty"`
+}
+
+func (c ckptFile) checksum() string {
+	shadow := c
+	shadow.Sum = ""
+	data, _ := json.Marshal(shadow) // map keys marshal sorted: deterministic
+	h := fnv.New64a()
+	h.Write(data)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func (st *fsStore) ckptPath(id string) string {
+	return filepath.Join(st.dir, "ckpt-"+id+".json")
+}
+
+// putCkpt persists a job's completed-point map (atomic rename, same
+// crash guarantee as put). Called after every point, so the file
+// tracks sweep progress closely enough that a kill loses at most the
+// in-flight points.
+func (st *fsStore) putCkpt(id string, points map[int][]bench.PointCkpt) error {
+	if st == nil {
+		return nil
+	}
+	c := ckptFile{JobID: id, Points: points}
+	c.Sum = c.checksum()
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	tmp, err := os.CreateTemp(st.dir, "ckpt-*.tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), st.ckptPath(id))
+}
+
+// loadCkpt reads a job's checkpoint map; a missing or corrupt file is
+// nil, nil — resume then simply re-measures.
+func (st *fsStore) loadCkpt(id string) (map[int][]bench.PointCkpt, error) {
+	if st == nil {
+		return nil, nil
+	}
+	data, err := os.ReadFile(st.ckptPath(id))
+	if err != nil {
+		return nil, nil
+	}
+	var c ckptFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		st.corrupt.Add(1)
+		return nil, nil
+	}
+	if c.JobID != id || c.Sum != c.checksum() {
+		st.corrupt.Add(1)
+		return nil, nil
+	}
+	return c.Points, nil
+}
+
+// delCkpt removes a terminal job's checkpoint file — checkpoints only
+// matter for jobs interrupted mid-flight.
+func (st *fsStore) delCkpt(id string) {
+	if st == nil {
+		return
+	}
+	os.Remove(st.ckptPath(id))
 }
 
 // Corrupt reports how many store files failed to load.

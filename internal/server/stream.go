@@ -69,6 +69,25 @@ func (st *stream) publish(ev Event, terminal bool) {
 	st.mu.Unlock()
 }
 
+// history returns a copy of every line published so far.
+func (st *stream) history() []string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]string, len(st.lines))
+	copy(out, st.lines)
+	return out
+}
+
+// adopt seeds a fresh stream with replayed lines — a coalesced
+// follower's stream starts with the leader's history so every
+// subscriber sees the same ordered sequence regardless of when the
+// follower attached.
+func (st *stream) adopt(lines []string) {
+	st.mu.Lock()
+	st.lines = append(st.lines, lines...)
+	st.mu.Unlock()
+}
+
 // close marks the stream finished without a new event (recovered
 // terminal jobs).
 func (st *stream) close() {
