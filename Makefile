@@ -5,16 +5,16 @@
 # the observability sinks, the backend registry), a bounded fuzz smoke
 # over the vm, scheduler, and conformance property targets, the
 # grammar-driven conformance suite, the persistent-cache cold/warm gate,
-# the native-vs-vm differential, the benchmark regression diff, and the
-# package-documentation check.
+# the native-vs-vm differential, the adaptive-planner cold/warm gate, the
+# benchmark regression diff, and the package-documentation check.
 
 GO ?= go
-RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/... ./internal/server
+RACE_PKGS := ./internal/core ./internal/bench ./internal/kernelc ./internal/vm ./internal/obs ./internal/loopdep ./internal/backend/... ./internal/server ./internal/plan
 FUZZTIME ?= 5s
 
-.PHONY: ci lint fmt vet build test race fuzz conform bench benchsmoke benchdiff cachepersist nativediff servecheck docs
+.PHONY: ci lint fmt vet build test race fuzz conform bench benchsmoke benchdiff cachepersist nativediff plancheck servecheck docs
 
-ci: lint build test race fuzz conform benchsmoke benchdiff cachepersist nativediff servecheck docs
+ci: lint build test race fuzz conform benchsmoke benchdiff cachepersist nativediff plancheck servecheck docs
 
 # lint bundles the static hygiene checks: gofmt cleanliness and go vet.
 lint: fmt vet
@@ -61,7 +61,7 @@ conform:
 
 # bench regenerates the committed machine-readable benchmark record.
 bench:
-	$(GO) run ./cmd/ngen -o BENCH_pr9.json benchjson
+	$(GO) run ./cmd/ngen -o BENCH_pr10.json benchjson
 
 # benchsmoke exercises the bench JSON path in quick mode: exit 0 and a
 # schema-valid file, without the full sweep cost.
@@ -74,7 +74,7 @@ benchsmoke:
 # no bench record — the conformance suite left figure timings untouched —
 # so the walk jumps from pr7 to pr9.)
 benchdiff:
-	$(GO) run ./cmd/ngen benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr9.json
+	$(GO) run ./cmd/ngen benchdiff BENCH_pr4.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr9.json BENCH_pr10.json
 
 # nativediff is the native-backend gate: every registered kernel must be
 # byte-identical (results, memory, dynamic op counts, error text)
@@ -91,6 +91,35 @@ nativediff:
 		n=$$(echo "$$out" | grep -c -- "--- PASS: TestNativeDifferentialAllKernels/"); \
 		echo "nativediff: $$n kernels byte-identical native vs vm"; \
 	fi
+
+# plancheck is the adaptive-planner gate, in two phases. First the
+# calibration round-trip: a cold `ngen plan -check` over the three
+# reference kernels must leave every size bucket calibrated with a
+# measured-best chosen row, persisting its plans to the cache directory;
+# the warm rerun — fresh process, same directory — must load every plan
+# and spend zero probes. Second, figure invariance: the auto-planned
+# quick fig6a sweep must be byte-identical to the static one (planner
+# lines stripped), because strategy choice moves wall time, never
+# results.
+plancheck:
+	@dir=$$(mktemp -d); \
+	$(GO) run ./cmd/ngen plan -check -cachedir "$$dir" saxpy mmm dot8 >/dev/null \
+		|| { rm -rf "$$dir"; exit 1; }; \
+	out=$$($(GO) run ./cmd/ngen plan -check -cachedir "$$dir" saxpy mmm dot8) \
+		|| { rm -rf "$$dir"; exit 1; }; \
+	line=$$(echo "$$out" | grep "^plan probes:"); \
+	case "$$line" in "plan probes: 0 "*) ;; *) \
+		rm -rf "$$dir"; echo "warm planner run still probing: $$line"; exit 1;; esac; \
+	$(GO) run ./cmd/ngen -quick fig6a \
+		| grep -v "^plan" >/tmp/plancheck_static.txt || { rm -rf "$$dir"; exit 1; }; \
+	$(GO) run ./cmd/ngen -quick -auto -cachedir "$$dir" fig6a \
+		| grep -v -e "^plan" -e "^cachepersist:" >/tmp/plancheck_auto.txt \
+		|| { rm -rf "$$dir"; exit 1; }; \
+	rm -rf "$$dir"; \
+	cmp -s /tmp/plancheck_static.txt /tmp/plancheck_auto.txt \
+		|| { echo "plancheck: auto-planned figure diverged from static"; \
+			diff /tmp/plancheck_static.txt /tmp/plancheck_auto.txt; exit 1; }; \
+	echo "plancheck: warm $$line; auto-planned fig6a byte-identical to static"
 
 # cachepersist is the persistent-cache gate: a cold run populates the
 # cache directory, and the warm run — a fresh process, empty in-memory

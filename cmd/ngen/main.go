@@ -25,6 +25,13 @@
 //	                         # vs vm plain/opt/parallel vs native backend);
 //	                         # exits 1 on any divergence, unsound accept, or
 //	                         # missed/misclassified defect (docs/VERIFIER.md)
+//	ngen plan [kernel...]    # calibrate the adaptive execution planner on
+//	                         # registry kernels (default saxpy, mmm, dot8)
+//	                         # and print the predicted-vs-measured strategy
+//	                         # tables; -cachedir persists plans (a second
+//	                         # run reports `plan probes: 0`), -check exits 1
+//	                         # unless every plan calibrates on its measured
+//	                         # argmin (docs/PLANNER.md)
 //	ngen benchjson [out]     # run the figure sweeps and write the
 //	                         # machine-readable benchmark record
 //	                         # (-o out, default BENCH_pr<n>.json from -pr)
@@ -51,6 +58,10 @@
 //	-backend native          # compile kernels to Go plugins and run them
 //	                         # natively; unavailable hosts fall back to the
 //	                         # vm interpreter with a notice, results identical
+//	-auto                    # adaptive execution planner: per kernel × size
+//	                         # bucket, predict, calibrate and auto-select the
+//	                         # fastest (backend, tier, lanes); figure output
+//	                         # stays byte-identical (docs/PLANNER.md)
 //	-cachedir dir            # persistent compile cache: cold runs fill it,
 //	                         # warm runs perform zero graph compiles and
 //	                         # print a cachepersist summary line
@@ -86,12 +97,13 @@ import (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json] [-strict]|conform [-seed N] [-count N] [-json]|benchdiff oldest.json [...] newest.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
+		fmt.Fprintln(os.Stderr, "usage: ngen [-quick] [-O=false] [-par N] [-auto] [-backend name] [-cachedir dir] [-trace file] [-metrics] {platform|warmup|cache|slp|vet [-json] [-strict]|conform [-seed N] [-count N] [-json]|plan [-cachedir dir] [-check] [kernel...]|benchdiff oldest.json [...] newest.json|table1b|table3|fig6a|fig6b|fig7|speedups|benchjson [-o out]|all|stats [experiment]}")
 		flag.PrintDefaults()
 	}
 	quick := flag.Bool("quick", false, "smaller size sweeps (fast smoke run)")
 	optimize := flag.Bool("O", true, "kernelc loop-nest optimizer (-O=false runs the plain interpreter tier)")
-	backendName := flag.String("backend", "", "execution backend: vm (interpreter, default) or native (plugin-compiled Go; falls back to vm with a notice when unavailable)")
+	backendName := flag.String("backend", "", "execution backend: vm (interpreter, default), native (plugin-compiled Go; falls back to vm with a notice when unavailable), or auto (adaptive planner)")
+	auto := flag.Bool("auto", false, "adaptive execution planner: calibrate and auto-select the fastest backend/tier/lanes per kernel × size (results byte-identical; see docs/PLANNER.md)")
 	workers := flag.Int("j", runtime.NumCPU(), "sweep worker goroutines (size points run in parallel)")
 	par := flag.Int("par", runtime.NumCPU(), "parallel loop lanes per kernel execution (≤1 keeps every loop on the serial driver)")
 	cachedir := flag.String("cachedir", "", "persistent compile cache directory (cold runs fill it; warm runs skip graph compiles)")
@@ -124,6 +136,15 @@ func main() {
 		// conform generates its own kernels and runtimes; like vet it
 		// bypasses the benchmark suite. Flags follow the subcommand.
 		if err := conformCmd(flag.Args()[1:], *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "ngen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if cmd == "plan" {
+		// plan builds its own auto-mode runtime (pruning off, eager
+		// native builds); flags follow the subcommand.
+		if err := planCmd(flag.Args()[1:]); err != nil {
 			fmt.Fprintln(os.Stderr, "ngen:", err)
 			os.Exit(1)
 		}
@@ -205,6 +226,10 @@ func main() {
 			fmt.Printf("backend: %s\n", *backendName)
 		}
 	}
+	if *auto {
+		s.RT.EnableAutoPlan()
+		fmt.Println("planner: auto (backend/tier/lanes per kernel × size)")
+	}
 	if *quick {
 		s.MaxRunLinear = 1 << 11
 		s.MaxRunCubic = 32
@@ -224,6 +249,14 @@ func main() {
 	err := run(s, target, *quick, *benchOut)
 	root.End()
 
+	if err == nil && s.RT.Planner != nil {
+		// The planner summary mirrors the cachepersist line: warm runs
+		// (plans loaded from the cachedir) must report zero probes.
+		ps := s.RT.Planner.Stats()
+		fmt.Printf("plan: %d plans (%d calibrated), %d decisions, %d probes, %d mispredicts, %d loaded, %d persisted\n",
+			len(s.RT.Planner.Snapshot()), ps["calibrated"], ps["decisions"],
+			ps["probes"], ps["mispredict"], ps["loads"], ps["persists"])
+	}
 	if err == nil && s.RT.Disk != nil {
 		// The cachepersist CI gate greps this line: a warm cache must
 		// report zero graph compiles.
@@ -603,9 +636,36 @@ func slpReports() error {
 // FigureStat — wall seconds, total dynamic vm ops, and heap allocations
 // per op (runtime.MemStats mallocs over the sweep, amortized) — then
 // re-reads the file so a schema regression fails the run, not a later
-// consumer.
+// consumer. It also records the fig6b strategy spread: the same sweep
+// under each static execution configuration (plain tier, native
+// backend) and under the adaptive planner, so the planner acceptance
+// reads straight off the committed record — fig6b_auto must sit at or
+// under the best static column and strictly under the worst (see
+// docs/PLANNER.md).
 func benchJSON(s *bench.Suite, quick bool, path string) error {
 	rep := bench.BenchReport{}
+	var ms0, ms1 runtime.MemStats
+	measure := func(s *bench.Suite, name string, run func() error) error {
+		before := s.SweepCounts.Total()
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		if err := run(); err != nil {
+			return err
+		}
+		secs := time.Since(t0).Seconds()
+		runtime.ReadMemStats(&ms1)
+		ops := s.SweepCounts.Total() - before
+		if ops <= 0 {
+			return fmt.Errorf("benchjson: %s executed no vm ops", name)
+		}
+		rep[name] = bench.FigureStat{
+			Seconds:     secs,
+			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
+			Ops:         ops,
+		}
+		return nil
+	}
 	figures := []struct {
 		name string
 		run  func() error
@@ -614,25 +674,42 @@ func benchJSON(s *bench.Suite, quick bool, path string) error {
 		{"fig6b", func() error { _, err := s.Fig6b(sizes("fig6b", quick)); return err }},
 		{"fig7", func() error { _, err := s.Fig7(sizes("fig7", quick)); return err }},
 	}
-	var ms0, ms1 runtime.MemStats
 	for _, fig := range figures {
-		before := s.SweepCounts.Total()
-		runtime.GC()
-		runtime.ReadMemStats(&ms0)
-		t0 := time.Now()
-		if err := fig.run(); err != nil {
+		if err := measure(s, fig.name, fig.run); err != nil {
 			return err
 		}
-		secs := time.Since(t0).Seconds()
-		runtime.ReadMemStats(&ms1)
-		ops := s.SweepCounts.Total() - before
-		if ops <= 0 {
-			return fmt.Errorf("benchjson: %s executed no vm ops", fig.name)
+	}
+	// The fig6b spread. Each configuration gets a fresh suite (tier,
+	// backend, and planner are runtime state) mirroring the base
+	// suite's sweep parameters. The native leg runs before the auto
+	// leg: its plugin builds land in the process-wide memo, so the
+	// planner prices a native candidate without ever building on the
+	// hot path. Hosts without a plugin toolchain skip the native leg
+	// with a notice and the planner competes vm tiers only.
+	spread := []struct {
+		name string
+		conf func(*bench.Suite) error
+	}{
+		{"fig6b_plain", func(s *bench.Suite) error { s.RT.Opt = kernelc.TierPlain; return nil }},
+		{"fig6b_native", func(s *bench.Suite) error { return s.RT.UseBackend("native") }},
+		{"fig6b_auto", func(s *bench.Suite) error { s.RT.EnableAutoPlan(); return nil }},
+	}
+	for _, sp := range spread {
+		s2 := bench.NewSuite()
+		s2.Workers = s.Workers
+		s2.RT.Machine.Workers = s.RT.Machine.Workers
+		s2.RT.Disk = s.RT.Disk
+		s2.MaxRunLinear, s2.MaxRunCubic, s2.Reps = s.MaxRunLinear, s.MaxRunCubic, s.Reps
+		if err := sp.conf(s2); err != nil {
+			fmt.Printf("benchjson: %s skipped (%v)\n", sp.name, err)
+			continue
 		}
-		rep[fig.name] = bench.FigureStat{
-			Seconds:     secs,
-			AllocsPerOp: float64(ms1.Mallocs-ms0.Mallocs) / float64(ops),
-			Ops:         ops,
+		err := measure(s2, sp.name, func() error {
+			_, err := s2.Fig6b(sizes("fig6b", quick))
+			return err
+		})
+		if err != nil {
+			return err
 		}
 	}
 	if err := bench.WriteBenchJSON(path, rep); err != nil {

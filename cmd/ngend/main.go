@@ -8,7 +8,7 @@
 //	ngend [-addr :8035] [-workers N] [-queue N] [-machine name]
 //	      [-backend name] [-cachedir dir] [-store dir] [-drain dur]
 //	      [-resultcache] [-resultcache-mem MB] [-resultcache-disk MB]
-//	      [-coalesce] [-resume]
+//	      [-coalesce] [-resume] [-plan auto|off]
 //
 // The daemon prints "ngend: listening on <addr>" once the socket is
 // bound, serves until SIGINT/SIGTERM, then drains in-flight jobs
@@ -42,6 +42,7 @@ func main() {
 	resultcacheDisk := flag.Int64("resultcache-disk", 0, "result-cache disk budget in MB under <cachedir>/results (0 = 256)")
 	coalesce := flag.Bool("coalesce", true, "coalesce concurrent identical requests into one execution")
 	resume := flag.Bool("resume", true, "resume interrupted sweeps from persisted checkpoints after a restart")
+	planMode := flag.String("plan", "auto", "adaptive execution planner: auto (calibrate and pick the fastest backend/tier/lanes per kernel × size; plans persist under -cachedir) or off")
 	flag.Parse()
 
 	srv, err := server.New(server.Config{
@@ -58,6 +59,7 @@ func main() {
 		ResultCacheDisk: *resultcacheDisk << 20,
 		Coalesce:        *coalesce,
 		Resume:          *resume,
+		Plan:            *planMode,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ngend:", err)

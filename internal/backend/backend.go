@@ -58,6 +58,18 @@ type Backend interface {
 	Compile(f *ir.Func, tier kernelc.Tier) (Executable, error)
 }
 
+// CachedCompiler is implemented by backends that can distinguish a
+// cheap compile (artifact already in the process memo or artifact
+// store) from an expensive one (a real toolchain build). The execution
+// planner uses it to admit a backend as a candidate strategy without
+// ever paying a build inside a measured run: CompileCached returns
+// (exe, true) only when the artifact was already on hand, and
+// (nil, false) — with no side effects beyond a load attempt — when a
+// full Compile would have to build.
+type CachedCompiler interface {
+	CompileCached(f *ir.Func, tier kernelc.Tier) (Executable, bool)
+}
+
 // ArtifactStore persists backend build products (for example native
 // plugin objects) between processes. core.DiskCache satisfies it with
 // blob sidecars next to its JSON entries.

@@ -114,6 +114,45 @@ func (b *Backend) Compile(f *ir.Func, _ kernelc.Tier) (backend.Executable, error
 	return &program{fn: fn, name: f.Name, params: f.Params, resKind: resKind}, nil
 }
 
+// CompileCached serves a compile only when the plugin is already built:
+// process memo first, then the artifact store. It never invokes the Go
+// toolchain, so the execution planner can call it from inside a
+// measured run to see whether the native strategy is admissible without
+// perturbing timings. Lowering to source still happens (it is the
+// content key), but that is pure computation with no I/O.
+func (b *Backend) CompileCached(f *ir.Func, _ kernelc.Tier) (backend.Executable, bool) {
+	if b.Available() != nil {
+		return nil, false
+	}
+	src, err := generate(f)
+	if err != nil {
+		return nil, false
+	}
+	key := contentKey(src)
+	memoMu.Lock()
+	fn, ok := memo[key]
+	if !ok && b.Store != nil {
+		if path, have := b.Store.LoadBlob(key); have {
+			if loaded, lerr := openPlugin(path); lerr == nil {
+				fn, ok = loaded, true
+				memo[key] = fn
+			}
+		}
+	}
+	if ok {
+		b.loadhit.Add(1)
+	}
+	memoMu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	resKind := ir.KindVoid
+	if r := f.G.Root().Result; r != nil {
+		resKind = r.Type().Kind
+	}
+	return &program{fn: fn, name: f.Name, params: f.Params, resKind: resKind}, true
+}
+
 // resolve turns a content key into a callable entry point: process memo
 // first, then the artifact store, then a real build. Single-flight
 // under memoMu — concurrent builds of the same key from different temp

@@ -153,20 +153,6 @@ func (s *Suite) PublishMetrics() {
 	merged.Publish(s.Metrics, "vm.op.")
 }
 
-// scaleCounts multiplies every count by factor, except the fixed
-// per-invocation costs.
-func scaleCounts(c vm.Counter, factor float64) vm.Counter {
-	out := make(vm.Counter, len(c))
-	for k, v := range c {
-		if k == core.JNICall {
-			out[k] = v
-			continue
-		}
-		out[k] = int64(float64(v)*factor + 0.5)
-	}
-	return out
-}
-
 // median of a small slice.
 func median(xs []float64) float64 {
 	sort.Float64s(xs)

@@ -31,6 +31,14 @@ type sweepWorker struct {
 	points  int64
 	kernels map[string]*core.Kernel
 	methods map[string]*hotspot.Method
+
+	// Measurement scratch, owned by the worker so the per-point measure
+	// loop stays allocation-free at steady state: the cost estimator
+	// (itself carrying reusable chain-analysis state), the repetition
+	// perf samples, and the scaled-counts buffer reused across reps.
+	est    *machine.Estimator
+	perfs  []float64
+	scaled vm.Counter
 }
 
 func (s *Suite) newWorker(id int) *sweepWorker {
@@ -42,6 +50,9 @@ func (s *Suite) newWorker(id int) *sweepWorker {
 		total:   vm.Counter{},
 		kernels: map[string]*core.Kernel{},
 		methods: map[string]*hotspot.Method{},
+		est:     machine.NewEstimator(s.RT.Arch),
+		perfs:   make([]float64, 0, s.Reps),
+		scaled:  vm.Counter{},
 	}
 }
 
@@ -84,9 +95,8 @@ func (w *sweepWorker) method(name string, build func() (*ir.Func, error)) (*hots
 // counts accumulate into the worker total for the post-sweep merge.
 func (w *sweepWorker) measureStaged(kn *core.Kernel, n, runN int, flops func(int) int64,
 	footprint int, run func(runN int) error) (Point, error) {
-	var perfs []float64
+	perfs := w.perfs[:0]
 	var rep machine.Report
-	est := machine.NewEstimator(w.rt.Arch)
 	for r := 0; r < w.s.Reps; r++ {
 		w.rt.Machine.Counts.Reset()
 		if err := run(runN); err != nil {
@@ -95,19 +105,35 @@ func (w *sweepWorker) measureStaged(kn *core.Kernel, n, runN int, flops func(int
 		counts := w.rt.Machine.Counts
 		w.total.Merge(counts)
 		if runN != n {
-			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+			counts = w.scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
 		}
-		rep = est.Estimate(kn.Func(), counts, footprint)
+		rep = w.est.Estimate(kn.Func(), counts, footprint)
 		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
 	}
+	w.perfs = perfs[:0]
 	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
+}
+
+// scaleCounts is the package-level scaleCounts into the worker's
+// reusable buffer: repetitions at scaled sizes stop allocating a fresh
+// counter per rep.
+func (w *sweepWorker) scaleCounts(c vm.Counter, factor float64) vm.Counter {
+	w.scaled.Reset()
+	for k, v := range c {
+		if k == core.JNICall {
+			w.scaled[k] = v
+			continue
+		}
+		w.scaled[k] = int64(float64(v)*factor + 0.5)
+	}
+	return w.scaled
 }
 
 // measureJava runs a HotSpot method at C2 steady state on this worker's
 // JVM, scales to n, and returns the modeled performance.
 func (w *sweepWorker) measureJava(m *hotspot.Method, n, runN int, flops func(int) int64,
 	footprint int, run func(runN int) error) (Point, error) {
-	var perfs []float64
+	perfs := w.perfs[:0]
 	var rep machine.Report
 	for r := 0; r < w.s.Reps; r++ {
 		w.jvm.Machine.Counts.Reset()
@@ -117,11 +143,12 @@ func (w *sweepWorker) measureJava(m *hotspot.Method, n, runN int, flops func(int
 		counts := w.jvm.Machine.Counts
 		w.total.Merge(counts)
 		if runN != n {
-			counts = scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
+			counts = w.scaleCounts(counts, float64(flops(n))/float64(flops(runN)))
 		}
 		rep = m.Estimate(hotspot.TierC2, counts, footprint)
 		perfs = append(perfs, machine.FlopsPerCycle(flops(n), rep))
 	}
+	w.perfs = perfs[:0]
 	return Point{N: n, Perf: median(perfs), Bound: rep.Bound, Level: rep.Level}, nil
 }
 

@@ -29,7 +29,9 @@ import (
 	"repro/internal/irverify"
 	"repro/internal/isa"
 	"repro/internal/kernelc"
+	"repro/internal/machine"
 	"repro/internal/obs"
+	"repro/internal/plan"
 	"repro/internal/vm"
 )
 
@@ -77,6 +79,17 @@ type Runtime struct {
 	// interpreter-only, exactly the pre-Backend behavior. The backend
 	// name is part of the compile-cache key.
 	Backend backend.Backend
+	// Planner, with Opt = kernelc.TierAuto, picks the execution
+	// strategy (backend, tier, lanes) per kernel × size bucket —
+	// model-predicted cold, calibrated by bounded online probing. Set
+	// via EnableAutoPlan (or UseBackend("auto")); forks share it. Nil
+	// means static execution, exactly the pre-planner behavior.
+	Planner *plan.Planner
+
+	// est is the lazily built cost estimator backing the planner's
+	// predictions; private because its chain-analysis scratch is not
+	// goroutine-safe (forks build their own).
+	est *machine.Estimator
 }
 
 // span opens one pipeline-stage span under the runtime's current
@@ -122,7 +135,7 @@ func (rt *Runtime) Fork() *Runtime {
 	return &Runtime{Arch: rt.Arch, Toolchain: rt.Toolchain,
 		Machine: m, Cache: rt.Cache, Disk: rt.Disk,
 		Tracer: rt.Tracer, Metrics: rt.Metrics, Opt: rt.Opt,
-		Backend: rt.Backend}
+		Backend: rt.Backend, Planner: rt.Planner}
 }
 
 // ForkTenant returns a runtime serving one tenant's work: Fork's
@@ -182,6 +195,13 @@ func (rt *Runtime) NewKernel(name string) *dsl.Kernel {
 // runtime is left unchanged so the caller can report it and keep
 // running on the vm.
 func (rt *Runtime) UseBackend(name string) error {
+	if name == "auto" {
+		// "auto" is not a concrete backend: it enables planner-driven
+		// execution, which routes among vm tiers, lanes, and (when a
+		// prebuilt plugin is on hand) the native backend per call.
+		rt.EnableAutoPlan()
+		return nil
+	}
 	be, err := backend.Lookup(name)
 	if err != nil {
 		return err
@@ -266,6 +286,12 @@ type artifact struct {
 	// exec is set or no backend was requested).
 	exec     backend.Executable
 	fallback string
+	// progPlain and hash are the auto-plan extras (nil/0 outside
+	// TierAuto): the plain-tier program so the planner can switch tiers
+	// without recompiling, and the canonical graph hash keying the
+	// kernel's plans.
+	progPlain *kernelc.Program
+	hash      uint64
 }
 
 // run executes the artifact: the backend executable first, re-routing
@@ -447,6 +473,16 @@ func (rt *Runtime) PublishMetrics() {
 			}
 		}
 	}
+	// Cost-model health: how many distinct intrinsic names were priced
+	// through the defensive fallback (each also logs once — a nonzero
+	// gauge means the op table needs a row).
+	r.Gauge("machine.unknown_op").Set(machine.UnknownOpCount())
+	// Planner decision/calibration traffic, when auto-planning is on.
+	if rt.Planner != nil {
+		for k, v := range rt.Planner.Stats() {
+			r.Gauge("plan." + k).Set(v)
+		}
+	}
 	rt.Machine.Counts.Publish(r, "vm.op.")
 }
 
@@ -539,15 +575,23 @@ func (rt *Runtime) compileKey(k *dsl.Kernel, key cacheKey, parent *obs.Span) (*a
 			rt.Metrics.Counter("ngen.disk.hit").Add(1)
 			lsp := parent.Child("kernelc.compile")
 			prog, err := kernelc.CompileTier(k.F, rt.Opt)
+			var progPlain *kernelc.Program
+			if err == nil && rt.Opt == kernelc.TierAuto {
+				progPlain, err = kernelc.CompileTier(k.F, kernelc.TierPlain)
+			}
 			lsp.End()
 			if err == nil {
 				// The backend re-resolves its own artifact here too: with
 				// the disk cache attached as its store, a warm native run
 				// loads the built plugin without touching the toolchain.
 				exe, why := rt.backendCompile(k.F, parent)
+				if exe == nil && rt.Opt == kernelc.TierAuto {
+					exe = rt.autoExec(k.F)
+				}
 				return &artifact{f: k.F, prog: prog, source: ent.Source,
 					command: ent.Command, verify: ent.Verify,
-					exec: exe, fallback: why}, nil
+					exec: exe, fallback: why,
+					progPlain: progPlain, hash: key.hash}, nil
 			}
 			// A persisted entry that no longer lowers predates an
 			// interpreter change the fingerprint missed: fall through to
@@ -611,6 +655,12 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 	}
 	sp = parent.Child("kernelc.compile")
 	prog, err := kernelc.CompileTier(k.F, rt.Opt)
+	var progPlain *kernelc.Program
+	if err == nil && rt.Opt == kernelc.TierAuto {
+		// Auto mode lowers both tiers under one artifact so the planner
+		// can switch per invocation without recompiling.
+		progPlain, err = kernelc.CompileTier(k.F, kernelc.TierPlain)
+	}
 	sp.End()
 	if err != nil {
 		return nil, err
@@ -631,7 +681,7 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 	command := rt.Toolchain.CommandLine(rt.Arch.Features, k.Name()+".c", lib)
 	sp.End()
 	exe, why := rt.backendCompile(k.F, parent)
-	return &artifact{
+	art := &artifact{
 		f:        k.F,
 		prog:     prog,
 		source:   src,
@@ -639,7 +689,15 @@ func (rt *Runtime) build(k *dsl.Kernel, parent *obs.Span) (*artifact, error) {
 		verify:   res,
 		exec:     exe,
 		fallback: why,
-	}, nil
+	}
+	if rt.Opt == kernelc.TierAuto {
+		art.progPlain = progPlain
+		art.hash = ir.Hash(k.F)
+		if art.exec == nil {
+			art.exec = rt.autoExec(k.F)
+		}
+	}
+	return art, nil
 }
 
 // Source returns the generated C translation unit.
@@ -776,7 +834,7 @@ func (kn *Kernel) Call(args ...any) (vm.Value, error) {
 		}
 	}
 	m.Counts.Add(JNICall, 1)
-	out, err := kn.art.run(m, vals...)
+	out, err := kn.run(m, vals...)
 	for i := range kn.pins {
 		kn.pins[i].copyBack()
 	}
@@ -791,7 +849,7 @@ func (kn *Kernel) CallValues(args ...vm.Value) (vm.Value, error) {
 	sp := kn.rt.span(kn.spanName)
 	kn.calls.Add(1)
 	kn.rt.Machine.Counts.Add(JNICall, 1)
-	out, err := kn.art.run(kn.rt.Machine, args...)
+	out, err := kn.run(kn.rt.Machine, args...)
 	sp.End()
 	return out, err
 }

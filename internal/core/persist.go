@@ -301,6 +301,57 @@ func (d *DiskCache) StoreBlob(key string, data []byte) (string, error) {
 	return p, nil
 }
 
+// --- plan sidecars -----------------------------------------------------------
+//
+// Calibrated execution plans (internal/plan) persist as plan-<id>.json
+// entries in the same directory, satisfying plan.Store. They are
+// ordinary .json files, so the LRU eviction scan covers them — a plan
+// is regenerable by recalibration, exactly like a compile entry is by
+// recompilation. Plans are write-once: the planner never rewrites a
+// calibrated plan, so warm runs leave the files byte-identical (the
+// planner-determinism test pins this).
+
+// PlanPath returns the canonical path of the persisted plan for id.
+func (d *DiskCache) PlanPath(id string) string {
+	return filepath.Join(d.dir, "plan-"+id+".json")
+}
+
+// LoadPlan returns the persisted plan bytes for id, if present.
+func (d *DiskCache) LoadPlan(id string) ([]byte, bool) {
+	p := d.PlanPath(id)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		return nil, false
+	}
+	now := nowForMtime()
+	os.Chtimes(p, now, now) // refresh LRU position; best-effort
+	return raw, true
+}
+
+// StorePlan atomically writes the plan bytes under id.
+func (d *DiskCache) StorePlan(id string, data []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp, err := os.CreateTemp(d.dir, "tmp-*.plan")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		if werr != nil {
+			return werr
+		}
+		return cerr
+	}
+	if err := os.Rename(tmp.Name(), d.PlanPath(id)); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return nil
+}
+
 // diskFingerprint identifies everything outside the cache key that
 // shapes a persisted artifact: the Go toolchain that built this
 // binary, the persistence schema, and the exact feature set behind the

@@ -101,6 +101,11 @@ const (
 	// TierPlain is the PR-1-era pipeline: fusion only, no loop-nest
 	// optimizer. Differential tests diff it against TierOpt.
 	TierPlain
+	// TierAuto defers the tier choice to the execution planner
+	// (internal/plan): core compiles both tier programs under one
+	// cache entry and picks per invocation. CompileTier maps it to the
+	// opt pipeline, the planner's default leg.
+	TierAuto
 )
 
 // String names the tier for cache keys and span attributes. Unknown
@@ -112,6 +117,8 @@ func (t Tier) String() string {
 		return "opt"
 	case TierPlain:
 		return "plain"
+	case TierAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("tier(%d)", int(t))
 	}

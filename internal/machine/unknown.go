@@ -1,0 +1,64 @@
+package machine
+
+import (
+	"log"
+	"sort"
+	"sync"
+)
+
+// Unknown-op visibility: Classify prices names it does not know with a
+// defensive one-uop vector-integer cost. That keeps estimation total,
+// but a silently mispriced op skews every downstream consumer — most
+// of all the execution planner, whose strategy ranking trusts the
+// table. Each distinct unknown spelling is therefore recorded and
+// logged exactly once per process; the count surfaces as the
+// machine.unknown_op gauge via core.Runtime.PublishMetrics.
+var (
+	unknownMu  sync.Mutex
+	unknownSet map[string]struct{}
+)
+
+// DebugLogf receives the one-shot diagnostic for each unknown op name.
+// It defaults to the standard logger (stderr); tests may swap it.
+var DebugLogf = log.Printf
+
+func noteUnknown(name string) {
+	unknownMu.Lock()
+	if unknownSet == nil {
+		unknownSet = map[string]struct{}{}
+	}
+	if _, seen := unknownSet[name]; !seen {
+		unknownSet[name] = struct{}{}
+		if f := DebugLogf; f != nil {
+			f("machine: unknown op %q priced with fallback cost (vecint, 1 uop, lat 1)", name)
+		}
+	}
+	unknownMu.Unlock()
+}
+
+// UnknownOpCount returns how many distinct op names have been priced
+// through the fallback path since process start (or the last reset).
+func UnknownOpCount() int64 {
+	unknownMu.Lock()
+	defer unknownMu.Unlock()
+	return int64(len(unknownSet))
+}
+
+// UnknownOps returns the distinct unknown op names, sorted.
+func UnknownOps() []string {
+	unknownMu.Lock()
+	defer unknownMu.Unlock()
+	out := make([]string, 0, len(unknownSet))
+	for n := range unknownSet {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResetUnknownOps clears the recorded unknown-op set (tests).
+func ResetUnknownOps() {
+	unknownMu.Lock()
+	unknownSet = nil
+	unknownMu.Unlock()
+}

@@ -296,7 +296,7 @@ func (s *Server) runJob(j *job) (payload string, contentType string, counts vm.C
 
 	case "execute":
 		build := stageable()[spec.Kernel]
-		plan := executable()[spec.Kernel]
+		ep := executable()[spec.Kernel]
 		k, err := build(jrt.Arch.Features)
 		if err != nil {
 			return "", "", jrt.Machine.Counts, err
@@ -305,10 +305,11 @@ func (s *Server) runJob(j *job) (payload string, contentType string, counts vm.C
 		if err != nil {
 			return "", "", jrt.Machine.Counts, err
 		}
-		res, out, err := plan.run(kn, spec.N)
+		res, out, err := ep.run(kn, spec.N)
 		if err != nil {
 			return "", "", jrt.Machine.Counts, err
 		}
+		j.attachPlan(jrt, kn.Func().Name)
 		body := ExecResult{
 			Kernel:  spec.Kernel,
 			Machine: jrt.Arch.Name,
@@ -399,5 +400,27 @@ func (s *Server) runSweep(j *job, jrt *core.Runtime) (string, vm.Counter, error)
 	if err != nil {
 		return "", counts, err
 	}
+	j.attachPlan(jrt, "")
 	return text, counts, nil
+}
+
+// attachPlan records the planner's decisions on the job record — the
+// named kernel's plans, or every live plan when kernel is "" (sweeps
+// touch several kernels). No-op when the planner is off. Runs before
+// the job turns terminal, so the views ride the persisted record and
+// /v1/jobs/<id>.
+func (j *job) attachPlan(jrt *core.Runtime, kernel string) {
+	if jrt.Planner == nil {
+		return
+	}
+	views := jrt.Planner.Snapshot()
+	if kernel != "" {
+		views = jrt.Planner.KernelViews(kernel)
+	}
+	if len(views) == 0 {
+		return
+	}
+	j.mu.Lock()
+	j.rec.Plan = views
+	j.mu.Unlock()
 }

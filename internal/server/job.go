@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/plan"
 )
 
 // State is a job lifecycle state. Transitions are strictly
@@ -67,10 +68,15 @@ type Record struct {
 	// Resumed marks a sweep job re-adopted after a daemon restart; it
 	// continues from its persisted checkpoints instead of starting
 	// over.
-	Resumed    bool  `json:"resumed,omitempty"`
-	CreatedNS  int64 `json:"created_ns"`
-	StartedNS  int64 `json:"started_ns,omitempty"`
-	FinishedNS int64 `json:"finished_ns,omitempty"`
+	Resumed bool `json:"resumed,omitempty"`
+	// Plan records the adaptive planner's decisions touching this job
+	// (per kernel × size bucket: chosen strategy, predicted and
+	// measured cost, full candidate table). Empty when the planner is
+	// off or the job executed nothing.
+	Plan       []plan.View `json:"plan,omitempty"`
+	CreatedNS  int64       `json:"created_ns"`
+	StartedNS  int64       `json:"started_ns,omitempty"`
+	FinishedNS int64       `json:"finished_ns,omitempty"`
 	// Checksum guards the persisted record against torn or mangled
 	// files; see fsStore.
 	Checksum string `json:"checksum,omitempty"`

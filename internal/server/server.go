@@ -58,6 +58,12 @@ type Config struct {
 	// point checkpoints. Off (the zero value), such jobs recover as
 	// failed — the pre-resume behavior.
 	Resume bool
+	// Plan controls the adaptive execution planner ("" or "auto"
+	// enables it — per kernel × size bucket the daemon calibrates and
+	// picks the fastest backend/tier/lanes, persisting plans in
+	// CacheDir; "off" pins the static interpreter path). Results are
+	// byte-identical either way; see docs/PLANNER.md.
+	Plan string
 }
 
 // Server is the ngend daemon: one shared base runtime (compile caches),
@@ -181,6 +187,16 @@ func baseRuntime(cfg Config) (*core.Runtime, error) {
 			// interpreter, results identical.
 			fmt.Printf("ngend: backend %q unavailable, serving on vm: %v\n", cfg.Backend, err)
 		}
+	}
+	switch cfg.Plan {
+	case "", "auto":
+		// Planner on by default: every tenant fork shares it, so
+		// calibration from any job speeds all later identical shapes.
+		// Plans persist beside the compile cache when CacheDir is set.
+		rt.EnableAutoPlan()
+	case "off":
+	default:
+		return nil, fmt.Errorf("unknown plan mode %q (auto | off)", cfg.Plan)
 	}
 	return rt, nil
 }
@@ -408,6 +424,7 @@ func (s *Server) finalizeFollowers(j *job, final Record) {
 		f.rec.Error = final.Error
 		f.rec.Result = final.Result
 		f.rec.ResultType = final.ResultType
+		f.rec.Plan = final.Plan
 		f.rec.StartedNS = final.StartedNS
 		f.rec.FinishedNS = final.FinishedNS
 		frec := f.rec
@@ -648,5 +665,11 @@ func (s *Server) publishMetrics() {
 	}
 	for name, v := range s.RT.BackendCounters() {
 		r.Gauge("server.backend." + name).Set(v)
+	}
+	if p := s.RT.Planner; p != nil {
+		for name, v := range p.Stats() {
+			r.Gauge("server.plan." + name).Set(v)
+		}
+		r.Gauge("server.plan.plans").Set(int64(len(p.Snapshot())))
 	}
 }

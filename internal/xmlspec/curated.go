@@ -620,9 +620,19 @@ func expandEntry(en Entry) Intrinsic {
 		in.Category = []string{en.Cat}
 	}
 	if en.Params != "" {
-		for _, p := range strings.Split(en.Params, ",") {
-			nv := strings.SplitN(p, ":", 2)
-			in.Params = append(in.Params, Param{VarName: nv[0], Type: nv[1]})
+		// Manual walk instead of strings.Split/SplitN: synthesis expands
+		// thousands of entries under a sync.Once on the figure path, and
+		// the intermediate split slices dominated its allocation profile.
+		in.Params = make([]Param, 0, strings.Count(en.Params, ",")+1)
+		for s := en.Params; s != ""; {
+			var p string
+			if i := strings.IndexByte(s, ','); i >= 0 {
+				p, s = s[:i], s[i+1:]
+			} else {
+				p, s = s, ""
+			}
+			j := strings.IndexByte(p, ':')
+			in.Params = append(in.Params, Param{VarName: p[:j], Type: p[j+1:]})
 		}
 	} else {
 		in.Params = []Param{{VarName: "", Type: "void"}}
@@ -655,11 +665,35 @@ func typeClass(en Entry) string {
 	}
 }
 
+const describeTail = ", and store the results in \"dst\"."
+
 func describe(en Entry) string {
-	op := opToken(en.Name)
+	verb := verbFor(en.Cat, opToken(en.Name))
 	width := elementPhrase(en.Name)
-	return fmt.Sprintf("%s %s, and store the results in \"dst\".",
-		strings.Title(verbFor(en.Cat, op)), width)
+	var b strings.Builder
+	b.Grow(len(verb) + 1 + len(width) + len(describeTail))
+	writeTitled(&b, verb)
+	b.WriteByte(' ')
+	b.WriteString(width)
+	b.WriteString(describeTail)
+	return b.String()
+}
+
+// writeTitled is strings.Title restricted to the ASCII verb phrases this
+// file produces (one capital after every separator), written straight
+// into the builder so describe costs a single allocation instead of the
+// Sprintf + Title pair it replaced.
+func writeTitled(b *strings.Builder, s string) {
+	sep := true
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if sep && 'a' <= c && c <= 'z' {
+			c -= 'a' - 'A'
+		}
+		sep = !('a' <= c && c <= 'z' || 'A' <= c && c <= 'Z' ||
+			'0' <= c && c <= '9' || c == '_')
+		b.WriteByte(c)
+	}
 }
 
 func verbFor(cat, op string) string {
@@ -710,6 +744,21 @@ func elementPhrase(name string) string {
 	}
 }
 
+// pseudoByBits precomputes the four possible operation pseudocode
+// blocks (the template depends only on the register width at the fixed
+// 32-bit step), so expanding thousands of entries shares four strings
+// instead of formatting one per entry.
+var pseudoByBits = func() map[int]string {
+	out := make(map[int]string, 4)
+	for _, bits := range []int{64, 128, 256, 512} {
+		step := 32
+		lanes := bits / step
+		out[bits] = fmt.Sprintf("FOR j := 0 to %d\n\ti := j*%d\n\tdst[i+%d:i] := OP(a[i+%d:i], b[i+%d:i])\nENDFOR\ndst[MAX:%d] := 0",
+			lanes-1, step, step-1, step-1, step-1, bits)
+	}
+	return out
+}()
+
 func operationPseudo(en Entry) string {
 	bits := 128
 	switch {
@@ -720,10 +769,7 @@ func operationPseudo(en Entry) string {
 	case strings.HasPrefix(en.Ret, "__m64") || strings.Contains(en.Params, "__m64"):
 		bits = 64
 	}
-	step := 32
-	lanes := bits / step
-	return fmt.Sprintf("FOR j := 0 to %d\n\ti := j*%d\n\tdst[i+%d:i] := OP(a[i+%d:i], b[i+%d:i])\nENDFOR\ndst[MAX:%d] := 0",
-		lanes-1, step, step-1, step-1, step-1, bits)
+	return pseudoByBits[bits]
 }
 
 // deriveMnemonic guesses the assembly mnemonic from the intrinsic name,
@@ -755,8 +801,18 @@ func deriveMnemonic(name string) string {
 	}
 }
 
+// formTable holds every instruction-form string deriveForm can produce:
+// the register class repeated min(params+1, 3) times. Returning the
+// precomputed constant replaces the per-call map, split, and join the
+// original implementation allocated.
+var formTable = map[int][3]string{
+	64:  {"mm", "mm, mm", "mm, mm, mm"},
+	128: {"xmm", "xmm, xmm", "xmm, xmm, xmm"},
+	256: {"ymm", "ymm, ymm", "ymm, ymm, ymm"},
+	512: {"zmm", "zmm, zmm", "zmm, zmm, zmm"},
+}
+
 func deriveForm(en Entry) string {
-	reg := map[int]string{64: "mm", 128: "xmm", 256: "ymm", 512: "zmm"}
 	bits := 128
 	switch {
 	case strings.HasPrefix(en.Ret, "__m256"):
@@ -766,15 +822,14 @@ func deriveForm(en Entry) string {
 	case strings.HasPrefix(en.Ret, "__m64"):
 		bits = 64
 	}
-	n := len(strings.Split(en.Params, ","))
-	if en.Params == "" {
-		n = 0
+	n := 0
+	if en.Params != "" {
+		n = strings.Count(en.Params, ",") + 1
 	}
-	parts := make([]string, 0, n+1)
-	for i := 0; i <= n && i < 3; i++ {
-		parts = append(parts, reg[bits])
+	if n > 2 {
+		n = 2
 	}
-	return strings.Join(parts, ", ")
+	return formTable[bits][n]
 }
 
 func headerFor(cpuid string) string {

@@ -68,6 +68,9 @@ func ResolveOne(in *Intrinsic) (*Resolved, error) {
 		return nil, fmt.Errorf("return type: %w", err)
 	}
 	r := &Resolved{Name: in.Name, Ret: ret, Header: in.Header, Raw: in}
+	if n := len(in.Params); n > 0 {
+		r.Params = make([]ResolvedParam, 0, n)
+	}
 	for _, p := range in.Params {
 		t, err := ParseTyp(p.Type)
 		if err != nil {
@@ -88,6 +91,9 @@ func ResolveOne(in *Intrinsic) (*Resolved, error) {
 			continue
 		}
 		r.Families = append(r.Families, f)
+	}
+	if n := len(in.Category); n > 0 {
+		r.Categories = make([]isa.Category, 0, n)
 	}
 	for _, c := range in.Category {
 		r.Categories = append(r.Categories, isa.ParseCategory(c))

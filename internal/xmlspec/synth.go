@@ -342,9 +342,23 @@ func vecForSuffix(sh famShape, prefix, suffix string) string {
 	case width == "__m64":
 		return "__m64"
 	case strings.HasPrefix(suffix, "ep") || strings.HasPrefix(suffix, "si"):
-		return width + "i"
+		switch width {
+		case "__m512":
+			return "__m512i"
+		case "__m256":
+			return "__m256i"
+		default:
+			return "__m128i"
+		}
 	case suffix == "pd" || suffix == "sd":
-		return width + "d"
+		switch width {
+		case "__m512":
+			return "__m512d"
+		case "__m256":
+			return "__m256d"
+		default:
+			return "__m128d"
+		}
 	default:
 		return width
 	}
@@ -360,7 +374,16 @@ func synthEntries(f isa.Family, need, shared int, taken map[string]bool) []Entry
 	if f == isa.KNC {
 		cpuid = "KNCNI"
 	}
-	var out []Entry
+	// Shared hot-path state: the CPUID slices are reused across every
+	// entry (expandEntry only reads them), the round decorations are the
+	// three fixed strings "2"/"4"/"6", and the parameter list builds in a
+	// reused strings.Builder — together these drop the synthesis pass
+	// from ~8 allocations per entry to the 2 the Entry itself needs.
+	cpuidOnly := []string{cpuid}
+	cpuidShared := []string{cpuid, "KNCNI"}
+	roundSuffix := [4]string{"", "2", "4", "6"}
+	var pb strings.Builder
+	out := make([]Entry, 0, need)
 	// Iterate prefixes outermost so masked variants appear once the
 	// plain family is exhausted, matching how the real set is dominated
 	// by _mm512_mask_* names.
@@ -371,45 +394,45 @@ func synthEntries(f isa.Family, need, shared int, taken map[string]bool) []Entry
 					if len(out) >= need {
 						return out
 					}
-					opName := op.op
-					if round > 0 {
-						// Later rounds add width/variant decorations
-						// (e.g. add2, add4) to widen the namespace.
-						opName = fmt.Sprintf("%s%d", op.op, round*2)
-					}
-					name := prefix + opName + "_" + suffix
+					// Later rounds add width/variant decorations
+					// (e.g. add2, add4) to widen the namespace.
+					name := prefix + op.op + roundSuffix[round] + "_" + suffix
 					if taken[name] {
 						continue
 					}
 					taken[name] = true
 					vec := vecForSuffix(sh, prefix, suffix)
 					en := Entry{Ret: vec, Name: name, Cat: op.cat,
-						CPUID: []string{cpuid}}
+						CPUID: cpuidOnly}
 					if len(out) < shared && f == isa.AVX512 {
-						en.CPUID = append(en.CPUID, "KNCNI")
+						en.CPUID = cpuidShared
 					}
-					masked := strings.Contains(prefix, "mask")
-					var params []string
-					if masked {
-						params = append(params, "src:"+vec, "k:__mmask16")
+					pb.Reset()
+					if strings.Contains(prefix, "mask") {
+						pb.WriteString("src:")
+						pb.WriteString(vec)
+						pb.WriteString(",k:__mmask16,")
 					}
 					switch op.cat {
 					case "Load":
 						en.Ret = vec
-						params = append(params, "mem_addr:void const*")
+						pb.WriteString("mem_addr:void const*")
 					case "Store":
 						en.Ret = "void"
-						params = append(params, "mem_addr:void*", "a:"+vec)
+						pb.WriteString("mem_addr:void*,a:")
+						pb.WriteString(vec)
 					default:
-						params = append(params, "a:"+vec)
+						pb.WriteString("a:")
+						pb.WriteString(vec)
 						if op.arity == 2 {
-							params = append(params, "b:"+vec)
+							pb.WriteString(",b:")
+							pb.WriteString(vec)
 						}
 						if op.imm {
-							params = append(params, "imm8:int")
+							pb.WriteString(",imm8:int")
 						}
 					}
-					en.Params = strings.Join(params, ",")
+					en.Params = pb.String()
 					out = append(out, en)
 				}
 			}
